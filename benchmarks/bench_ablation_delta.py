@@ -1,0 +1,63 @@
+"""Ablation (Section 4.4.2) — the δ pre-merge heuristic of Single-Link.
+
+The paper: "we immediately merge points on an edge whose distance is at
+most δ ... the number of clusters to start with and the sizes of the queues
+significantly reduce.  The price to pay is that we lose the first merges of
+the dendrogram, [which] are not usually important to the data analyst."
+Its Figure 11d uses δ = s_init * F ("the number of clusters to start with
+is one order of magnitude smaller than N"), and its Table 2 runs use
+δ = 0.7 ε.
+
+This ablation sweeps δ over {0, 0.35 ε, 0.7 ε} on the OL workload and
+records the initial cluster count (the heap-size proxy) and dendrogram
+size, asserting that merges above δ are untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.singlelink import SingleLink
+
+from benchmarks._workloads import get_workload
+
+K = 10
+DELTA_FACTORS = [0.0, 0.35, 0.7]
+
+
+@pytest.mark.benchmark(group="ablation-delta")
+@pytest.mark.parametrize("factor", DELTA_FACTORS)
+def bench_single_link_delta(benchmark, factor):
+    network, points, spec, eps = get_workload("OL", k=K)
+    delta = factor * eps
+
+    def run():
+        sl = SingleLink(network, points, delta=delta)
+        return sl, sl.build_dendrogram()
+
+    sl, dendrogram = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "delta_factor": factor,
+            "initial_clusters": sl.last_stats["initial_clusters"],
+            "recorded_merges": len(dendrogram.merges),
+            "points": len(points),
+        }
+    )
+
+
+def test_delta_shrinks_initial_clusters_and_preserves_tail():
+    network, points, spec, eps = get_workload("OL", k=K)
+    plain = SingleLink(network, points)
+    plain_dendrogram = plain.build_dendrogram()
+    plain_initial = plain.last_stats["initial_clusters"]
+
+    heavy = SingleLink(network, points, delta=0.7 * eps)
+    heavy_dendrogram = heavy.build_dendrogram()
+    heavy_initial = heavy.last_stats["initial_clusters"]
+
+    # "one order of magnitude smaller than N" on a clustered workload.
+    assert heavy_initial < plain_initial / 5
+    # Everything above delta is byte-identical.
+    above = [d for d in plain_dendrogram.merge_distances() if d > 0.7 * eps]
+    assert heavy_dendrogram.merge_distances() == pytest.approx(above)

@@ -1,0 +1,90 @@
+"""Ablation — incremental ε-Link maintenance vs re-clustering from scratch.
+
+Quantifies what :class:`repro.core.incremental.IncrementalEpsLink` buys: the
+amortised cost of inserting one object into a live clustering of a full OL
+workload, against re-running ε-Link over everything per update.  Insertion
+is a single localized range query, so the gap widens with workload size.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.epslink import EpsLink
+from repro.core.incremental import IncrementalEpsLink
+
+from benchmarks._workloads import get_workload
+
+K = 10
+UPDATES = 50
+
+
+def _live_clustering(network, points, eps) -> IncrementalEpsLink:
+    live = IncrementalEpsLink(network, eps=eps, min_sup=2)
+    for p in points:
+        live.insert(p.u, p.v, p.offset, point_id=p.point_id, label=p.label)
+    return live
+
+
+@pytest.mark.benchmark(group="ablation-incremental")
+def bench_incremental_inserts(benchmark):
+    network, points, spec, eps = get_workload("OL", k=K)
+    live = _live_clustering(network, points, eps)
+    rng = random.Random(7)
+    edges = list(network.edges())
+    next_id = max(points.point_ids()) + 1
+
+    def run():
+        nonlocal next_id
+        for _ in range(UPDATES):
+            u, v, w = edges[rng.randrange(len(edges))]
+            live.insert(u, v, rng.uniform(0.0, w), point_id=next_id)
+            next_id += 1
+        return live.num_clusters
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"updates": UPDATES, "points_after": len(live.points)}
+    )
+
+
+@pytest.mark.benchmark(group="ablation-incremental")
+def bench_recluster_per_insert(benchmark):
+    """The naive alternative: one full ε-Link run per insertion (measured
+    for a handful of updates and normalised in extra_info)."""
+    from repro.network.points import PointSet
+
+    network, cached_points, spec, eps = get_workload("OL", k=K)
+    # Copy: the cached workload must not be mutated for other benchmarks.
+    points = PointSet.from_points(network, list(cached_points))
+    rng = random.Random(7)
+    edges = list(network.edges())
+    next_id = max(points.point_ids()) + 1
+    reruns = 5  # a full recluster is far costlier than one insert
+
+    def run():
+        nonlocal next_id
+        for _ in range(reruns):
+            u, v, w = edges[rng.randrange(len(edges))]
+            points.add(u, v, rng.uniform(0.0, w), point_id=next_id)
+            next_id += 1
+            EpsLink(network, points, eps=eps, min_sup=2).run()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"updates": reruns})
+
+
+def test_incremental_matches_recluster_on_full_workload():
+    network, points, spec, eps = get_workload("OL", k=K)
+    live = _live_clustering(network, points, eps)
+    rng = random.Random(11)
+    edges = list(network.edges())
+    next_id = max(points.point_ids()) + 1
+    for _ in range(10):
+        u, v, w = edges[rng.randrange(len(edges))]
+        live.insert(u, v, rng.uniform(0.0, w), point_id=next_id)
+        next_id += 1
+    scratch = EpsLink(network, live.points, eps=eps, min_sup=2).run()
+    assert live.result().same_clustering(scratch)

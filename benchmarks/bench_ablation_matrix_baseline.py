@@ -1,0 +1,92 @@
+"""Ablation (Section 3.2) — the precomputed-distance-matrix strawman.
+
+The paper argues that precomputing all pairwise distances "is high for
+large graphs [and] this matrix could be prohibitively large to store".
+This benchmark makes the argument concrete on the TG analogue: it times
+
+* the O(N^2) point-distance matrix precomputation (plus its memory size),
+* classic PAM-style k-medoids *on* the precomputed matrix,
+* our network k-medoids and eps-Link, which need no precomputation,
+
+showing the traversal algorithms beat even the precomputation step alone.
+A reduced point count keeps the quadratic baseline affordable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.classic import matrix_kmedoids
+from repro.baselines.matrix import DistanceMatrix
+from repro.core.epslink import EpsLink
+from repro.core.kmedoids import NetworkKMedoids
+
+from benchmarks._workloads import get_workload
+
+K = 10
+N_POINTS = 1200  # quadratic baseline: keep N modest
+
+
+@pytest.mark.benchmark(group="ablation-matrix-baseline")
+def bench_matrix_precomputation(benchmark):
+    network, points, spec, eps = get_workload("TG", k=K, n_points=N_POINTS)
+
+    def run():
+        return DistanceMatrix.from_points(network, points)
+
+    dm = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "points": len(points),
+            "matrix_bytes": dm.nbytes(),
+            "matrix_mb": round(dm.nbytes() / 2**20, 2),
+        }
+    )
+
+
+@pytest.mark.benchmark(group="ablation-matrix-baseline")
+def bench_matrix_kmedoids_after_precompute(benchmark):
+    network, points, spec, eps = get_workload("TG", k=K, n_points=N_POINTS)
+    dm = DistanceMatrix.from_points(network, points)
+
+    def run():
+        return matrix_kmedoids(dm, k=K, seed=0, max_bad_swaps=15)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["R"] = round(result.stats["R"], 2)
+
+
+@pytest.mark.benchmark(group="ablation-matrix-baseline")
+def bench_network_kmedoids_no_precompute(benchmark):
+    network, points, spec, eps = get_workload("TG", k=K, n_points=N_POINTS)
+
+    def run():
+        return NetworkKMedoids(network, points, k=K, seed=0, max_bad_swaps=15).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["R"] = round(result.stats["R"], 2)
+
+
+@pytest.mark.benchmark(group="ablation-matrix-baseline")
+def bench_epslink_no_precompute(benchmark):
+    network, points, spec, eps = get_workload("TG", k=K, n_points=N_POINTS)
+
+    def run():
+        return EpsLink(network, points, eps=eps, min_sup=2).run()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_matrix_precompute_dominates_epslink():
+    """The strawman's precomputation alone costs more than clustering with
+    the traversal-based method end to end."""
+    import time
+
+    network, points, spec, eps = get_workload("TG", k=K, n_points=N_POINTS)
+    start = time.perf_counter()
+    DistanceMatrix.from_points(network, points)
+    t_matrix = time.perf_counter() - start
+    start = time.perf_counter()
+    EpsLink(network, points, eps=eps, min_sup=2).run()
+    t_epslink = time.perf_counter() - start
+    assert t_matrix > 3 * t_epslink

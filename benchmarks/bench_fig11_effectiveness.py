@@ -1,0 +1,119 @@
+"""Figure 11 — clustering effectiveness on the OL workload.
+
+The paper visualises the discovered structures; this benchmark quantifies
+the same comparison with external indices (recorded in ``extra_info``):
+
+(a) k-medoids with random initial medoids: splits/merges planted clusters
+    and swallows outliers — ARI markedly below the density-based methods;
+(b) k-medoids with the ideal initialisation (first point of each planted
+    cluster) — better, yet still imperfect ("even in this case the
+    algorithm cannot discover all clusters exactly");
+(c) DBSCAN and ε-Link with eps = 1.5 * s_init * F, MinPts = 2: identical,
+    correct clusters;
+(d-f) Single-Link with the δ heuristic: far fewer initial clusters, and the
+    cut at distance ε reproduces ε-Link exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dbscan import NetworkDBSCAN
+from repro.core.epslink import EpsLink
+from repro.core.kmedoids import NetworkKMedoids
+from repro.core.singlelink import SingleLink
+from repro.eval.metrics import adjusted_rand_index, normalized_mutual_information, purity
+
+from benchmarks._workloads import get_workload, ground_truth, ideal_initial_medoids
+
+K = 10
+
+
+def quality(truth, result) -> dict:
+    predicted = dict(result.assignment)
+    return {
+        "clusters": result.num_clusters,
+        "outliers": len(result.outliers()),
+        "ari": round(adjusted_rand_index(truth, predicted, noise="drop"), 4),
+        "nmi": round(normalized_mutual_information(truth, predicted, noise="drop"), 4),
+        "purity": round(purity(truth, predicted, noise="drop"), 4),
+    }
+
+
+@pytest.mark.benchmark(group="fig11-effectiveness")
+def bench_fig11a_kmedoids_random_init(benchmark):
+    network, points, spec, eps = get_workload("OL", k=K)
+    truth = ground_truth(points)
+
+    def run():
+        return NetworkKMedoids(network, points, k=K, seed=0).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(quality(truth, result))
+
+
+@pytest.mark.benchmark(group="fig11-effectiveness")
+def bench_fig11b_kmedoids_ideal_init(benchmark):
+    network, points, spec, eps = get_workload("OL", k=K)
+    truth = ground_truth(points)
+    init = ideal_initial_medoids(points, K)
+
+    def run():
+        return NetworkKMedoids(
+            network, points, k=K, seed=0, initial_medoids=init
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(quality(truth, result))
+
+
+@pytest.mark.benchmark(group="fig11-effectiveness")
+def bench_fig11c_dbscan(benchmark):
+    network, points, spec, eps = get_workload("OL", k=K)
+    truth = ground_truth(points)
+
+    def run():
+        return NetworkDBSCAN(network, points, eps=eps, min_pts=2).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(quality(truth, result))
+    # The paper's claim: density-based methods recover the planted clusters.
+    assert benchmark.extra_info["ari"] > 0.95
+
+
+@pytest.mark.benchmark(group="fig11-effectiveness")
+def bench_fig11c_epslink(benchmark):
+    network, points, spec, eps = get_workload("OL", k=K)
+    truth = ground_truth(points)
+
+    def run():
+        return EpsLink(network, points, eps=eps, min_sup=2).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(quality(truth, result))
+    assert benchmark.extra_info["ari"] > 0.95
+    # "the results of the algorithms are identical" (DBSCAN, MinPts=2).
+    dbscan = NetworkDBSCAN(network, points, eps=eps, min_pts=2).run()
+    assert result.same_clustering(dbscan)
+
+
+@pytest.mark.benchmark(group="fig11-effectiveness")
+def bench_fig11def_single_link(benchmark):
+    network, points, spec, eps = get_workload("OL", k=K)
+    truth = ground_truth(points)
+    delta = spec.s_final  # the paper's Fig. 11d: small delta = s_init * F
+
+    def run():
+        sl = SingleLink(network, points, delta=delta)
+        return sl, sl.build_dendrogram()
+
+    sl, dendrogram = benchmark.pedantic(run, rounds=1, iterations=1)
+    # (d) The delta heuristic shrinks the initial cluster count by ~10x.
+    initial = sl.last_stats["initial_clusters"]
+    benchmark.extra_info["initial_clusters"] = initial
+    assert initial < len(points) / 5
+    # (e) Cutting at eps reproduces eps-Link exactly (Section 5.1).
+    cut = dendrogram.cut_distance(eps)
+    linked = EpsLink(network, points, eps=eps).run()
+    assert cut.as_partition() == linked.as_partition()
+    benchmark.extra_info.update(quality(truth, cut))

@@ -1,0 +1,100 @@
+"""Figure 12 — speedup of incremental medoid replacement vs k.
+
+The paper: "the speedup achieved by the incremental medoid replacement over
+the naive assignment of points to clusters from scratch ... increases with
+k, since the number of network nodes (and points) that are re-located to
+another cluster becomes smaller" (~4x at k = 10 on SF with 500K points).
+
+This benchmark measures, on the SF analogue, the time of one incremental
+swap evaluation (``Inc_Medoid_Update`` + Equation 1 assignment) for a range
+of k; the corresponding from-scratch evaluation (``Medoid_Dist_Find`` +
+assignment) is timed alongside and the speedup recorded in ``extra_info``.
+The expected shape: speedup grows with k.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.kmedoids import NetworkKMedoids
+
+from benchmarks._workloads import get_workload
+
+SWAPS_PER_MEASUREMENT = 5
+
+
+def _measure(network, points, k: int, seed: int = 0):
+    """(incremental_seconds, scratch_seconds) averaged over a few swaps.
+
+    The incremental side is the production path: in-place
+    ``Inc_Medoid_Update`` plus the incremental Equation-1 re-scan of the
+    touched edges; the scratch side is a full ``Medoid_Dist_Find`` plus a
+    full point scan.
+    """
+    rng = random.Random(seed)
+    km = NetworkKMedoids(network, points, k=k, seed=seed)
+    incident = km._incident_populated_edges()
+    all_ids = sorted(points.point_ids())
+    medoid_ids = rng.sample(all_ids, k)
+    medoids = [points.get(pid) for pid in medoid_ids]
+    state = km.medoid_dist_find(medoids)
+    assignment, distance = km.assign_points(medoids, state)
+
+    t_inc = 0.0
+    t_scratch = 0.0
+    for _ in range(SWAPS_PER_MEASUREMENT):
+        old_id = rng.choice(medoid_ids)
+        new_id = rng.choice([pid for pid in all_ids if pid not in medoid_ids])
+        old_medoid, new_medoid = points.get(old_id), points.get(new_id)
+        survivors = [points.get(pid) for pid in medoid_ids if pid != old_id]
+        new_ids = sorted(set(medoid_ids) - {old_id} | {new_id})
+        new_medoids = [points.get(pid) for pid in new_ids]
+
+        start = time.perf_counter()
+        state_log = km.inc_medoid_update_inplace(
+            state, old_medoid, new_medoid, survivors
+        )
+        changed = {node for node, _, _ in state_log}
+        assign_log = km.assign_points_incremental(
+            new_medoids, state, changed,
+            (old_medoid.edge, new_medoid.edge),
+            assignment, distance, incident,
+        )
+        sum(distance.values())  # the evaluation function R
+        t_inc += time.perf_counter() - start
+        km.rollback_assignment(assignment, distance, assign_log)
+        km.rollback_update(state, state_log)
+
+        start = time.perf_counter()
+        scratch_state = km.medoid_dist_find(new_medoids)
+        _, scratch_distance = km.assign_points(new_medoids, scratch_state)
+        sum(scratch_distance.values())
+        t_scratch += time.perf_counter() - start
+
+        # Commit the swap so each measurement sees a fresh configuration.
+        medoid_ids = new_ids
+        state = scratch_state
+        assignment, distance = km.assign_points(new_medoids, state)
+    return t_inc / SWAPS_PER_MEASUREMENT, t_scratch / SWAPS_PER_MEASUREMENT
+
+
+@pytest.mark.benchmark(group="fig12-incremental-speedup")
+@pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+def bench_fig12_speedup(benchmark, k):
+    network, points, spec, eps = get_workload("SF", k=10)
+
+    def run():
+        return _measure(network, points, k)
+
+    t_inc, t_scratch = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "k": k,
+            "incremental_ms": round(t_inc * 1e3, 2),
+            "scratch_ms": round(t_scratch * 1e3, 2),
+            "speedup": round(t_scratch / t_inc, 2) if t_inc > 0 else None,
+        }
+    )

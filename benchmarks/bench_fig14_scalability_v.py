@@ -1,0 +1,94 @@
+"""Figure 14 — scalability with the network size |V| (SF subnetworks).
+
+The paper extracts connected components of SF with 10% / 20% / 50% / 100%
+of the nodes, places 200K points on each, and observes: "the costs of
+k-medoids and Single-Link increase proportionally to |V|, since the methods
+traverse the whole network.  On the other hand, the part of the network
+traversed by the density-based algorithms increases slowly."
+
+Scaled reproduction: BFS-grown connected fractions of the SF analogue with
+a fixed point count, timings per method in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.dbscan import NetworkDBSCAN
+from repro.core.epslink import EpsLink
+from repro.core.kmedoids import NetworkKMedoids
+from repro.core.singlelink import SingleLink
+from repro.datagen import generate_clustered_points, load_network
+from repro.datagen.clusters import well_separated_seed_edges
+from repro.network.components import extract_fraction
+
+from benchmarks._workloads import BENCH_SCALES, cluster_spec_for
+from repro.datagen import suggest_eps
+
+K = 10
+N_POINTS = 4000
+FRACTIONS = [0.1, 0.2, 0.5, 1.0]
+
+_cache: dict = {}
+
+
+def _fraction_workload(fraction: float):
+    if fraction in _cache:
+        return _cache[fraction]
+    base = load_network("SF", scale=BENCH_SCALES["SF"], seed=0)
+    network = base if fraction == 1.0 else extract_fraction(base, fraction)
+    spec = cluster_spec_for(network, N_POINTS, K)
+    seeds = well_separated_seed_edges(network, K, seed=2)
+    points = generate_clustered_points(
+        network, N_POINTS, spec, seed=1, seed_edges=seeds
+    )
+    eps = suggest_eps(spec)
+    _cache[fraction] = (network, points, eps)
+    return _cache[fraction]
+
+
+def _run_all(network, points, eps) -> dict[str, float]:
+    methods = {
+        "k-medoids": NetworkKMedoids(network, points, k=K, seed=0, max_bad_swaps=3),
+        "dbscan": NetworkDBSCAN(network, points, eps=eps, min_pts=2),
+        "eps-link": EpsLink(network, points, eps=eps, min_sup=2),
+        "single-link": SingleLink(network, points, delta=0.7 * eps),
+    }
+    timings = {}
+    for name, algo in methods.items():
+        start = time.perf_counter()
+        algo.run()
+        timings[name] = time.perf_counter() - start
+    return timings
+
+
+@pytest.mark.benchmark(group="fig14-scalability-v")
+@pytest.mark.parametrize("fraction", FRACTIONS)
+def bench_fig14_network_scalability(benchmark, fraction):
+    network, points, eps = _fraction_workload(fraction)
+
+    def run():
+        return _run_all(network, points, eps)
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"fraction": fraction, "nodes": network.num_nodes}
+        | {m: round(t, 4) for m, t in timings.items()}
+    )
+
+
+def test_fig14_shape():
+    """k-medoids cost tracks |V|; eps-Link barely reacts (it only visits
+    the populated region, whose size is set by N, not |V|)."""
+    net_lo, pts_lo, eps_lo = _fraction_workload(0.1)
+    net_hi, pts_hi, eps_hi = _fraction_workload(1.0)
+    ratio_v = net_hi.num_nodes / net_lo.num_nodes
+    t_lo = _run_all(net_lo, pts_lo, eps_lo)
+    t_hi = _run_all(net_hi, pts_hi, eps_hi)
+    growth = {m: t_hi[m] / t_lo[m] for m in t_lo}
+    assert growth["k-medoids"] > growth["eps-link"], (
+        "whole-graph traversal must be more |V|-sensitive than eps-link"
+    )
+    assert growth["eps-link"] < 0.7 * ratio_v

@@ -1,0 +1,61 @@
+"""Figure 15 — merge distance of the last Single-Link merges & interesting
+levels (Section 5.3).
+
+The paper plots the merge distance of the last 49 cluster pairs popped
+while Single-Link clusters the Oldenburg dataset and spots "three merge
+instances where the distance difference between consecutive merges changes
+significantly ... the first one has the sharpest distance change and occurs
+when the merge distance has reached eps, i.e., when the original clusters
+have been discovered".
+
+This benchmark builds the dendrogram on the OL analogue, records the last
+49 merge distances, runs the automatic interesting-level detector, and
+asserts the paper's headline claims: at least one sharp level exists, and
+the level at which the planted clusters are recovered sits near eps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.singlelink import SingleLink
+from repro.eval.metrics import adjusted_rand_index
+
+from benchmarks._workloads import get_workload, ground_truth
+
+K = 10
+
+
+@pytest.mark.benchmark(group="fig15-merge-distances")
+def bench_fig15_merge_distance_series(benchmark):
+    network, points, spec, eps = get_workload("OL", k=K)
+
+    def run():
+        sl = SingleLink(network, points, delta=0.7 * eps)
+        return sl.build_dendrogram()
+
+    dendrogram = benchmark.pedantic(run, rounds=1, iterations=1)
+    distances = dendrogram.merge_distances()
+    last = distances[-49:]
+    benchmark.extra_info["last_49_merge_distances"] = [round(d, 4) for d in last]
+
+    levels = dendrogram.interesting_levels(window=10, factor=3.0)
+    benchmark.extra_info["interesting_levels"] = levels
+    assert levels, "the planted clusters must produce at least one sharp jump"
+
+    # The paper: the sharpest change occurs when the merge distance reaches
+    # eps.  Find the first flagged level whose distance exceeds eps and
+    # check the clustering just before it recovers the planted clusters.
+    truth = ground_truth(points)
+    recovered = None
+    for idx in levels:
+        if distances[idx] > eps:
+            recovered = dendrogram.clusters_before_merge(idx)
+            break
+    assert recovered is not None, "a flagged jump must cross eps"
+    ari = adjusted_rand_index(truth, dict(recovered.assignment), noise="drop")
+    benchmark.extra_info["ari_at_first_level"] = round(ari, 4)
+    assert ari > 0.9, (
+        "the first interesting level past eps must correspond to the "
+        "planted clustering"
+    )

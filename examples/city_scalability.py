@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scalability snapshot: the paper's Figure 13/14 cost behaviour, live.
+
+Runs the four algorithms over growing point counts (fixed network) and
+growing networks (fixed point count), printing the cost tables whose shapes
+the paper reports:
+
+* DBSCAN / ε-Link cost grows with N; k-medoids / Single-Link barely move
+  (they traverse the network, touching the points only lightly);
+* k-medoids / Single-Link cost grows with |V|; the density-based methods
+  grow slowly (they only visit the populated region).
+
+This is the quick interactive version; ``benchmarks/`` holds the full
+pytest-benchmark reproductions.
+
+Run:  python examples/city_scalability.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import EpsLink, NetworkDBSCAN, NetworkKMedoids, SingleLink
+from repro.datagen import ClusterSpec, generate_clustered_points, grid_city, suggest_eps
+
+
+def run_all(network, points, spec) -> dict[str, float]:
+    eps = suggest_eps(spec)
+    timings: dict[str, float] = {}
+    algos = {
+        "k-medoids": lambda: NetworkKMedoids(
+            network, points, k=spec.k, seed=0, max_bad_swaps=5
+        ),
+        "DBSCAN": lambda: NetworkDBSCAN(network, points, eps=eps, min_pts=2),
+        "eps-Link": lambda: EpsLink(network, points, eps=eps),
+        "Single-Link": lambda: SingleLink(network, points, delta=0.7 * eps),
+    }
+    for name, make in algos.items():
+        start = time.perf_counter()
+        make().run()
+        timings[name] = time.perf_counter() - start
+    return timings
+
+
+def print_table(title: str, rows: list[tuple[str, dict[str, float]]]) -> None:
+    names = ["k-medoids", "DBSCAN", "eps-Link", "Single-Link"]
+    print(f"\n{title}")
+    print(f"{'':>14}" + "".join(f"{n:>13}" for n in names))
+    for label, timings in rows:
+        print(f"{label:>14}" + "".join(f"{timings[n]:>12.2f}s" for n in names))
+
+
+def main() -> None:
+    spec = ClusterSpec(k=10, s_init=0.02)
+
+    # Scalability with N (fixed 30x30 network).
+    network = grid_city(30, 30, removal=0.15, seed=2)
+    rows_n = []
+    for n_points in (1000, 2000, 4000, 8000):
+        points = generate_clustered_points(network, n_points, spec, seed=4)
+        rows_n.append((f"N = {n_points}", run_all(network, points, spec)))
+    print_table("Scalability with the number of objects N (paper Fig. 13)", rows_n)
+
+    # Scalability with |V| (fixed 3000 points).
+    rows_v = []
+    for side in (15, 22, 30, 42):
+        network = grid_city(side, side, removal=0.15, seed=2)
+        points = generate_clustered_points(network, 3000, spec, seed=4)
+        rows_v.append((f"|V| = {side * side}", run_all(network, points, spec)))
+    print_table("Scalability with the network size |V| (paper Fig. 14)", rows_v)
+
+    print(
+        "\nShapes to observe: density-based costs track N and barely react "
+        "to |V|;\nk-medoids and Single-Link track |V| (whole-graph "
+        "traversals) and barely react to N."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Time-parameterized clusters under rush-hour traffic (paper Section 6).
+
+"An advanced problem is the discovery of time-dependent clusters in a model,
+where edge weights vary with time.  For example, traffic on a road segment
+depends on the time of the day ... we can derive clusters whose content is
+time-parameterized."
+
+A commercial strip runs along an arterial road whose *travel time* triples
+at rush hour.  Off-peak, shops on both sides of the arterial form one big
+cluster; at 8am the congested crossing pushes their travel-time distance
+over eps and the cluster splits into two.
+
+Run:  python examples/time_dependent_traffic.py
+"""
+
+from __future__ import annotations
+
+from repro import EpsLink, PointSet, SpatialNetwork
+from repro.network.timedep import (
+    TimeDependentNetwork,
+    rush_hour_profile,
+    time_parameterized_clusters,
+)
+
+
+def main() -> None:
+    # A simple commercial district: two side streets joined by one arterial
+    # segment.  Weights are off-peak travel times (minutes).
+    net = SpatialNetwork(name="district")
+    coords = {0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (3, 0), 4: (4, 0), 5: (5, 0)}
+    for node, (x, y) in coords.items():
+        net.add_node(node, x=float(x), y=float(y))
+    for u, v in [(0, 1), (1, 2), (3, 4), (4, 5)]:
+        net.add_edge(u, v, 2.0)  # side streets: 2 minutes each
+    net.add_edge(2, 3, 3.0)  # the arterial crossing: 3 minutes off-peak
+
+    # Shops along both side streets.
+    shops = PointSet(net)
+    for edge, offsets in {(1, 2): (0.5, 1.5), (3, 4): (0.5, 1.5)}.items():
+        for off in offsets:
+            shops.add(edge[0], edge[1], off)
+
+    # The arterial's travel time spikes 3x around 8:00 and 18:00.
+    tdn = TimeDependentNetwork(
+        net, {(2, 3): rush_hour_profile(3.0, peak_factor=3.0, peaks=(8.0, 18.0))}
+    )
+
+    times = [3.0, 6.5, 8.0, 12.0, 18.0, 21.0]
+    results = time_parameterized_clusters(
+        tdn, shops, times,
+        clusterer_factory=lambda n, p: EpsLink(n, p, eps=5.0),
+    )
+
+    print("Travel-time clustering of 4 shops, eps = 5 minutes")
+    print(f"{'time of day':>12} {'crossing (min)':>15} {'clusters':>9}")
+    for t in times:
+        crossing = tdn.weight_at(2, 3, t)
+        print(f"{t:>11.1f}h {crossing:>15.1f} {results[t].num_clusters:>9}")
+
+    assert results[12.0].num_clusters == 1, "off-peak: one district"
+    assert results[8.0].num_clusters == 2, "rush hour: split by congestion"
+    print(
+        "\nOff-peak the whole strip is one cluster; at rush hour the "
+        "congested arterial\nsplits it - the paper's time-parameterized "
+        "clusters."
+    )
+
+
+if __name__ == "__main__":
+    main()

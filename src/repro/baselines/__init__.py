@@ -1,0 +1,23 @@
+"""Baseline methods: the Section 3.2 precomputation strawman, classic
+matrix-based clustering algorithms, and the Euclidean-distance baseline."""
+
+from repro.baselines.classic import (
+    assign_to_medoids,
+    matrix_dbscan,
+    matrix_kmedoids,
+    matrix_single_link,
+    threshold_components,
+)
+from repro.baselines.euclidean import euclidean_distance_matrix
+from repro.baselines.matrix import DistanceMatrix, node_distance_matrix
+
+__all__ = [
+    "assign_to_medoids",
+    "matrix_dbscan",
+    "matrix_kmedoids",
+    "matrix_single_link",
+    "threshold_components",
+    "euclidean_distance_matrix",
+    "DistanceMatrix",
+    "node_distance_matrix",
+]

@@ -1,0 +1,304 @@
+"""Classic clustering algorithms running on a precomputed distance matrix.
+
+These are the "straightforward application of existing clustering methods"
+the paper compares against (Section 3.2): once an O(N^2) distance matrix is
+paid for, textbook PAM-style k-medoids, DBSCAN, and agglomerative
+single-link run unmodified.  They double as independently implemented
+*oracles* for the property tests of the traversal-based algorithms in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+
+import numpy as np
+
+from repro.baselines.matrix import DistanceMatrix
+from repro.core.dendrogram import Dendrogram, Merge
+from repro.core.result import ClusteringResult
+from repro.core.unionfind import UnionFind
+from repro.eval.metrics import NOISE
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "threshold_components",
+    "matrix_dbscan",
+    "matrix_single_link",
+    "matrix_agglomerative",
+    "matrix_kmedoids",
+    "assign_to_medoids",
+]
+
+
+def threshold_components(dm: DistanceMatrix, eps: float) -> ClusteringResult:
+    """Connected components of the ≤eps thresholded distance graph.
+
+    This is the *definition* of the clusters ε-Link discovers; used as the
+    brute-force oracle for :class:`repro.core.EpsLink`.
+    """
+    if eps <= 0:
+        raise ParameterError(f"eps must be positive, got {eps!r}")
+    uf = UnionFind(dm.ids)
+    n = len(dm.ids)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dm.values[i, j] <= eps:
+                uf.union(dm.ids[i], dm.ids[j])
+    label_of_root: dict = {}
+    assignment: dict[int, int] = {}
+    for pid in dm.ids:
+        root = uf.find(pid)
+        assignment[pid] = label_of_root.setdefault(root, len(label_of_root))
+    return ClusteringResult(
+        assignment,
+        algorithm="threshold-components",
+        params={"eps": eps},
+    )
+
+
+def matrix_dbscan(
+    dm: DistanceMatrix, eps: float, min_pts: int = 2
+) -> ClusteringResult:
+    """Textbook DBSCAN on precomputed distances.
+
+    Identical control flow to :class:`repro.core.NetworkDBSCAN` (including
+    the first-come assignment of shared border points) with neighbourhoods
+    read straight from the matrix.
+    """
+    if eps <= 0:
+        raise ParameterError(f"eps must be positive, got {eps!r}")
+    if min_pts < 1:
+        raise ParameterError(f"min_pts must be >= 1, got {min_pts!r}")
+    unvisited = -2
+    n = len(dm.ids)
+    values = dm.values
+    state = [unvisited] * n
+
+    def neighborhood(i: int) -> list[int]:
+        return [j for j in range(n) if values[i, j] <= eps]
+
+    next_label = 0
+    for i in range(n):
+        if state[i] != unvisited:
+            continue
+        nbh = neighborhood(i)
+        if len(nbh) < min_pts:
+            state[i] = NOISE
+            continue
+        label = next_label
+        next_label += 1
+        state[i] = label
+        queue = deque(nbh)
+        while queue:
+            j = queue.popleft()
+            if state[j] == NOISE:
+                state[j] = label
+                continue
+            if state[j] != unvisited:
+                continue
+            state[j] = label
+            j_nbh = neighborhood(j)
+            if len(j_nbh) >= min_pts:
+                queue.extend(j_nbh)
+    assignment = {pid: state[i] for i, pid in enumerate(dm.ids)}
+    return ClusteringResult(
+        assignment,
+        algorithm="matrix-dbscan",
+        params={"eps": eps, "min_pts": min_pts},
+    )
+
+
+def matrix_single_link(dm: DistanceMatrix) -> Dendrogram:
+    """Agglomerative single-link over the full distance matrix (Kruskal).
+
+    O(N^2 log N); the oracle for :class:`repro.core.SingleLink`.
+    Unreachable pairs (infinite distance) are never merged, yielding a
+    forest on disconnected data.
+    """
+    n = len(dm.ids)
+    values = dm.values
+    edges = [
+        (float(values[i, j]), i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if math.isfinite(values[i, j])
+    ]
+    edges.sort()
+    uf = UnionFind(range(n))
+    cluster_of_root = {i: i for i in range(n)}
+    merges: list[Merge] = []
+    next_id = n
+    for weight, i, j in edges:
+        ri, rj = uf.find(i), uf.find(j)
+        if ri == rj:
+            continue
+        left = cluster_of_root.pop(ri)
+        right = cluster_of_root.pop(rj)
+        uf.union(i, j)
+        cluster_of_root[uf.find(i)] = next_id
+        merges.append(
+            Merge(
+                distance=weight,
+                left=left,
+                right=right,
+                merged=next_id,
+                size=uf.set_size(i),
+            )
+        )
+        next_id += 1
+    return Dendrogram([[pid] for pid in dm.ids], merges)
+
+
+def matrix_agglomerative(dm: DistanceMatrix, linkage: str = "complete") -> Dendrogram:
+    """Agglomerative clustering with single / complete / average linkage.
+
+    The paper's future work considers "hierarchical algorithms that
+    consider distances between multiple points from the merged clusters";
+    complete-link (maximum inter-cluster distance) and average-link
+    (UPGMA) are the canonical such definitions.  Implemented with
+    Lance-Williams updates over the precomputed matrix, O(N^3) worst case —
+    the brute-force cost the paper quotes for these methods, usable for
+    moderate N and as a reference.
+
+    Unreachable (infinite-distance) pairs are never merged (forest output).
+    """
+    updates = {
+        "single": lambda di, dj, ni, nj: min(di, dj),
+        "complete": lambda di, dj, ni, nj: max(di, dj),
+        "average": lambda di, dj, ni, nj: (ni * di + nj * dj) / (ni + nj),
+    }
+    if linkage not in updates:
+        raise ParameterError(
+            f"linkage must be one of {sorted(updates)}, got {linkage!r}"
+        )
+    update = updates[linkage]
+
+    n = len(dm.ids)
+    dist = dm.values.astype(float).copy()
+    np.fill_diagonal(dist, math.inf)
+    active: dict[int, int] = {i: i for i in range(n)}  # row -> cluster id
+    sizes = {i: 1 for i in range(n)}
+    merges: list[Merge] = []
+    next_id = n
+    alive = list(range(n))
+    while len(alive) > 1:
+        best = math.inf
+        best_pair: tuple[int, int] | None = None
+        for ai in range(len(alive)):
+            i = alive[ai]
+            row = dist[i]
+            for aj in range(ai + 1, len(alive)):
+                j = alive[aj]
+                if row[j] < best:
+                    best = row[j]
+                    best_pair = (i, j)
+        if best_pair is None or math.isinf(best):
+            break  # disconnected remainder
+        i, j = best_pair
+        # Lance-Williams update into row/column i.
+        for k in alive:
+            if k in (i, j):
+                continue
+            merged = update(dist[i, k], dist[j, k], sizes[i], sizes[j])
+            dist[i, k] = dist[k, i] = merged
+        merges.append(
+            Merge(
+                distance=best,
+                left=active[i],
+                right=active[j],
+                merged=next_id,
+                size=sizes[i] + sizes[j],
+            )
+        )
+        sizes[i] += sizes[j]
+        active[i] = next_id
+        next_id += 1
+        alive.remove(j)
+        dist[j, :] = math.inf
+        dist[:, j] = math.inf
+    return Dendrogram([[pid] for pid in dm.ids], merges)
+
+
+def assign_to_medoids(
+    dm: DistanceMatrix, medoid_ids: list[int]
+) -> tuple[dict[int, int], dict[int, float]]:
+    """Nearest-medoid assignment by brute force over the matrix.
+
+    The oracle for Equation 1 + ``Medoid_Dist_Find``: for a fixed medoid
+    set, the traversal-based assignment must agree with this argmin.
+    Unreachable points get ``NOISE`` / inf.
+    """
+    if not medoid_ids:
+        raise ParameterError("medoid_ids must not be empty")
+    cols = [dm.index_of(m) for m in medoid_ids]
+    sub = dm.values[:, cols]
+    assignment: dict[int, int] = {}
+    distance: dict[int, float] = {}
+    for i, pid in enumerate(dm.ids):
+        row = sub[i]
+        j = int(np.argmin(row))
+        d = float(row[j])
+        if math.isinf(d):
+            assignment[pid] = NOISE
+            distance[pid] = math.inf
+        else:
+            assignment[pid] = medoid_ids[j]
+            distance[pid] = d
+    return assignment, distance
+
+
+def matrix_kmedoids(
+    dm: DistanceMatrix,
+    k: int,
+    max_bad_swaps: int = 15,
+    seed: int | None = None,
+    max_swaps: int = 10_000,
+) -> ClusteringResult:
+    """PAM-style randomized-swap k-medoids on precomputed distances.
+
+    Uses the same swap protocol as the paper's network k-medoids (commit a
+    random single-medoid replacement only when the evaluation function R
+    improves; stop after ``max_bad_swaps`` consecutive failures), so cost
+    comparisons against :class:`repro.core.NetworkKMedoids` isolate the
+    distance-computation strategy.
+    """
+    if not 1 <= k <= len(dm.ids):
+        raise ParameterError(f"k must be in [1, {len(dm.ids)}], got {k!r}")
+    rng = random.Random(seed)
+    ids = list(dm.ids)
+    medoids = sorted(rng.sample(ids, k))
+    assignment, distances = assign_to_medoids(dm, medoids)
+    total = sum(d for d in distances.values() if math.isfinite(d))
+
+    bad = 0
+    swaps = 0
+    committed = 0
+    medoid_set = set(medoids)
+    while bad < max_bad_swaps and swaps < max_swaps:
+        swaps += 1
+        old = rng.choice(sorted(medoid_set))
+        new = rng.choice(ids)
+        if new in medoid_set:
+            bad += 1
+            continue
+        cand = sorted((medoid_set - {old}) | {new})
+        cand_assignment, cand_distances = assign_to_medoids(dm, cand)
+        cand_total = sum(d for d in cand_distances.values() if math.isfinite(d))
+        if cand_total < total:
+            medoid_set = set(cand)
+            assignment = cand_assignment
+            total = cand_total
+            bad = 0
+            committed += 1
+        else:
+            bad += 1
+    return ClusteringResult(
+        assignment,
+        algorithm="matrix-kmedoids",
+        params={"k": k, "max_bad_swaps": max_bad_swaps},
+        stats={"R": total, "swap_attempts": swaps, "committed_swaps": committed,
+               "medoids": sorted(medoid_set)},
+    )

@@ -1,0 +1,256 @@
+"""Command-line interface: generate → cluster → evaluate → render.
+
+A pipeline for working with spatial-network clustering from the shell::
+
+    python -m repro generate --workload OL --scale 0.05 --out city.json
+    python -m repro cluster city.json --algorithm eps-link --eps 0.5 --out clusters.json
+    python -m repro evaluate city.json clusters.json
+    python -m repro render city.json --result clusters.json --out map.svg
+    python -m repro info city.json
+
+Workloads and results travel as the JSON documents of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import (
+    EpsLink,
+    NetworkDBSCAN,
+    NetworkKMedoids,
+    NetworkOPTICS,
+    SingleLink,
+)
+from repro.datagen import (
+    ClusterSpec,
+    delaunay_road_network,
+    generate_clustered_points,
+    grid_city,
+    load_network,
+    suggest_eps,
+)
+from repro.datagen.clusters import well_separated_seed_edges
+from repro.eval import adjusted_rand_index, normalized_mutual_information, purity
+from repro.io import (
+    load_result_file,
+    load_workload_file,
+    save_result,
+    save_workload,
+)
+from repro.network.components import is_connected
+
+__all__ = ["main"]
+
+ALGORITHMS = ("k-medoids", "eps-link", "dbscan", "single-link", "optics")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.workload:
+        network = load_network(args.workload, scale=args.scale, seed=args.seed)
+    elif args.grid:
+        width, _, height = args.grid.partition("x")
+        network = grid_city(int(width), int(height or width), seed=args.seed)
+    else:
+        network = delaunay_road_network(args.delaunay, seed=args.seed)
+
+    points = None
+    if args.points:
+        if args.s_init is not None:
+            s_init = args.s_init
+        else:
+            # Spread the clusters over ~20% of the network (see datagen).
+            s_init = 0.2 * network.total_weight() / args.points / 3.0
+        spec = ClusterSpec(k=args.k, s_init=s_init,
+                           outlier_fraction=args.outliers)
+        seeds = well_separated_seed_edges(network, args.k, seed=args.seed + 2)
+        points = generate_clustered_points(
+            network, args.points, spec, seed=args.seed + 1, seed_edges=seeds
+        )
+        print(f"suggested eps (1.5 * s_init * F): {suggest_eps(spec):.6g}")
+    save_workload(args.out, network, points)
+    print(f"wrote {args.out}: {network.num_nodes} nodes, "
+          f"{network.num_edges} edges, {len(points) if points else 0} points")
+    return 0
+
+
+def _build_algorithm(args: argparse.Namespace, network, points):
+    name = args.algorithm
+    if name == "k-medoids":
+        return NetworkKMedoids(network, points, k=args.k, seed=args.seed,
+                               n_restarts=args.restarts)
+    if name in ("eps-link", "dbscan", "optics") and args.eps is None:
+        raise SystemExit(f"--eps is required for {name}")
+    if name == "eps-link":
+        return EpsLink(network, points, eps=args.eps, min_sup=args.min_pts)
+    if name == "dbscan":
+        return NetworkDBSCAN(network, points, eps=args.eps, min_pts=args.min_pts)
+    if name == "optics":
+        return NetworkOPTICS(network, points, max_eps=args.eps,
+                             min_pts=args.min_pts)
+    if name == "single-link":
+        stop_k = args.k if args.stop == "k" else None
+        stop_distance = args.eps if args.stop == "distance" else None
+        if args.stop == "distance" and args.eps is None:
+            raise SystemExit("--stop distance requires --eps")
+        return SingleLink(network, points, delta=args.delta,
+                          stop_k=stop_k, stop_distance=stop_distance)
+    raise SystemExit(f"unknown algorithm {name!r}")
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    network, points = load_workload_file(args.workload)
+    if len(points) == 0:
+        raise SystemExit("the workload holds no points to cluster")
+    algorithm = _build_algorithm(args, network, points)
+    if args.dendrogram:
+        if args.algorithm != "single-link":
+            raise SystemExit("--dendrogram is only available for single-link")
+        dendrogram = algorithm.build_dendrogram()
+        with open(args.dendrogram, "w", encoding="utf-8") as fh:
+            json.dump(dendrogram.to_dict(), fh)
+        print(f"wrote {args.dendrogram}: {dendrogram.num_leaves} leaves, "
+              f"{len(dendrogram.merges)} merges")
+    result = algorithm.run()
+    save_result(args.out, result)
+    print(f"{result.algorithm}: {result.num_clusters} clusters, "
+          f"{len(result.outliers())} outliers "
+          f"({result.stats.get('wall_time_s', 0):.3f}s)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    network, points = load_workload_file(args.workload)
+    result = load_result_file(args.result)
+    labels = {p.point_id: p.label for p in points}
+    if any(label is None for label in labels.values()):
+        raise SystemExit("the workload carries no ground-truth labels")
+    predicted = dict(result.assignment)
+    report = {
+        "algorithm": result.algorithm,
+        "clusters": result.num_clusters,
+        "outliers": len(result.outliers()),
+        "ari": round(adjusted_rand_index(labels, predicted, noise="drop"), 4),
+        "nmi": round(
+            normalized_mutual_information(labels, predicted, noise="drop"), 4
+        ),
+        "purity": round(purity(labels, predicted, noise="drop"), 4),
+    }
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.viz import render_network_svg
+
+    network, points = load_workload_file(args.workload)
+    assignment = None
+    if args.result:
+        assignment = load_result_file(args.result).assignment
+    render_network_svg(
+        network,
+        points if len(points) else None,
+        assignment=assignment,
+        path=args.out,
+        width=args.width,
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    network, points = load_workload_file(args.workload)
+    degrees = [network.degree(n) for n in network.nodes()]
+    labels = {p.label for p in points}
+    info = {
+        "name": network.name,
+        "nodes": network.num_nodes,
+        "edges": network.num_edges,
+        "connected": is_connected(network),
+        "total_weight": round(network.total_weight(), 4),
+        "avg_degree": round(sum(degrees) / len(degrees), 3) if degrees else 0,
+        "points": len(points),
+        "populated_edges": points.num_populated_edges(),
+        "labels": sorted(x for x in labels if x is not None),
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clustering objects on a spatial network (SIGMOD 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload")
+    source = gen.add_mutually_exclusive_group(required=True)
+    source.add_argument("--workload", choices=["NA", "SF", "TG", "OL"],
+                        help="paper-network analogue")
+    source.add_argument("--grid", metavar="WxH", help="perturbed grid city")
+    source.add_argument("--delaunay", type=int, metavar="N",
+                        help="Delaunay road network with N nodes")
+    gen.add_argument("--scale", type=float, default=1 / 16,
+                     help="fraction of the paper network's size")
+    gen.add_argument("--points", type=int, default=0,
+                     help="number of objects to plant (0 = network only)")
+    gen.add_argument("--k", type=int, default=10, help="planted clusters")
+    gen.add_argument("--s-init", type=float, default=None,
+                     help="initial separation distance (auto when omitted)")
+    gen.add_argument("--outliers", type=float, default=0.01,
+                     help="outlier fraction")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output workload JSON")
+    gen.set_defaults(func=_cmd_generate)
+
+    clus = sub.add_parser("cluster", help="run a clustering algorithm")
+    clus.add_argument("workload", help="workload JSON from `generate`")
+    clus.add_argument("--algorithm", choices=ALGORITHMS, required=True)
+    clus.add_argument("--eps", type=float, default=None,
+                      help="eps / max-eps / stop distance")
+    clus.add_argument("--k", type=int, default=10,
+                      help="clusters (k-medoids, single-link --stop k)")
+    clus.add_argument("--min-pts", type=int, default=2,
+                      help="MinPts (dbscan/optics) or min_sup (eps-link)")
+    clus.add_argument("--delta", type=float, default=0.0,
+                      help="single-link pre-merge threshold")
+    clus.add_argument("--stop", choices=["k", "distance", "all"], default="all",
+                      help="single-link stopping rule")
+    clus.add_argument("--restarts", type=int, default=1,
+                      help="k-medoids random restarts")
+    clus.add_argument("--seed", type=int, default=0)
+    clus.add_argument("--dendrogram", default=None,
+                      help="(single-link) also write the dendrogram JSON here")
+    clus.add_argument("--out", required=True, help="output clustering JSON")
+    clus.set_defaults(func=_cmd_cluster)
+
+    ev = sub.add_parser("evaluate", help="score a clustering vs ground truth")
+    ev.add_argument("workload")
+    ev.add_argument("result")
+    ev.set_defaults(func=_cmd_evaluate)
+
+    ren = sub.add_parser("render", help="render a workload/clustering to SVG")
+    ren.add_argument("workload")
+    ren.add_argument("--result", default=None, help="clustering JSON to colour by")
+    ren.add_argument("--width", type=int, default=800)
+    ren.add_argument("--out", required=True)
+    ren.set_defaults(func=_cmd_render)
+
+    inf = sub.add_parser("info", help="summarise a workload file")
+    inf.add_argument("workload")
+    inf.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

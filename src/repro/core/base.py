@@ -1,0 +1,49 @@
+"""Common base class for the network clustering algorithms."""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import ParameterError
+from repro.network.points import PointSet
+
+__all__ = ["NetworkClusterer"]
+
+
+class NetworkClusterer:
+    """Shared plumbing for algorithms clustering points on a network.
+
+    Subclasses implement :meth:`_cluster` returning a
+    :class:`~repro.core.result.ClusteringResult`; :meth:`run` wraps it with
+    timing.  The ``network`` argument may be any backend implementing the
+    traversal protocol (``neighbors``, ``edge_weight``, ``nodes``, ...), so
+    the algorithms work over both :class:`~repro.network.SpatialNetwork`
+    and the disk-backed :class:`~repro.storage.NetworkStore`.
+    """
+
+    #: Subclasses set this to their reporting name.
+    algorithm_name = "abstract"
+
+    def __init__(self, network, points: PointSet) -> None:
+        if points.network is not network and not self._same_backend(network, points):
+            raise ParameterError(
+                "the point set was built against a different network object"
+            )
+        self.network = network
+        self.points = points
+
+    @staticmethod
+    def _same_backend(network, points: PointSet) -> bool:
+        """Allow a disk-backed store wrapping the point set's network."""
+        wrapped = getattr(network, "source_network", None)
+        return wrapped is points.network
+
+    def run(self):
+        """Execute the algorithm, recording wall-clock time in the result."""
+        start = time.perf_counter()
+        result = self._cluster()
+        result.stats.setdefault("wall_time_s", time.perf_counter() - start)
+        return result
+
+    def _cluster(self):
+        raise NotImplementedError

@@ -1,0 +1,122 @@
+"""Network adaptation of DBSCAN (paper Section 4.3).
+
+The paper observes that DBSCAN [Ester et al.] "can be directly applied on
+our network model": the ε-neighbourhood of an object is computed "by
+expanding the network around p and assigning points until the distance
+exceeds ε (a similar range search algorithm was proposed in [16])", and a
+range query must be performed for every object — which is why the paper's
+experiments find it considerably slower than ε-Link even though, with the
+right parameters, both produce identical clusters (Figure 11c).
+
+This is the standard DBSCAN control flow with the Euclidean range query
+replaced by :func:`repro.network.queries.range_query` over the
+point-augmented network:
+
+* an object is a *core* object when its ε-neighbourhood (itself included)
+  holds at least ``min_pts`` objects;
+* clusters grow from core objects through density-reachability;
+* non-core objects within ε of a core object become *border* members;
+* remaining objects are noise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.base import NetworkClusterer
+from repro.core.result import ClusteringResult
+from repro.eval.metrics import NOISE
+from repro.exceptions import ParameterError
+from repro.network.augmented import AugmentedView
+from repro.network.points import PointSet
+from repro.network.queries import range_query
+
+__all__ = ["NetworkDBSCAN"]
+
+_UNVISITED = -2
+
+
+class NetworkDBSCAN(NetworkClusterer):
+    """DBSCAN over network distances.
+
+    Parameters
+    ----------
+    network:
+        Network backend (in-memory or disk-backed).
+    points:
+        The objects to cluster.
+    eps:
+        Neighbourhood radius ε > 0 (network distance).
+    min_pts:
+        Density threshold: minimum neighbourhood size (query object
+        included) for a core object.  With ``min_pts=2`` the discovered
+        clusters coincide with ε-Link's, as the paper notes.
+
+    Notes
+    -----
+    Border objects reachable from several clusters are assigned to the
+    cluster whose core object reaches them first, matching the original
+    DBSCAN's behaviour (assignment of shared border points is
+    order-dependent by definition).
+    """
+
+    algorithm_name = "dbscan"
+
+    def __init__(
+        self,
+        network,
+        points: PointSet,
+        eps: float,
+        min_pts: int = 2,
+    ) -> None:
+        super().__init__(network, points)
+        if eps <= 0:
+            raise ParameterError(f"eps must be positive, got {eps!r}")
+        if min_pts < 1:
+            raise ParameterError(f"min_pts must be >= 1, got {min_pts!r}")
+        self.eps = float(eps)
+        self.min_pts = int(min_pts)
+
+    def _cluster(self) -> ClusteringResult:
+        aug = AugmentedView(self.network, self.points)
+        assignment: dict[int, int] = {
+            p.point_id: _UNVISITED for p in self.points
+        }
+        n_range_queries = 0
+        next_label = 0
+        for seed in self.points:
+            if assignment[seed.point_id] != _UNVISITED:
+                continue
+            neighborhood = range_query(aug, seed, self.eps)
+            n_range_queries += 1
+            if len(neighborhood) < self.min_pts:
+                assignment[seed.point_id] = NOISE  # may become border later
+                continue
+            # Found a new core object: grow its cluster.
+            label = next_label
+            next_label += 1
+            assignment[seed.point_id] = label
+            queue = deque(p.point_id for p, _ in neighborhood)
+            while queue:
+                pid = queue.popleft()
+                state = assignment[pid]
+                if state == NOISE:
+                    # Previously deemed noise: it is density-reachable, so it
+                    # becomes a border member of this cluster.
+                    assignment[pid] = label
+                    continue
+                if state != _UNVISITED:
+                    continue
+                assignment[pid] = label
+                member_neighborhood = range_query(aug, self.points.get(pid), self.eps)
+                n_range_queries += 1
+                if len(member_neighborhood) >= self.min_pts:
+                    # pid is core: its neighbours are density-reachable.
+                    queue.extend(p.point_id for p, _ in member_neighborhood)
+        n_noise = sum(1 for lab in assignment.values() if lab == NOISE)
+        return ClusteringResult(
+            assignment,
+            algorithm=self.algorithm_name,
+            params={"eps": self.eps, "min_pts": self.min_pts},
+            stats={"range_queries": n_range_queries, "noise": n_noise},
+        )

@@ -1,0 +1,317 @@
+"""Dendrogram: the merge hierarchy produced by Single-Link.
+
+A dendrogram starts from *leaves* (each holding one or more point ids — more
+than one when the δ pre-merge heuristic of Section 4.4.2 collapsed nearby
+points) and applies a sequence of merges in non-decreasing distance order.
+Leaf clusters carry ids ``0 .. L-1``; each merge creates a new cluster id
+``L, L+1, ...``.
+
+Besides the usual cuts (:meth:`Dendrogram.cut_k`,
+:meth:`Dendrogram.cut_distance`), the class implements the paper's Section
+5.3 *interesting level* detection: maintain the running average of the
+differences between consecutive merge distances and flag a merge whose
+distance jumps "significantly larger than the average" — those levels
+correspond to natural clusterings (the sharpest one occurring when the
+merge distance reaches ε, i.e. when the original clusters have just been
+discovered; Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import ClusteringResult
+from repro.exceptions import ParameterError, TreeError
+
+__all__ = ["Merge", "Dendrogram"]
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step: clusters ``left`` and ``right`` merge at
+    ``distance`` into new cluster ``merged`` holding ``size`` points."""
+
+    distance: float
+    left: int
+    right: int
+    merged: int
+    size: int
+
+
+class Dendrogram:
+    """The full merge history of a hierarchical clustering.
+
+    Parameters
+    ----------
+    leaf_members:
+        ``leaf_members[i]`` is the list of point ids of leaf cluster ``i``.
+        Singletons in the plain algorithm; larger groups under the δ
+        heuristic.
+    merges:
+        Merges in non-decreasing distance order; cluster ids must refer to
+        leaves or previously created merges, each used at most once.
+    premerge_distance:
+        The δ under which leaf groups were pre-merged (0 when disabled);
+        recorded so that cuts below δ can be rejected as meaningless.
+    """
+
+    def __init__(
+        self,
+        leaf_members: list[list[int]],
+        merges: list[Merge],
+        premerge_distance: float = 0.0,
+    ) -> None:
+        self.leaf_members = [list(m) for m in leaf_members]
+        self.merges = list(merges)
+        self.premerge_distance = float(premerge_distance)
+        self._validate()
+
+    def _validate(self) -> None:
+        n_leaves = len(self.leaf_members)
+        if any(not members for members in self.leaf_members):
+            raise TreeError("every leaf must hold at least one point")
+        active = set(range(n_leaves))
+        expected_id = n_leaves
+        last_distance = -float("inf")
+        for merge in self.merges:
+            if merge.distance < last_distance - 1e-9:
+                raise TreeError(
+                    "merge distances must be non-decreasing "
+                    f"({merge.distance} after {last_distance})"
+                )
+            last_distance = max(last_distance, merge.distance)
+            if merge.left not in active or merge.right not in active:
+                raise TreeError(
+                    f"merge {merge.merged} references inactive cluster ids"
+                )
+            if merge.merged != expected_id:
+                raise TreeError(
+                    f"merge ids must be sequential; expected {expected_id}, "
+                    f"got {merge.merged}"
+                )
+            active.discard(merge.left)
+            active.discard(merge.right)
+            active.add(merge.merged)
+            expected_id += 1
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        return len(self.leaf_members)
+
+    @property
+    def num_points(self) -> int:
+        return sum(len(m) for m in self.leaf_members)
+
+    @property
+    def num_roots(self) -> int:
+        """Clusters remaining after all merges (>1 for a disconnected
+        forest)."""
+        return self.num_leaves - len(self.merges)
+
+    def merge_distances(self) -> list[float]:
+        """The distances of all merges, in merge order (non-decreasing)."""
+        return [m.distance for m in self.merges]
+
+    # ------------------------------------------------------------------
+    # Cuts
+    # ------------------------------------------------------------------
+    def _assignment_after(self, n_merges: int) -> dict[int, int]:
+        """Flat point assignment after applying the first ``n_merges``."""
+        n_leaves = self.num_leaves
+        # cluster id -> representative leaf-ids set, tracked via parent map.
+        parent = list(range(n_leaves + len(self.merges)))
+        for merge in self.merges[:n_merges]:
+            parent[merge.left] = merge.merged
+            parent[merge.right] = merge.merged
+
+        def find(c: int) -> int:
+            while parent[c] != c:
+                parent[c] = parent[parent[c]]
+                c = parent[c]
+            return c
+
+        # Relabel roots densely for a tidy result.
+        root_label: dict[int, int] = {}
+        assignment: dict[int, int] = {}
+        for leaf in range(n_leaves):
+            root = find(leaf)
+            label = root_label.setdefault(root, len(root_label))
+            for pid in self.leaf_members[leaf]:
+                assignment[pid] = label
+        return assignment
+
+    def cut_k(self, k: int) -> ClusteringResult:
+        """The flat clustering with (at most) ``k`` clusters.
+
+        Merges are applied until ``k`` clusters remain; when the hierarchy
+        has more than ``k`` roots (disconnected data) all roots are
+        returned.
+        """
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        n_merges = max(0, min(len(self.merges), self.num_leaves - k))
+        assignment = self._assignment_after(n_merges)
+        return ClusteringResult(
+            assignment,
+            algorithm="single-link",
+            params={"cut": "k", "k": k},
+            stats={"merges_applied": n_merges},
+        )
+
+    def cut_distance(self, eps: float) -> ClusteringResult:
+        """The flat clustering after applying all merges at distance <= eps.
+
+        By the paper's Section 5.1 observation, on the same data this equals
+        the ε-Link result with the same ε (for ε >= the δ pre-merge
+        threshold).
+        """
+        if eps < self.premerge_distance:
+            raise ParameterError(
+                f"cut distance {eps} is below the pre-merge threshold "
+                f"{self.premerge_distance}; those merges were not recorded"
+            )
+        n_merges = 0
+        for merge in self.merges:
+            if merge.distance <= eps:
+                n_merges += 1
+            else:
+                break
+        assignment = self._assignment_after(n_merges)
+        return ClusteringResult(
+            assignment,
+            algorithm="single-link",
+            params={"cut": "distance", "eps": eps},
+            stats={"merges_applied": n_merges},
+        )
+
+    # ------------------------------------------------------------------
+    # Interesting levels (Section 5.3)
+    # ------------------------------------------------------------------
+    def interesting_levels(
+        self, window: int = 10, factor: float = 3.0
+    ) -> list[int]:
+        """Indices of merges whose distance jumps sharply (Section 5.3).
+
+        Maintains the running average ``d_avg`` of the differences between
+        the last ``window`` consecutive merge distances; merge ``i`` is
+        flagged when ``d_i - d_{i-1} > factor * d_avg``.  Each flagged index
+        marks an interesting clustering level: the flat clustering *just
+        before* the flagged merge (``cut_k`` with the then-current cluster
+        count) is a natural grouping.
+        """
+        if window < 1:
+            raise ParameterError(f"window must be >= 1, got {window!r}")
+        if factor <= 0:
+            raise ParameterError(f"factor must be positive, got {factor!r}")
+        distances = self.merge_distances()
+        flagged: list[int] = []
+        diffs: list[float] = []
+        for i in range(1, len(distances)):
+            jump = distances[i] - distances[i - 1]
+            recent = diffs[-window:]
+            if recent:
+                avg = sum(recent) / len(recent)
+                if avg > 0 and jump > factor * avg:
+                    flagged.append(i)
+            diffs.append(jump)
+        return flagged
+
+    def sharpest_levels(self, top: int = 3, window: int = 10) -> list[int]:
+        """The ``top`` merge indices with the largest *relative* distance
+        jumps, most significant first.
+
+        A convenience over :meth:`interesting_levels` for the common "show
+        me the few levels that matter" question: the paper's Figure 15
+        highlights exactly three such instances.  Significance is the jump
+        divided by the running average of the preceding ``window`` jumps.
+        """
+        if top < 1:
+            raise ParameterError(f"top must be >= 1, got {top!r}")
+        distances = self.merge_distances()
+        scored: list[tuple[float, int]] = []
+        diffs: list[float] = []
+        for i in range(1, len(distances)):
+            jump = distances[i] - distances[i - 1]
+            recent = diffs[-window:]
+            if recent:
+                avg = sum(recent) / len(recent)
+                if avg > 0:
+                    scored.append((jump / avg, i))
+            diffs.append(jump)
+        scored.sort(reverse=True)
+        return [i for _, i in scored[:top]]
+
+    def clusters_before_merge(self, merge_index: int) -> ClusteringResult:
+        """The flat clustering immediately before merge ``merge_index``.
+
+        Used together with :meth:`interesting_levels` to "trace back the
+        history of merges and recover the interesting clustering level".
+        """
+        if not 0 <= merge_index <= len(self.merges):
+            raise ParameterError(
+                f"merge_index must be in [0, {len(self.merges)}]"
+            )
+        assignment = self._assignment_after(merge_index)
+        return ClusteringResult(
+            assignment,
+            algorithm="single-link",
+            params={"cut": "before_merge", "merge_index": merge_index},
+            stats={"merges_applied": merge_index},
+        )
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation (see :meth:`from_dict`)."""
+        return {
+            "format": "repro-dendrogram",
+            "version": 1,
+            "premerge_distance": self.premerge_distance,
+            "leaves": [list(m) for m in self.leaf_members],
+            "merges": [
+                [m.distance, m.left, m.right, m.merged, m.size]
+                for m in self.merges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Dendrogram":
+        """Rebuild a dendrogram serialised with :meth:`to_dict`."""
+        if doc.get("format") != "repro-dendrogram" or doc.get("version") != 1:
+            raise TreeError("not a version-1 repro-dendrogram document")
+        merges = [
+            Merge(
+                distance=float(d), left=int(left), right=int(right),
+                merged=int(merged), size=int(size),
+            )
+            for d, left, right, merged, size in doc["merges"]
+        ]
+        return cls(
+            [list(map(int, members)) for members in doc["leaves"]],
+            merges,
+            premerge_distance=float(doc.get("premerge_distance", 0.0)),
+        )
+
+    def to_linkage_matrix(self):
+        """SciPy-style ``(n_merges, 4)`` linkage array.
+
+        Columns: left cluster id, right cluster id, merge distance, merged
+        size — directly consumable by ``scipy.cluster.hierarchy`` tooling
+        when the dendrogram is a complete tree over singleton leaves.
+        """
+        import numpy as np
+
+        out = np.empty((len(self.merges), 4), dtype=float)
+        for i, merge in enumerate(self.merges):
+            out[i] = (merge.left, merge.right, merge.distance, merge.size)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Dendrogram(leaves={self.num_leaves}, merges={len(self.merges)}, "
+            f"roots={self.num_roots}, premerge={self.premerge_distance:g})"
+        )

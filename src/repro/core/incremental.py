@@ -1,0 +1,174 @@
+"""Incremental maintenance of an ε-Link clustering.
+
+A location-based service rarely re-clusters from scratch: restaurants open
+and close one at a time.  Because ε-Link's clusters are exactly the
+connected components of the ≤ε network-distance graph, they can be
+maintained under updates:
+
+* **insert** — one network range query around the new object; it joins the
+  (union of the) clusters it can reach within ε, possibly bridging several
+  into one.  Cost: one localized expansion.
+* **remove** — deleting an object can *split* its cluster (it may have been
+  the bridge), so the affected component — and only it — is re-clustered by
+  local expansions; every other cluster is untouched.
+
+The maintained clustering is always identical to running
+:class:`~repro.core.epslink.EpsLink` from scratch on the current point set
+(a tested invariant).
+"""
+
+from __future__ import annotations
+
+from repro.core.epslink import EpsLink
+from repro.core.result import ClusteringResult
+from repro.core.unionfind import UnionFind
+from repro.eval.metrics import NOISE
+from repro.exceptions import ParameterError
+from repro.network.augmented import AugmentedView
+from repro.network.points import NetworkPoint, PointSet
+from repro.network.queries import range_query
+
+__all__ = ["IncrementalEpsLink"]
+
+
+class IncrementalEpsLink:
+    """An ε-Link clustering maintained under insertions and deletions.
+
+    Parameters
+    ----------
+    network:
+        The (static) network the objects live on.
+    eps:
+        Chaining radius, as in :class:`~repro.core.epslink.EpsLink`.
+    min_sup:
+        Minimum cluster size below which clusters are reported as noise
+        (applied at :meth:`result` time, so it never interferes with
+        maintenance).
+
+    Examples
+    --------
+    >>> from repro import SpatialNetwork
+    >>> net = SpatialNetwork.from_edge_list([(1, 2, 10.0)])
+    >>> live = IncrementalEpsLink(net, eps=1.0)
+    >>> a = live.insert(1, 2, 1.0)
+    >>> b = live.insert(1, 2, 3.0)
+    >>> live.num_clusters
+    2
+    >>> bridge = live.insert(1, 2, 2.0)   # links a and b
+    >>> live.num_clusters
+    1
+    >>> live.remove(bridge.point_id)      # the split is detected
+    >>> live.num_clusters
+    2
+    """
+
+    def __init__(self, network, eps: float, min_sup: int = 1) -> None:
+        if eps <= 0:
+            raise ParameterError(f"eps must be positive, got {eps!r}")
+        if min_sup < 1:
+            raise ParameterError(f"min_sup must be >= 1, got {min_sup!r}")
+        self.network = network
+        self.eps = float(eps)
+        self.min_sup = int(min_sup)
+        self._points = PointSet(network)
+        self._uf = UnionFind()
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> PointSet:
+        """The live point set (treat as read-only; mutate via this class)."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def num_clusters(self) -> int:
+        """Current component count (min_sup not applied)."""
+        return self._uf.num_sets
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        u: int,
+        v: int,
+        offset: float,
+        point_id: int | None = None,
+        label: int | None = None,
+    ) -> NetworkPoint:
+        """Add an object; it joins/bridges every cluster within ε."""
+        point = self._points.add(u, v, offset, point_id=point_id, label=label)
+        self._uf.add(point.point_id)
+        aug = AugmentedView(self.network, self._points)
+        for neighbor, _ in range_query(aug, point, self.eps, include_query=False):
+            self._uf.union(point.point_id, neighbor.point_id)
+        return point
+
+    def remove(self, point_id: int) -> None:
+        """Delete an object, re-clustering (only) its component."""
+        self._points.get(point_id)  # raises PointNotFoundError when absent
+        root = self._uf.find(point_id)
+        affected = [pid for pid in self._component_members(root) if pid != point_id]
+        self._points.remove(point_id)
+        # Rebuild the union-find: untouched components keep their unions,
+        # the affected component is re-linked by local expansions.
+        rebuilt = UnionFind(self._points.point_ids())
+        for comp_root, members in self._uf.sets().items():
+            if comp_root == root:
+                continue
+            for other in members[1:]:
+                rebuilt.union(members[0], other)
+        self._uf = rebuilt
+        self._relink(affected)
+
+    def _component_members(self, root) -> list[int]:
+        return self._uf.sets().get(root, [])
+
+    def _relink(self, affected: list[int]) -> None:
+        """Re-discover the ≤ε components among the affected points.
+
+        Uses ε-Link's expansion machinery seeded only inside the affected
+        set; the expansions cannot reach any other cluster (they are farther
+        than ε by definition of components), so the rest of the clustering
+        is provably unchanged.
+        """
+        if not affected:
+            return
+        aug = AugmentedView(self.network, self._points)
+        helper = EpsLink(self.network, self._points, eps=self.eps)
+        seen: set[int] = set()
+        for seed in affected:
+            if seed in seen:
+                continue
+            members, _ = helper._expand_cluster(aug, seed, {})
+            seen |= members
+            first = next(iter(members))
+            for other in members:
+                self._uf.union(first, other)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def result(self) -> ClusteringResult:
+        """The current flat clustering (labels are arbitrary but stable
+        within one call; min_sup demotes small clusters to noise)."""
+        assignment: dict[int, int] = {}
+        label_of_root: dict = {}
+        sizes: dict[int, int] = {}
+        for pid in self._points.point_ids():
+            root = self._uf.find(pid)
+            label = label_of_root.setdefault(root, len(label_of_root))
+            assignment[pid] = label
+            sizes[label] = sizes.get(label, 0) + 1
+        if self.min_sup > 1:
+            for pid, label in assignment.items():
+                if sizes[label] < self.min_sup:
+                    assignment[pid] = NOISE
+        return ClusteringResult(
+            assignment,
+            algorithm="incremental-eps-link",
+            params={"eps": self.eps, "min_sup": self.min_sup},
+            stats={"points": len(self._points)},
+        )

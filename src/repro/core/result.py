@@ -1,0 +1,118 @@
+"""Clustering result container shared by all algorithms."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+from repro.eval.metrics import NOISE
+
+__all__ = ["ClusteringResult"]
+
+
+class ClusteringResult:
+    """A flat clustering of network points.
+
+    Attributes
+    ----------
+    assignment:
+        Mapping ``point_id -> cluster label``.  Labels are arbitrary ints;
+        :data:`~repro.eval.metrics.NOISE` (= -1) marks outliers.
+    algorithm:
+        Name of the producing algorithm (e.g. ``"eps-link"``).
+    params:
+        The parameters the algorithm ran with, for reporting.
+    stats:
+        Free-form runtime statistics (timings, operation counts, iteration
+        counts) recorded by the algorithm.
+    """
+
+    def __init__(
+        self,
+        assignment: Mapping[int, int],
+        algorithm: str,
+        params: Mapping[str, object] | None = None,
+        stats: Mapping[str, object] | None = None,
+    ) -> None:
+        self.assignment: dict[int, int] = dict(assignment)
+        self.algorithm = algorithm
+        self.params: dict[str, object] = dict(params or {})
+        self.stats: dict[str, object] = dict(stats or {})
+        self._clusters: dict[int, list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def clusters(self) -> dict[int, list[int]]:
+        """Mapping ``label -> sorted list of point ids`` (noise excluded)."""
+        if self._clusters is None:
+            out: dict[int, list[int]] = {}
+            for pid, label in self.assignment.items():
+                if label != NOISE:
+                    out.setdefault(label, []).append(pid)
+            for members in out.values():
+                members.sort()
+            self._clusters = out
+        return self._clusters
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters (noise not counted)."""
+        return len(self.clusters())
+
+    @property
+    def num_points(self) -> int:
+        return len(self.assignment)
+
+    def cluster_of(self, point_id: int) -> int:
+        """The label assigned to a point (may be NOISE)."""
+        return self.assignment[point_id]
+
+    def members(self, label: int) -> list[int]:
+        """Sorted point ids of one cluster."""
+        return list(self.clusters().get(label, []))
+
+    def outliers(self) -> list[int]:
+        """Sorted ids of points labelled as noise."""
+        return sorted(pid for pid, lab in self.assignment.items() if lab == NOISE)
+
+    def sizes(self) -> dict[int, int]:
+        """Cluster label -> member count."""
+        return {label: len(members) for label, members in self.clusters().items()}
+
+    def is_noise(self, point_id: int) -> bool:
+        return self.assignment[point_id] == NOISE
+
+    # ------------------------------------------------------------------
+    # Comparison helpers
+    # ------------------------------------------------------------------
+    def as_partition(self) -> set[frozenset[int]]:
+        """Label-free view: the set of clusters as frozensets of point ids.
+
+        Two results describe the same clustering iff their partitions are
+        equal (labels are arbitrary).
+        """
+        return {frozenset(members) for members in self.clusters().values()}
+
+    def same_clustering(self, other: "ClusteringResult") -> bool:
+        """True when both results induce the same partition and the same
+        noise set."""
+        return (
+            self.as_partition() == other.as_partition()
+            and self.outliers() == other.outliers()
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.assignment.items())
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def __repr__(self) -> str:
+        n_noise = len(self.outliers())
+        return (
+            f"ClusteringResult(algorithm={self.algorithm!r}, points="
+            f"{self.num_points}, clusters={self.num_clusters}, noise={n_noise})"
+        )

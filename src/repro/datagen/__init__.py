@@ -1,0 +1,26 @@
+"""Synthetic data generation: road-network analogues and the paper's
+Section 5 cluster generator."""
+
+from repro.datagen.clusters import ClusterSpec, generate_clustered_points, suggest_eps
+from repro.datagen.networks import delaunay_road_network, grid_city
+from repro.datagen.realdata import load_cnode_cedge, load_edge_list_file
+from repro.datagen.workloads import (
+    PAPER_WORKLOADS,
+    WorkloadSpec,
+    load_network,
+    load_workload,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "generate_clustered_points",
+    "suggest_eps",
+    "delaunay_road_network",
+    "grid_city",
+    "load_cnode_cedge",
+    "load_edge_list_file",
+    "PAPER_WORKLOADS",
+    "WorkloadSpec",
+    "load_network",
+    "load_workload",
+]

@@ -1,0 +1,163 @@
+"""Cluster-quality metrics.
+
+The paper evaluates effectiveness visually (Figure 11); to make that
+experiment quantitative and automatically checkable, this module provides
+the standard external clustering indices — Adjusted Rand Index, Normalised
+Mutual Information, and purity — plus the paper's own internal evaluation
+function ``R`` for k-medoids partitions (sum of distances from every point
+to its cluster medoid).
+
+Labelling conventions
+---------------------
+Cluster assignments are mappings ``point_id -> label``.  The special label
+``NOISE`` (= -1) marks outliers/noise; how it is treated is controlled per
+metric via the ``noise`` argument:
+
+* ``"label"`` (default): noise is one ordinary label value, so two
+  clusterings agree when they declare the same points noise;
+* ``"drop"``: points marked noise in *either* clustering are excluded.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Mapping
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "NOISE",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "purity",
+    "confusion_counts",
+    "medoid_evaluation",
+]
+
+NOISE = -1
+
+
+def _aligned_label_lists(
+    truth: Mapping[int, int],
+    predicted: Mapping[int, int],
+    noise: str,
+) -> tuple[list[int], list[int]]:
+    """Align two assignments over their common point ids."""
+    if noise not in ("label", "drop"):
+        raise ParameterError(f"noise must be 'label' or 'drop', got {noise!r}")
+    common = truth.keys() & predicted.keys()
+    if len(common) != len(truth) or len(common) != len(predicted):
+        raise ParameterError(
+            "clusterings cover different point sets "
+            f"({len(truth)} vs {len(predicted)} points, {len(common)} shared)"
+        )
+    a: list[int] = []
+    b: list[int] = []
+    for pid in common:
+        ta, tb = truth[pid], predicted[pid]
+        if noise == "drop" and (ta == NOISE or tb == NOISE):
+            continue
+        a.append(ta)
+        b.append(tb)
+    return a, b
+
+
+def confusion_counts(
+    truth: Mapping[int, int],
+    predicted: Mapping[int, int],
+    noise: str = "label",
+) -> dict[tuple[int, int], int]:
+    """Contingency table: count of points per (truth label, predicted label)."""
+    a, b = _aligned_label_lists(truth, predicted, noise)
+    return dict(Counter(zip(a, b)))
+
+
+def adjusted_rand_index(
+    truth: Mapping[int, int],
+    predicted: Mapping[int, int],
+    noise: str = "label",
+) -> float:
+    """Adjusted Rand Index in [-1, 1]; 1 means identical partitions.
+
+    Chance-corrected agreement between two partitions (Hubert & Arabie).
+    """
+    a, b = _aligned_label_lists(truth, predicted, noise)
+    n = len(a)
+    if n <= 1:
+        return 1.0
+    contingency = Counter(zip(a, b))
+    row_sums = Counter(a)
+    col_sums = Counter(b)
+
+    def comb2(x: int) -> float:
+        return x * (x - 1) / 2.0
+
+    sum_comb = sum(comb2(c) for c in contingency.values())
+    sum_rows = sum(comb2(c) for c in row_sums.values())
+    sum_cols = sum(comb2(c) for c in col_sums.values())
+    total = comb2(n)
+    expected = sum_rows * sum_cols / total if total else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return (sum_comb - expected) / (max_index - expected)
+
+
+def normalized_mutual_information(
+    truth: Mapping[int, int],
+    predicted: Mapping[int, int],
+    noise: str = "label",
+) -> float:
+    """NMI in [0, 1] with arithmetic-mean normalisation; 1 means identical."""
+    a, b = _aligned_label_lists(truth, predicted, noise)
+    n = len(a)
+    if n == 0:
+        return 1.0
+    contingency = Counter(zip(a, b))
+    pa = Counter(a)
+    pb = Counter(b)
+    mi = 0.0
+    for (la, lb), count in contingency.items():
+        p_joint = count / n
+        mi += p_joint * math.log(p_joint * n * n / (pa[la] * pb[lb]))
+
+    def entropy(counts: Counter) -> float:
+        return -sum((c / n) * math.log(c / n) for c in counts.values())
+
+    ha, hb = entropy(pa), entropy(pb)
+    if ha == 0.0 and hb == 0.0:
+        return 1.0
+    denom = (ha + hb) / 2.0
+    if denom == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, mi / denom))
+
+
+def purity(
+    truth: Mapping[int, int],
+    predicted: Mapping[int, int],
+    noise: str = "label",
+) -> float:
+    """Fraction of points whose predicted cluster's majority truth label
+    matches their own truth label.  In (0, 1]; 1 means every predicted
+    cluster is pure."""
+    a, b = _aligned_label_lists(truth, predicted, noise)
+    n = len(a)
+    if n == 0:
+        return 1.0
+    per_cluster: dict[int, Counter] = {}
+    for ta, tb in zip(a, b):
+        per_cluster.setdefault(tb, Counter())[ta] += 1
+    correct = sum(counts.most_common(1)[0][1] for counts in per_cluster.values())
+    return correct / n
+
+
+def medoid_evaluation(distances_to_medoid: Mapping[int, float]) -> float:
+    """The paper's evaluation function ``R`` for a k-medoids partitioning.
+
+    ``R({(C_i, m_i)}) = sum over clusters of sum over points p in C_i of
+    d(p, m_i)`` — simply the sum of the supplied per-point distances.  Lower
+    is better.
+    """
+    return sum(distances_to_medoid.values())

@@ -1,0 +1,133 @@
+"""Data-driven parameter selection for the clustering algorithms.
+
+The paper leaves ε and δ to the analyst: "An appropriate value for ε may be
+hard to determine a priori.  A possible way to solve this problem is to use
+a value determined by the user's experience, or by sampling on the network
+edges", and for Single-Link "an appropriate value of δ can be chosen by
+sampling on the dense edges of the network".  This module implements that
+sampling:
+
+* :func:`estimate_eps` — sample objects, measure each one's distance to its
+  ``min_pts``-th network neighbour, and return a high quantile of the
+  distribution: an ε that keeps dense regions connected while excluding the
+  tail of isolated objects (the classic k-distance heuristic, evaluated
+  with *network* distances).
+* :func:`estimate_delta` — a low quantile of nearest-neighbour gaps on the
+  populated edges: a δ small enough to only pre-merge points that belong
+  together at any interesting resolution.
+* :func:`knn_distance_sample` — the raw sampled distribution, for k-distance
+  plots.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.exceptions import ParameterError
+from repro.network.augmented import AugmentedView
+from repro.network.points import PointSet
+from repro.network.queries import knn_query
+
+__all__ = ["knn_distance_sample", "estimate_eps", "estimate_delta"]
+
+
+def knn_distance_sample(
+    network,
+    points: PointSet,
+    k: int = 1,
+    sample_size: int = 200,
+    seed: int | None = None,
+) -> list[float]:
+    """Distances from sampled objects to their k-th network neighbour.
+
+    Sorted ascending; objects with fewer than ``k`` reachable neighbours
+    contribute infinity.  This is the data behind a k-distance plot.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k!r}")
+    if sample_size < 1:
+        raise ParameterError(f"sample_size must be >= 1, got {sample_size!r}")
+    ids = sorted(points.point_ids())
+    if not ids:
+        return []
+    rng = random.Random(seed)
+    if len(ids) > sample_size:
+        ids = rng.sample(ids, sample_size)
+    aug = AugmentedView(network, points)
+    out: list[float] = []
+    for pid in ids:
+        hits = knn_query(aug, points.get(pid), k=k)
+        if len(hits) < k:
+            out.append(math.inf)
+        else:
+            out.append(hits[-1][1])
+    out.sort()
+    return out
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        raise ParameterError("cannot take a quantile of an empty sample")
+    idx = min(len(sorted_values) - 1, max(0, int(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def estimate_eps(
+    network,
+    points: PointSet,
+    min_pts: int = 2,
+    quantile: float = 0.90,
+    safety: float = 2.0,
+    sample_size: int = 200,
+    seed: int | None = None,
+) -> float:
+    """A chaining radius ε estimated from the data.
+
+    ``safety`` times the ``quantile`` of the (min_pts - 1)-th neighbour
+    distances over a sample of objects (the k-distance heuristic with
+    network distances).  The safety factor accounts for nearest-neighbour
+    distances understating chain gaps: inside a chain of points, each
+    object's nearest neighbour sits on its *closer* side, roughly half the
+    largest gap ε must bridge.  Keep ``quantile`` below the expected inlier
+    fraction so the outlier tail (whose k-distances are the inter-cluster
+    distances) does not inflate the estimate.
+    """
+    if not 0 < quantile <= 1:
+        raise ParameterError(f"quantile must be in (0, 1], got {quantile!r}")
+    if min_pts < 2:
+        raise ParameterError(f"min_pts must be >= 2, got {min_pts!r}")
+    if safety <= 0:
+        raise ParameterError(f"safety must be positive, got {safety!r}")
+    sample = knn_distance_sample(
+        network, points, k=min_pts - 1, sample_size=sample_size, seed=seed
+    )
+    finite = [d for d in sample if math.isfinite(d)]
+    if not finite:
+        raise ParameterError("no finite neighbour distances in the sample")
+    return safety * _quantile(finite, quantile)
+
+
+def estimate_delta(
+    network,
+    points: PointSet,
+    quantile: float = 0.25,
+    sample_size: int = 200,
+    seed: int | None = None,
+) -> float:
+    """A Single-Link pre-merge threshold δ estimated from the data.
+
+    A low quantile of nearest-neighbour distances: gaps this small occur
+    only inside dense cluster cores, so pre-merging them cannot erase any
+    structure an analyst would cut at ("dense clusters for distances ε > δ
+    will still be discovered").
+    """
+    if not 0 < quantile <= 1:
+        raise ParameterError(f"quantile must be in (0, 1], got {quantile!r}")
+    sample = knn_distance_sample(
+        network, points, k=1, sample_size=sample_size, seed=seed
+    )
+    finite = [d for d in sample if math.isfinite(d)]
+    if not finite:
+        raise ParameterError("no finite neighbour distances in the sample")
+    return _quantile(finite, quantile)

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses distinguish the main
+failure categories: malformed network data, invalid object placements,
+unreachable shortest-path queries, bad algorithm parameters, and storage-layer
+corruption.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetworkError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "InvalidWeightError",
+    "PointError",
+    "PointNotFoundError",
+    "InvalidPositionError",
+    "UnreachableError",
+    "ParameterError",
+    "StorageError",
+    "PageError",
+    "TreeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors relating to the spatial network structure."""
+
+
+class NodeNotFoundError(NetworkError, KeyError):
+    """A referenced node id does not exist in the network."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} does not exist in the network")
+        self.node = node
+
+
+class EdgeNotFoundError(NetworkError, KeyError):
+    """A referenced edge does not exist in the network."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) does not exist in the network")
+        self.edge = (u, v)
+
+
+class InvalidWeightError(NetworkError, ValueError):
+    """An edge weight is not a positive finite real number."""
+
+
+class PointError(ReproError):
+    """Base class for errors relating to objects placed on the network."""
+
+
+class PointNotFoundError(PointError, KeyError):
+    """A referenced point id does not exist in the point set."""
+
+    def __init__(self, point_id: int) -> None:
+        super().__init__(f"point {point_id!r} does not exist in the point set")
+        self.point_id = point_id
+
+
+class InvalidPositionError(PointError, ValueError):
+    """A point position (edge, offset) is outside the edge it refers to."""
+
+
+class UnreachableError(ReproError):
+    """A shortest-path query between disconnected network locations."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is invalid (e.g. k < 1, eps <= 0)."""
+
+
+class StorageError(ReproError):
+    """Base class for disk-storage-layer errors."""
+
+
+class PageError(StorageError):
+    """A page id is out of range or a page is corrupt."""
+
+
+class TreeError(StorageError):
+    """A structural invariant of a disk-based B+-tree was violated."""

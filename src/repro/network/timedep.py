@@ -1,0 +1,196 @@
+"""Time-dependent edge weights and time-parameterized clustering
+(paper Section 6).
+
+"An advanced problem is the discovery of time-dependent clusters in a model,
+where edge weights vary with time.  For example, traffic on a road segment
+depends on the time of the day ... Based on this model, we can derive
+clusters whose content is time-parameterized."
+
+:class:`WeightProfile` models one edge's weight over a repeating period as a
+piecewise-linear function; :class:`TimeDependentNetwork` holds a base
+network plus per-edge profiles and materialises a plain
+:class:`~repro.network.graph.SpatialNetwork` *snapshot* at any time — so all
+clustering algorithms apply unchanged per snapshot, and
+:func:`time_parameterized_clusters` sweeps a clustering over a time grid.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.exceptions import ParameterError
+from repro.network.graph import SpatialNetwork, normalize_edge
+
+__all__ = [
+    "WeightProfile",
+    "rush_hour_profile",
+    "TimeDependentNetwork",
+    "time_parameterized_clusters",
+]
+
+
+class WeightProfile:
+    """A periodic piecewise-linear weight profile.
+
+    Parameters
+    ----------
+    breakpoints:
+        ``(time, weight)`` pairs with strictly increasing times inside
+        ``[0, period)``; weights between breakpoints are linearly
+        interpolated, wrapping around the period.
+    period:
+        Cycle length (e.g. 24.0 for hours of a day).
+    """
+
+    def __init__(
+        self, breakpoints: Iterable[tuple[float, float]], period: float = 24.0
+    ) -> None:
+        if period <= 0:
+            raise ParameterError(f"period must be positive, got {period!r}")
+        pts = sorted((float(t), float(w)) for t, w in breakpoints)
+        if not pts:
+            raise ParameterError("at least one breakpoint is required")
+        times = [t for t, _ in pts]
+        if len(set(times)) != len(times):
+            raise ParameterError("breakpoint times must be distinct")
+        if times[0] < 0 or times[-1] >= period:
+            raise ParameterError("breakpoint times must lie in [0, period)")
+        if any(w <= 0 for _, w in pts):
+            raise ParameterError("profile weights must be positive")
+        self.period = float(period)
+        self._times = times
+        self._weights = [w for _, w in pts]
+
+    def __call__(self, t: float) -> float:
+        """The weight at time ``t`` (any real; wrapped into the period)."""
+        t = t % self.period
+        times, weights = self._times, self._weights
+        if len(times) == 1:
+            return weights[0]
+        i = bisect.bisect_right(times, t) - 1
+        if i < 0:  # before the first breakpoint: wrap from the last
+            t0, w0 = times[-1] - self.period, weights[-1]
+            t1, w1 = times[0], weights[0]
+        elif i == len(times) - 1:  # after the last: wrap to the first
+            t0, w0 = times[-1], weights[-1]
+            t1, w1 = times[0] + self.period, weights[0]
+        else:
+            t0, w0 = times[i], weights[i]
+            t1, w1 = times[i + 1], weights[i + 1]
+        frac = (t - t0) / (t1 - t0)
+        return w0 + frac * (w1 - w0)
+
+
+def rush_hour_profile(
+    base_weight: float,
+    peak_factor: float = 3.0,
+    peaks: Iterable[float] = (8.0, 18.0),
+    peak_width: float = 2.0,
+    period: float = 24.0,
+) -> WeightProfile:
+    """A daily traffic profile: base weight with slowdown spikes at peaks.
+
+    The weight rises linearly to ``base_weight * peak_factor`` at each peak
+    time and back down ``peak_width`` later/earlier.
+    """
+    if peak_factor < 1:
+        raise ParameterError("peak_factor must be >= 1")
+    breakpoints: list[tuple[float, float]] = []
+    for peak in peaks:
+        breakpoints.append(((peak - peak_width) % period, base_weight))
+        breakpoints.append((peak % period, base_weight * peak_factor))
+        breakpoints.append(((peak + peak_width) % period, base_weight))
+    # Deduplicate identical times (overlapping shoulders keep the max).
+    merged: dict[float, float] = {}
+    for t, w in breakpoints:
+        merged[t] = max(w, merged.get(t, 0.0))
+    return WeightProfile(sorted(merged.items()), period=period)
+
+
+class TimeDependentNetwork:
+    """A network whose edge weights vary periodically with time.
+
+    Parameters
+    ----------
+    base:
+        The static network (its weights are the default for edges without a
+        profile).
+    profiles:
+        Mapping from canonical edges to :class:`WeightProfile` (or any
+        callable ``t -> weight``).
+    """
+
+    def __init__(
+        self,
+        base: SpatialNetwork,
+        profiles: Mapping[tuple[int, int], Callable[[float], float]],
+    ) -> None:
+        self.base = base
+        self.profiles: dict[tuple[int, int], Callable[[float], float]] = {}
+        for edge, profile in profiles.items():
+            canon = normalize_edge(*edge)
+            if not base.has_edge(*canon):
+                raise ParameterError(f"profiled edge {edge} does not exist")
+            self.profiles[canon] = profile
+
+    def weight_at(self, u: int, v: int, t: float) -> float:
+        """Edge weight at time ``t``."""
+        canon = normalize_edge(u, v)
+        profile = self.profiles.get(canon)
+        if profile is None:
+            return self.base.edge_weight(u, v)
+        return profile(t)
+
+    def snapshot(self, t: float) -> SpatialNetwork:
+        """The static network at time ``t`` (all weights materialised)."""
+        return self.base.reweighted(
+            lambda u, v, w: self.weight_at(u, v, t),
+            name=f"{self.base.name}@t={t:g}",
+        )
+
+
+def time_parameterized_clusters(
+    tdn: TimeDependentNetwork,
+    points,
+    times: Iterable[float],
+    clusterer_factory,
+):
+    """Clusters at each time of a grid (Section 6's time-dependent clusters).
+
+    ``clusterer_factory(network, points)`` builds a configured clustering
+    algorithm for one snapshot (e.g.
+    ``lambda net, pts: EpsLink(net, pts, eps=2.0)``); ``points`` must be a
+    :class:`~repro.network.points.PointSet` built against ``tdn.base``
+    (positions are *offsets*, which stay valid only if profiles never drop a
+    weight below an offset — validated per snapshot).
+
+    Returns ``{t: ClusteringResult}``.
+    """
+    from repro.network.points import PointSet
+
+    results = {}
+    for t in times:
+        net_t = tdn.snapshot(t)
+        points_t = PointSet.from_points(net_t, _rescaled_points(tdn, points, t))
+        results[t] = clusterer_factory(net_t, points_t).run()
+    return results
+
+
+def _rescaled_points(tdn: TimeDependentNetwork, points, t: float):
+    """Points with offsets rescaled proportionally to the snapshot weights.
+
+    An object at 30% of an edge stays at 30% when the edge's weight (e.g.
+    travel time) changes — positions are physical, weights are costs.
+    """
+    from repro.network.points import NetworkPoint
+
+    out = []
+    for p in points:
+        base_w = tdn.base.edge_weight(p.u, p.v)
+        new_w = tdn.weight_at(p.u, p.v, t)
+        frac = p.offset / base_w if base_w else 0.0
+        out.append(
+            NetworkPoint(p.point_id, p.u, p.v, frac * new_w, label=p.label)
+        )
+    return out

@@ -1,0 +1,122 @@
+"""Alternative and aggregate edge-weight measures (paper Section 6).
+
+"Our model allows clustering on networks, where arbitrary types of weights
+can be assigned on the edges.  For instance, the weight on an edge ... could
+be their Euclidean distance, the time to travel from one node to another,
+the cost (price) of traversing the edge, etc.  Depending on the measure
+used, clustering may return different results, providing multiple clustering
+layers to the data analyst.  Apart from this, it is possible to combine
+different weight measures with an aggregate function."
+
+A *measure* is simply a mapping from canonical edges to positive values.
+This module builds common measures and combines them into a new network, so
+any clustering algorithm can run per-measure or on an aggregate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.exceptions import ParameterError
+from repro.network.graph import SpatialNetwork, normalize_edge
+
+__all__ = [
+    "euclidean_measure",
+    "travel_time_measure",
+    "toll_measure",
+    "combine_measures",
+    "apply_measure",
+]
+
+EdgeMeasure = Mapping[tuple[int, int], float]
+
+
+def euclidean_measure(network: SpatialNetwork) -> dict[tuple[int, int], float]:
+    """Straight-line length per edge (requires node coordinates)."""
+    return {
+        (u, v): network.euclidean_node_distance(u, v) for u, v, _ in network.edges()
+    }
+
+
+def travel_time_measure(
+    network: SpatialNetwork,
+    speed: float | Callable[[int, int, float], float],
+) -> dict[tuple[int, int], float]:
+    """Travel time per edge: length divided by speed.
+
+    ``speed`` is either one constant or a callable ``(u, v, length) ->
+    speed`` for per-edge speeds (e.g. road categories).
+    """
+    out: dict[tuple[int, int], float] = {}
+    for u, v, w in network.edges():
+        s = speed(u, v, w) if callable(speed) else float(speed)
+        if s <= 0:
+            raise ParameterError(f"speed on edge ({u}, {v}) must be positive")
+        out[(u, v)] = w / s
+    return out
+
+
+def toll_measure(
+    network: SpatialNetwork,
+    tolled_edges: Mapping[tuple[int, int], float],
+    default: float = 1e-9,
+) -> dict[tuple[int, int], float]:
+    """Monetary cost per edge: the given tolls, ``default`` elsewhere.
+
+    The default must stay positive (zero-weight edges are not allowed in the
+    network model), so a negligible epsilon stands in for "free".
+    """
+    if default <= 0:
+        raise ParameterError("default toll must be positive")
+    out = {(u, v): default for u, v, _ in network.edges()}
+    for edge, toll in tolled_edges.items():
+        canon = normalize_edge(*edge)
+        if canon not in out:
+            raise ParameterError(f"tolled edge {edge} does not exist")
+        if toll <= 0:
+            raise ParameterError(f"toll on edge {edge} must be positive")
+        out[canon] = toll
+    return out
+
+
+def combine_measures(
+    network: SpatialNetwork,
+    measures: Sequence[EdgeMeasure],
+    coefficients: Sequence[float] | None = None,
+    aggregator: Callable[[Sequence[float]], float] | None = None,
+    name: str | None = None,
+) -> SpatialNetwork:
+    """A network whose weights aggregate several measures.
+
+    By default the aggregate is the ``coefficients``-weighted sum (all 1.0
+    when omitted); pass ``aggregator`` for anything else (e.g. ``max``).
+    Every measure must cover every edge.
+    """
+    if not measures:
+        raise ParameterError("at least one measure is required")
+    if coefficients is None:
+        coefficients = [1.0] * len(measures)
+    if len(coefficients) != len(measures):
+        raise ParameterError(
+            f"{len(coefficients)} coefficients for {len(measures)} measures"
+        )
+
+    def weight(u: int, v: int, _w: float) -> float:
+        edge = (u, v)
+        values = []
+        for m in measures:
+            if edge not in m:
+                raise ParameterError(f"measure missing edge {edge}")
+            values.append(m[edge])
+        if aggregator is not None:
+            return aggregator(values)
+        return sum(c * x for c, x in zip(coefficients, values))
+
+    return network.reweighted(weight, name=name or f"{network.name}-combined")
+
+
+def apply_measure(
+    network: SpatialNetwork, measure: EdgeMeasure, name: str | None = None
+) -> SpatialNetwork:
+    """A network carrying a single measure as its weights."""
+    return combine_measures(network, [measure], name=name)

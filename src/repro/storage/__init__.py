@@ -1,0 +1,32 @@
+"""Disk-based storage architecture (the paper's Section 4.1):
+
+paged files + LRU buffer manager, slotted record files, disk B+-trees, the
+CCAM-style locality ordering, and the combined network store.
+"""
+
+from repro.storage.bptree import BPlusTree
+from repro.storage.ccam import ccam_order, nodes_per_page_estimate, random_order
+from repro.storage.flatfile import RecordFile, rid_decode, rid_encode
+from repro.storage.netstore import NetworkStore, StoredPointSet
+from repro.storage.pager import (
+    BufferManager,
+    DEFAULT_BUFFER_BYTES,
+    DEFAULT_PAGE_SIZE,
+    PagedFile,
+)
+
+__all__ = [
+    "BPlusTree",
+    "ccam_order",
+    "nodes_per_page_estimate",
+    "random_order",
+    "RecordFile",
+    "rid_decode",
+    "rid_encode",
+    "NetworkStore",
+    "StoredPointSet",
+    "BufferManager",
+    "DEFAULT_BUFFER_BYTES",
+    "DEFAULT_PAGE_SIZE",
+    "PagedFile",
+]

@@ -1,0 +1,420 @@
+"""Disk-based network + points store (the paper's Section 4.1, Figure 3).
+
+The storage model: "The adjacency list and the points are stored in two
+separate flat files.  To facilitate efficient access, these flat files are
+then indexed by B+ trees."  Concretely:
+
+* one *adjacency record* per node — neighbour count, then per neighbour
+  ``(node id, edge weight, first point id of the edge's point group or
+  -1)`` — indexed by a B+-tree on node id;
+* one *point-group record* per populated edge — the edge, the point count,
+  then per point ``(point id, offset, ground-truth label)`` with offsets in
+  ascending order — indexed by a *sparse* B+-tree keyed by the group's
+  first point id ("in a leaf node entry of the points B+ tree, the key
+  points to the corresponding point group");
+* both files live in one paged file behind a shared LRU buffer (the paper's
+  4 KB pages / 1 MB buffer by default).
+
+:class:`NetworkStore` exposes the same traversal protocol as the in-memory
+:class:`~repro.network.graph.SpatialNetwork` (``neighbors``, ``edge_weight``,
+``nodes``, ...), and :meth:`NetworkStore.points` returns a
+:class:`StoredPointSet` exposing the :class:`~repro.network.points.PointSet`
+protocol — so every clustering algorithm in :mod:`repro.core` runs unchanged
+on the disk-backed representation, with all page traffic measured by the
+buffer manager.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+
+from repro.eval.metrics import NOISE
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    PointNotFoundError,
+    StorageError,
+)
+from repro.network.graph import normalize_edge
+from repro.network.points import NetworkPoint, PointSet
+from repro.storage.bptree import BPlusTree
+from repro.storage.ccam import ccam_order
+from repro.storage.flatfile import RecordFile
+from repro.storage.pager import (
+    BufferManager,
+    DEFAULT_BUFFER_BYTES,
+    DEFAULT_PAGE_SIZE,
+    PagedFile,
+)
+
+__all__ = ["NetworkStore", "StoredPointSet"]
+
+_META = struct.Struct("<QQQQQQQ")
+# node_tree_root, point_tree_root, adj_current_page, pts_current_page,
+# num_nodes, num_edges, num_points
+
+_ADJ_HEADER = struct.Struct("<I")  # neighbour count
+_ADJ_ENTRY = struct.Struct("<qdq")  # neighbour id, weight, first point id (-1 none)
+_GROUP_HEADER = struct.Struct("<qqI")  # u, v, point count
+_GROUP_ENTRY = struct.Struct("<qdq")  # point id, offset, label (NOISE-2 = None)
+
+_NO_LABEL = NOISE - 1  # sentinel distinct from every real label and NOISE
+
+
+class NetworkStore:
+    """A spatial network with objects, resident on disk.
+
+    Build with :meth:`build`, reopen with the constructor.  All reads go
+    through an LRU buffer whose statistics (:meth:`stats`) are the I/O cost
+    measure of the storage experiments.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    ) -> None:
+        self._file = PagedFile(path)
+        self.buffer = BufferManager(self._file, capacity_bytes=buffer_bytes)
+        meta = self._file.get_meta()
+        if len(meta) < _META.size:
+            raise StorageError(f"{path}: missing network-store metadata")
+        (
+            node_root,
+            point_root,
+            adj_page,
+            pts_page,
+            self._num_nodes,
+            self._num_edges,
+            self._num_points,
+        ) = _META.unpack(meta[: _META.size])
+        self._adj_file = RecordFile(self.buffer, current_page=adj_page)
+        self._pts_file = RecordFile(self.buffer, current_page=pts_page)
+        self._node_tree = BPlusTree(self.buffer, root_pid=node_root)
+        self._point_tree = BPlusTree(self.buffer, root_pid=point_root)
+        # Small decode caches keep the CPU cost of re-parsing records down
+        # without hiding page traffic (the page reads still hit the buffer).
+        self._adj_cache: dict[int, list[tuple[int, float, int]]] = {}
+        self._adj_cache_cap = 4096
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        path: str,
+        network,
+        points: PointSet | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        node_order: list[int] | str = "ccam",
+    ) -> "NetworkStore":
+        """Serialise a network (and optionally its points) to ``path``.
+
+        ``node_order`` controls adjacency-record placement: ``"ccam"``
+        (connectivity-clustered, the default), ``"insertion"`` (the order
+        ``network.nodes()`` yields), or an explicit node list — the ablation
+        hook for the CCAM locality experiment.
+        """
+        file = PagedFile(path, page_size=page_size)
+        buffer = BufferManager(file, capacity_bytes=buffer_bytes)
+        adj_file = RecordFile(buffer)
+        pts_file = RecordFile(buffer)
+
+        if points is None:
+            points = PointSet(network)
+
+        # Point groups first: adjacency entries reference first point ids.
+        first_pid: dict[tuple[int, int], int] = {}
+        point_entries: list[tuple[int, int]] = []
+        for edge in sorted(points.populated_edges()):
+            group = points.points_on_edge(*edge)
+            record = _GROUP_HEADER.pack(edge[0], edge[1], len(group))
+            for p in group:
+                label = _NO_LABEL if p.label is None else int(p.label)
+                record += _GROUP_ENTRY.pack(p.point_id, p.offset, label)
+            rid = pts_file.append(record)
+            first = group[0].point_id
+            first_pid[edge] = first
+            point_entries.append((first, rid))
+
+        # Adjacency records in the requested order.
+        if node_order == "ccam":
+            ordered = ccam_order(network)
+        elif node_order == "insertion":
+            ordered = list(network.nodes())
+        else:
+            ordered = list(node_order)
+            if len(ordered) != network.num_nodes:
+                raise StorageError(
+                    "explicit node_order must list every node exactly once"
+                )
+        node_entries: list[tuple[int, int]] = []
+        for node in ordered:
+            nbrs = sorted(network.neighbors(node))
+            record = _ADJ_HEADER.pack(len(nbrs))
+            for nbr, weight in nbrs:
+                edge = normalize_edge(node, nbr)
+                record += _ADJ_ENTRY.pack(nbr, weight, first_pid.get(edge, -1))
+            rid = adj_file.append(record)
+            node_entries.append((node, rid))
+
+        # The data is fully known here, so both indexes are built bottom-up.
+        point_tree = BPlusTree.bulk_load(buffer, sorted(point_entries))
+        node_tree = BPlusTree.bulk_load(buffer, sorted(node_entries))
+
+        meta = _META.pack(
+            node_tree.root_pid,
+            point_tree.root_pid,
+            adj_file.current_page,
+            pts_file.current_page,
+            network.num_nodes,
+            network.num_edges,
+            len(points),
+        )
+        file.set_meta(meta)
+        buffer.close()
+        return cls(path, buffer_bytes=buffer_bytes)
+
+    # ------------------------------------------------------------------
+    # Network backend protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def nodes(self) -> Iterator[int]:
+        """All node ids (ascending; streamed from the node B+-tree)."""
+        for node, _ in self._node_tree.items():
+            yield node
+
+    def has_node(self, node: int) -> bool:
+        return node in self._node_tree
+
+    def _adjacency(self, node: int) -> list[tuple[int, float, int]]:
+        cached = self._adj_cache.get(node)
+        if cached is not None:
+            return cached
+        rid = self._node_tree.search(node)
+        if rid is None:
+            raise NodeNotFoundError(node)
+        record = self._adj_file.read(rid)
+        (count,) = _ADJ_HEADER.unpack_from(record, 0)
+        entries = [
+            _ADJ_ENTRY.unpack_from(record, _ADJ_HEADER.size + i * _ADJ_ENTRY.size)
+            for i in range(count)
+        ]
+        if len(self._adj_cache) >= self._adj_cache_cap:
+            self._adj_cache.clear()
+        self._adj_cache[node] = entries
+        return entries
+
+    def neighbors(self, node: int) -> Iterator[tuple[int, float]]:
+        for nbr, weight, _ in self._adjacency(node):
+            yield (nbr, weight)
+
+    def degree(self, node: int) -> int:
+        return len(self._adjacency(node))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v or not self.has_node(u):
+            return False
+        return any(nbr == v for nbr, _, _ in self._adjacency(u))
+
+    def edge_weight(self, u: int, v: int) -> float:
+        a, b = normalize_edge(u, v)
+        for nbr, weight, _ in self._adjacency(a):
+            if nbr == b:
+                return weight
+        raise EdgeNotFoundError(a, b)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        for node in self.nodes():
+            for nbr, weight, _ in self._adjacency(node):
+                if node < nbr:
+                    yield (node, nbr, weight)
+
+    # ------------------------------------------------------------------
+    # Points access
+    # ------------------------------------------------------------------
+    def points(self) -> "StoredPointSet":
+        """The disk-resident point set (PointSet protocol)."""
+        return StoredPointSet(self)
+
+    def _first_point_id(self, u: int, v: int) -> int:
+        a, b = normalize_edge(u, v)
+        for nbr, _, first in self._adjacency(a):
+            if nbr == b:
+                return first
+        raise EdgeNotFoundError(a, b)
+
+    def _read_group(self, first_pid: int) -> tuple[tuple[int, int], list[NetworkPoint]]:
+        rid = self._point_tree.search(first_pid)
+        if rid is None:
+            raise StorageError(f"missing point group for first id {first_pid}")
+        return self._decode_group(self._pts_file.read(rid))
+
+    @staticmethod
+    def _decode_group(record: bytes) -> tuple[tuple[int, int], list[NetworkPoint]]:
+        u, v, count = _GROUP_HEADER.unpack_from(record, 0)
+        pts = []
+        for i in range(count):
+            pid, offset, label = _GROUP_ENTRY.unpack_from(
+                record, _GROUP_HEADER.size + i * _GROUP_ENTRY.size
+            )
+            pts.append(
+                NetworkPoint(
+                    pid, u, v, offset, label=None if label == _NO_LABEL else label
+                )
+            )
+        return (u, v), pts
+
+    # ------------------------------------------------------------------
+    # Lifecycle / instrumentation
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Buffer and physical I/O counters."""
+        return self.buffer.stats()
+
+    def reset_stats(self) -> None:
+        self.buffer.reset_stats()
+
+    def drop_caches(self) -> None:
+        """Cold-start simulation: clear the page buffer and decode caches."""
+        self.buffer.drop_cache()
+        self._adj_cache.clear()
+
+    def close(self) -> None:
+        self.buffer.close()
+
+    def __enter__(self) -> "NetworkStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkStore(nodes={self._num_nodes}, edges={self._num_edges}, "
+            f"points={self._num_points}, pages={self._file.num_pages})"
+        )
+
+
+class StoredPointSet:
+    """PointSet-protocol view over the groups stored in a NetworkStore.
+
+    Provides exactly the methods the clustering algorithms use:
+    ``points_on_edge``, ``points_from``, ``get``, iteration, ``point_ids``,
+    ``populated_edges``, ``len``, and the ``network`` property (the store
+    itself, so the backend-consistency check in
+    :class:`~repro.core.base.NetworkClusterer` passes).
+    """
+
+    def __init__(self, store: NetworkStore) -> None:
+        self._store = store
+        self._group_cache: dict[int, list[NetworkPoint]] = {}
+        self._group_cache_cap = 2048
+        self._id_index: dict[int, NetworkPoint] | None = None
+
+    @property
+    def network(self) -> NetworkStore:
+        return self._store
+
+    def __len__(self) -> int:
+        return self._store._num_points
+
+    # ------------------------------------------------------------------
+    def points_on_edge(self, u: int, v: int) -> list[NetworkPoint]:
+        first = self._store._first_point_id(u, v)
+        if first < 0:
+            return []
+        cached = self._group_cache.get(first)
+        if cached is not None:
+            return list(cached)
+        _, pts = self._store._read_group(first)
+        if len(self._group_cache) >= self._group_cache_cap:
+            self._group_cache.clear()
+        self._group_cache[first] = pts
+        return list(pts)
+
+    def points_from(self, node: int, other: int) -> list[NetworkPoint]:
+        pts = self.points_on_edge(node, other)
+        if node > other:
+            pts.reverse()
+        return pts
+
+    def populated_edges(self) -> Iterator[tuple[int, int]]:
+        for _, rid in self._store._point_tree.items():
+            record = self._store._pts_file.read(rid)
+            u, v, _ = _GROUP_HEADER.unpack_from(record, 0)
+            yield (u, v)
+
+    def num_populated_edges(self) -> int:
+        return len(self._store._point_tree)
+
+    def __iter__(self) -> Iterator[NetworkPoint]:
+        for _, rid in self._store._point_tree.items():
+            _, pts = self._store._decode_group(self._store._pts_file.read(rid))
+            yield from pts
+
+    def point_ids(self) -> Iterator[int]:
+        for p in self:
+            yield p.point_id
+
+    def __contains__(self, point_id: int) -> bool:
+        try:
+            self.get(point_id)
+            return True
+        except PointNotFoundError:
+            return False
+
+    def get(self, point_id: int) -> NetworkPoint:
+        """Point lookup by id via floor search on the sparse points tree.
+
+        The sparse tree keys groups by their first point id; since the
+        store assigns group-sequential ids ("point-ids are assigned in such
+        a way that for the points on the same edge, IDs are sequential"),
+        the containing group is the floor entry.  For arbitrary externally
+        assigned ids a one-time full index is built instead.
+        """
+        floor = self._store._point_tree.floor(point_id)
+        if floor is not None:
+            _, rid = floor
+            _, pts = self._store._decode_group(self._store._pts_file.read(rid))
+            for p in pts:
+                if p.point_id == point_id:
+                    return p
+        # Sparse lookup failed: ids are not group-sequential.  Build (once)
+        # a full in-memory id index.
+        if self._id_index is None:
+            self._id_index = {p.point_id: p for p in self}
+        try:
+            return self._id_index[point_id]
+        except KeyError:
+            raise PointNotFoundError(point_id) from None
+
+    def distance_to_node(self, point: NetworkPoint, node: int) -> float:
+        from repro.exceptions import InvalidPositionError
+
+        if node == point.u:
+            return point.offset
+        if node == point.v:
+            return self._store.edge_weight(point.u, point.v) - point.offset
+        raise InvalidPositionError(
+            f"node {node} is not an endpoint of the edge of point {point.point_id}"
+        )
+
+    def labels(self) -> dict[int, int | None]:
+        return {p.point_id: p.label for p in self}
+
+    def __repr__(self) -> str:
+        return f"StoredPointSet(points={len(self)}, store={self._store!r})"

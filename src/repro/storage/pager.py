@@ -1,0 +1,271 @@
+"""Paged file storage with an LRU buffer manager.
+
+The paper's experiments run against a disk-based representation with "a
+memory buffer of 1Mb and the page size ... set to 4Kb"; this module provides
+those two layers:
+
+* :class:`PagedFile` — a file divided into fixed-size pages with a small
+  header page (magic, page size, page count, and a metadata area that higher
+  layers use to persist root pointers), counting physical reads/writes;
+* :class:`BufferManager` — a fixed-capacity LRU page cache with write-back
+  of dirty pages, counting hits, misses, and evictions.
+
+The buffer statistics are the hardware-independent cost measure of the
+storage experiments: 2002 disk latencies are long gone, but the *number* of
+page faults a clustering algorithm triggers is timeless.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections import OrderedDict
+
+from repro.exceptions import PageError, StorageError
+
+__all__ = ["PagedFile", "BufferManager", "DEFAULT_PAGE_SIZE", "DEFAULT_BUFFER_BYTES"]
+
+DEFAULT_PAGE_SIZE = 4096  # the paper's 4 KB pages
+DEFAULT_BUFFER_BYTES = 1 << 20  # the paper's 1 MB buffer
+
+_MAGIC = b"RPRO"
+_HEADER_FMT = "<4sIQ"  # magic, page_size, num_pages
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_META_CAPACITY = 256  # bytes reserved in the header page for callers
+
+
+class PagedFile:
+    """A file of fixed-size pages, page 0 being the header.
+
+    Parameters
+    ----------
+    path:
+        File location; created when absent, validated when present.
+    page_size:
+        Page size in bytes (only used at creation; reopening reads it back).
+    """
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.path = os.fspath(path)
+        self.reads = 0
+        self.writes = 0
+        existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._fh = open(self.path, "r+b" if existing else "w+b")
+        if existing:
+            self._load_header()
+        else:
+            if page_size < _HEADER_SIZE + _META_CAPACITY:
+                raise StorageError(
+                    f"page_size must be at least {_HEADER_SIZE + _META_CAPACITY}"
+                )
+            self.page_size = int(page_size)
+            self._num_pages = 1  # the header page
+            self._meta = b""
+            self._write_header()
+
+    # ------------------------------------------------------------------
+    # Header handling
+    # ------------------------------------------------------------------
+    def _load_header(self) -> None:
+        self._fh.seek(0)
+        raw = self._fh.read(_HEADER_SIZE)
+        if len(raw) < _HEADER_SIZE:
+            raise StorageError(f"{self.path}: truncated header")
+        magic, page_size, num_pages = struct.unpack(_HEADER_FMT, raw)
+        if magic != _MAGIC:
+            raise StorageError(f"{self.path}: not a repro paged file")
+        self.page_size = page_size
+        self._num_pages = num_pages
+        meta_len_raw = self._fh.read(2)
+        meta_len = struct.unpack("<H", meta_len_raw)[0]
+        if meta_len > _META_CAPACITY:
+            raise StorageError(f"{self.path}: corrupt metadata length")
+        self._meta = self._fh.read(meta_len)
+
+    def _write_header(self) -> None:
+        header = struct.pack(_HEADER_FMT, _MAGIC, self.page_size, self._num_pages)
+        header += struct.pack("<H", len(self._meta)) + self._meta
+        header = header.ljust(self.page_size, b"\x00")
+        self._fh.seek(0)
+        self._fh.write(header)
+
+    def get_meta(self) -> bytes:
+        """Caller-managed metadata persisted in the header page."""
+        return self._meta
+
+    def set_meta(self, meta: bytes) -> None:
+        if len(meta) > _META_CAPACITY:
+            raise StorageError(
+                f"metadata limited to {_META_CAPACITY} bytes, got {len(meta)}"
+            )
+        self._meta = bytes(meta)
+        self._write_header()
+
+    # ------------------------------------------------------------------
+    # Page access
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        """Total pages including the header page."""
+        return self._num_pages
+
+    def allocate(self) -> int:
+        """Append a zeroed page and return its id."""
+        pid = self._num_pages
+        self._num_pages += 1
+        self._fh.seek(pid * self.page_size)
+        self._fh.write(b"\x00" * self.page_size)
+        self._write_header()
+        return pid
+
+    def _check_pid(self, pid: int) -> None:
+        if not 1 <= pid < self._num_pages:
+            raise PageError(
+                f"page id {pid} out of range [1, {self._num_pages - 1}]"
+            )
+
+    def read_page(self, pid: int) -> bytes:
+        self._check_pid(pid)
+        self.reads += 1
+        self._fh.seek(pid * self.page_size)
+        data = self._fh.read(self.page_size)
+        if len(data) != self.page_size:
+            raise PageError(f"short read on page {pid}")
+        return data
+
+    def write_page(self, pid: int, data: bytes) -> None:
+        self._check_pid(pid)
+        if len(data) > self.page_size:
+            raise PageError(
+                f"data of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        self.writes += 1
+        self._fh.seek(pid * self.page_size)
+        self._fh.write(bytes(data).ljust(self.page_size, b"\x00"))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._write_header()
+            self._fh.close()
+
+    def __enter__(self) -> "PagedFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedFile(path={self.path!r}, pages={self._num_pages}, "
+            f"page_size={self.page_size})"
+        )
+
+
+class BufferManager:
+    """A write-back LRU page cache over a :class:`PagedFile`.
+
+    Parameters
+    ----------
+    file:
+        The underlying paged file.
+    capacity_bytes:
+        Total buffer size; capacity in pages is ``capacity_bytes //
+        page_size`` (minimum 1).
+    """
+
+    def __init__(
+        self, file: PagedFile, capacity_bytes: int = DEFAULT_BUFFER_BYTES
+    ) -> None:
+        self.file = file
+        self.capacity_pages = max(1, capacity_bytes // file.page_size)
+        self._frames: OrderedDict[int, bytes] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def read(self, pid: int) -> bytes:
+        """Page contents, from cache when possible."""
+        frame = self._frames.get(pid)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(pid)
+            return frame
+        self.misses += 1
+        data = self.file.read_page(pid)
+        self._admit(pid, data)
+        return data
+
+    def write(self, pid: int, data: bytes) -> None:
+        """Replace page contents (write-back: flushed on eviction/close)."""
+        if len(data) > self.file.page_size:
+            raise PageError(
+                f"data of {len(data)} bytes exceeds page size {self.file.page_size}"
+            )
+        data = bytes(data).ljust(self.file.page_size, b"\x00")
+        if pid in self._frames:
+            self._frames[pid] = data
+            self._frames.move_to_end(pid)
+        else:
+            self._admit(pid, data)
+        self._dirty.add(pid)
+
+    def allocate(self) -> int:
+        """Allocate a fresh page in the underlying file."""
+        return self.file.allocate()
+
+    def _admit(self, pid: int, data: bytes) -> None:
+        while len(self._frames) >= self.capacity_pages:
+            old_pid, old_data = self._frames.popitem(last=False)
+            self.evictions += 1
+            if old_pid in self._dirty:
+                self.file.write_page(old_pid, old_data)
+                self._dirty.discard(old_pid)
+        self._frames[pid] = data
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write all dirty pages through to the file."""
+        for pid in sorted(self._dirty):
+            self.file.write_page(pid, self._frames[pid])
+        self._dirty.clear()
+        self.file.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self.file.close()
+
+    def reset_stats(self) -> None:
+        """Zero the cache and file counters (used between experiment runs)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.file.reads = 0
+        self.file.writes = 0
+
+    def drop_cache(self) -> None:
+        """Flush and empty the cache (simulates a cold start)."""
+        self.flush()
+        self._frames.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "buffer_hits": self.hits,
+            "buffer_misses": self.misses,
+            "evictions": self.evictions,
+            "physical_reads": self.file.reads,
+            "physical_writes": self.file.writes,
+        }
+
+    def __enter__(self) -> "BufferManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

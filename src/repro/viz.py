@@ -1,0 +1,330 @@
+"""Dependency-free SVG rendering of networks, clusterings, and plots.
+
+Produces the visual artefacts of the paper's figures without any plotting
+library: the road-network maps of Figure 10, the coloured clustering views
+of Figure 11, the merge-distance curve of Figure 15, and OPTICS
+reachability plots.  Output is plain SVG markup (a string, optionally
+written to a file) viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+import os
+from collections.abc import Mapping
+
+from repro.eval.metrics import NOISE
+from repro.exceptions import ParameterError
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+
+__all__ = [
+    "render_network_svg",
+    "render_merge_curve_svg",
+    "render_reachability_svg",
+    "render_dendrogram_svg",
+    "CLUSTER_PALETTE",
+]
+
+# A qualitative palette with clearly distinguishable hues; cycled when a
+# clustering has more clusters than entries.
+CLUSTER_PALETTE = [
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00",
+    "#a65628", "#f781bf", "#17becf", "#bcbd22", "#666699",
+    "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854",
+]
+
+_NOISE_COLOR = "#999999"
+_EDGE_COLOR = "#cccccc"
+
+
+def _bounds(network: SpatialNetwork) -> tuple[float, float, float, float]:
+    xs, ys = [], []
+    for node in network.nodes():
+        if network.has_coords(node):
+            x, y = network.node_coords(node)
+            xs.append(x)
+            ys.append(y)
+    if not xs:
+        raise ParameterError("rendering requires node coordinates")
+    return min(xs), min(ys), max(xs), max(ys)
+
+
+class _Projector:
+    """Maps data coordinates into an SVG viewport (y axis flipped)."""
+
+    def __init__(self, network: SpatialNetwork, width: int, margin: int) -> None:
+        x0, y0, x1, y1 = _bounds(network)
+        span_x = max(x1 - x0, 1e-12)
+        span_y = max(y1 - y0, 1e-12)
+        scale = (width - 2 * margin) / span_x
+        self.height = int(2 * margin + span_y * scale)
+        self._x0, self._y1 = x0, y1
+        self._scale = scale
+        self._margin = margin
+
+    def __call__(self, x: float, y: float) -> tuple[float, float]:
+        px = self._margin + (x - self._x0) * self._scale
+        py = self._margin + (self._y1 - y) * self._scale
+        return (round(px, 2), round(py, 2))
+
+
+def _svg_document(width: int, height: int, body: list[str], title: str) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    caption = (
+        f'<text x="8" y="16" font-family="sans-serif" font-size="12" '
+        f'fill="#333">{html.escape(title)}</text>'
+    )
+    return "\n".join([head, caption, *body, "</svg>"])
+
+
+def _write(svg: str, path: str | None) -> str:
+    if path is not None:
+        with open(os.fspath(path), "w", encoding="utf-8") as fh:
+            fh.write(svg)
+    return svg
+
+
+def color_for(label: int) -> str:
+    """The palette colour of a cluster label (grey for noise)."""
+    if label == NOISE:
+        return _NOISE_COLOR
+    return CLUSTER_PALETTE[label % len(CLUSTER_PALETTE)]
+
+
+def render_network_svg(
+    network: SpatialNetwork,
+    points: PointSet | None = None,
+    assignment: Mapping[int, int] | None = None,
+    path: str | None = None,
+    width: int = 800,
+    margin: int = 24,
+    point_radius: float = 3.0,
+    title: str | None = None,
+) -> str:
+    """Render a network map, optionally with clustered objects.
+
+    Parameters
+    ----------
+    network:
+        Must carry node coordinates.
+    points:
+        Objects to draw (positions interpolated along their edges).
+    assignment:
+        Optional ``point_id -> cluster label`` colouring (e.g.
+        ``result.assignment``); noise renders grey.  Without it, point
+        ground-truth labels are used when present, else a single colour.
+    path:
+        Optional output file.
+
+    Returns the SVG markup.
+    """
+    project = _Projector(network, width, margin)
+    body: list[str] = []
+    for u, v, _ in network.edges():
+        if not (network.has_coords(u) and network.has_coords(v)):
+            continue
+        x1, y1 = project(*network.node_coords(u))
+        x2, y2 = project(*network.node_coords(v))
+        body.append(
+            f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+            f'stroke="{_EDGE_COLOR}" stroke-width="1"/>'
+        )
+    if points is not None:
+        for p in points:
+            px, py = project(*p.coords(network))
+            if assignment is not None:
+                label = assignment.get(p.point_id, NOISE)
+            elif p.label is not None:
+                label = p.label
+            else:
+                label = 0
+            body.append(
+                f'<circle cx="{px}" cy="{py}" r="{point_radius}" '
+                f'fill="{color_for(label)}" fill-opacity="0.85"/>'
+            )
+    svg = _svg_document(
+        width, project.height, body, title or f"{network.name}"
+    )
+    return _write(svg, path)
+
+
+def render_merge_curve_svg(
+    merge_distances: list[float],
+    tail: int = 49,
+    interesting: list[int] | None = None,
+    path: str | None = None,
+    width: int = 640,
+    height: int = 320,
+    title: str = "Single-Link merge distances",
+) -> str:
+    """The paper's Figure 15: merge distance of the last ``tail`` merges.
+
+    ``interesting`` optionally marks merge indices (as returned by
+    :meth:`~repro.core.dendrogram.Dendrogram.interesting_levels`) with
+    arrows, like the figure's annotations.
+    """
+    if not merge_distances:
+        raise ParameterError("no merges to plot")
+    start = max(0, len(merge_distances) - tail)
+    series = merge_distances[start:]
+    margin = 36
+    max_d = max(series) or 1.0
+    n = len(series)
+    step = (width - 2 * margin) / max(n - 1, 1)
+
+    def xy(i: int, d: float) -> tuple[float, float]:
+        return (
+            round(margin + i * step, 2),
+            round(height - margin - (d / max_d) * (height - 2 * margin), 2),
+        )
+
+    pts = " ".join(f"{x},{y}" for x, y in (xy(i, d) for i, d in enumerate(series)))
+    body = [
+        f'<polyline points="{pts}" fill="none" stroke="#377eb8" stroke-width="2"/>',
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}" stroke="#333"/>',
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" '
+        f'y2="{height - margin}" stroke="#333"/>',
+    ]
+    for idx in interesting or []:
+        local = idx - start
+        if 0 <= local < n:
+            x, y = xy(local, series[local])
+            body.append(
+                f'<path d="M {x} {y - 18} L {x} {y - 6}" stroke="#e41a1c" '
+                f'stroke-width="2" marker-end="none"/>'
+            )
+            body.append(
+                f'<circle cx="{x}" cy="{y}" r="3.5" fill="#e41a1c"/>'
+            )
+    svg = _svg_document(width, height, body, title)
+    return _write(svg, path)
+
+
+def render_dendrogram_svg(
+    dendrogram,
+    path: str | None = None,
+    width: int = 640,
+    height: int = 420,
+    max_leaves: int = 120,
+    title: str = "Single-Link dendrogram",
+) -> str:
+    """Render a dendrogram as the classic merge-tree diagram.
+
+    Leaves sit on the bottom axis (each annotated with its point count when
+    leaves are δ-groups); every merge draws the bracket joining its two
+    children at a height proportional to the merge distance.  Dendrograms
+    with more than ``max_leaves`` leaves are rejected — rebuild with a
+    larger δ first (exactly what the paper's scalability heuristic is for).
+    """
+    n_leaves = dendrogram.num_leaves
+    if n_leaves == 0:
+        raise ParameterError("the dendrogram has no leaves")
+    if n_leaves > max_leaves:
+        raise ParameterError(
+            f"{n_leaves} leaves exceed max_leaves={max_leaves}; "
+            "use the delta heuristic to shrink the dendrogram first"
+        )
+    margin = 36
+    plot_w = width - 2 * margin
+    plot_h = height - 2 * margin
+    max_d = max((m.distance for m in dendrogram.merges), default=1.0) or 1.0
+
+    def y_of(distance: float) -> float:
+        return round(height - margin - (distance / max_d) * plot_h, 2)
+
+    # Order leaves so merges never cross: in-order walk of the merge tree.
+    children: dict[int, tuple[int, int]] = {
+        m.merged: (m.left, m.right) for m in dendrogram.merges
+    }
+    roots = set(range(n_leaves)) | {m.merged for m in dendrogram.merges}
+    for m in dendrogram.merges:
+        roots.discard(m.left)
+        roots.discard(m.right)
+    order: list[int] = []
+
+    def walk(cluster: int) -> None:
+        if cluster < n_leaves:
+            order.append(cluster)
+            return
+        left, right = children[cluster]
+        walk(left)
+        walk(right)
+
+    for root in sorted(roots):
+        walk(root)
+    slot = {leaf: i for i, leaf in enumerate(order)}
+    step = plot_w / max(n_leaves - 1, 1)
+
+    # x position and current top height per active cluster.
+    x_of: dict[int, float] = {
+        leaf: round(margin + slot[leaf] * step, 2) for leaf in range(n_leaves)
+    }
+    top_y: dict[int, float] = {leaf: float(height - margin) for leaf in range(n_leaves)}
+    body: list[str] = []
+    for leaf in range(n_leaves):
+        count = len(dendrogram.leaf_members[leaf])
+        if count > 1:
+            body.append(
+                f'<text x="{x_of[leaf]}" y="{height - margin + 14}" '
+                f'font-family="sans-serif" font-size="9" fill="#666" '
+                f'text-anchor="middle">{count}</text>'
+            )
+    for m in dendrogram.merges:
+        xl, xr = x_of[m.left], x_of[m.right]
+        yl, yr = top_y[m.left], top_y[m.right]
+        y = y_of(m.distance)
+        body.append(
+            f'<path d="M {xl} {yl} L {xl} {y} L {xr} {y} L {xr} {yr}" '
+            f'fill="none" stroke="#377eb8" stroke-width="1.5"/>'
+        )
+        x_of[m.merged] = round((xl + xr) / 2, 2)
+        top_y[m.merged] = y
+    body.append(
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}" stroke="#333"/>'
+    )
+    svg = _svg_document(width, height, body, title)
+    return _write(svg, path)
+
+
+def render_reachability_svg(
+    reachability_plot: list[tuple[int, float]],
+    max_eps: float,
+    path: str | None = None,
+    width: int = 640,
+    height: int = 240,
+    title: str = "OPTICS reachability plot",
+) -> str:
+    """Bar-style reachability plot of an OPTICS ordering.
+
+    Infinite reachabilities (region starts) render as full-height bars.
+    """
+    if not reachability_plot:
+        raise ParameterError("empty ordering")
+    margin = 30
+    n = len(reachability_plot)
+    bar = max((width - 2 * margin) / n, 0.5)
+    plot_h = height - 2 * margin
+    body = []
+    for i, (_, reach) in enumerate(reachability_plot):
+        frac = 1.0 if math.isinf(reach) else min(reach / max_eps, 1.0)
+        bh = round(frac * plot_h, 2)
+        x = round(margin + i * bar, 2)
+        y = round(height - margin - bh, 2)
+        color = "#984ea3" if math.isinf(reach) else "#377eb8"
+        body.append(
+            f'<rect x="{x}" y="{y}" width="{max(bar - 0.2, 0.3):.2f}" '
+            f'height="{bh}" fill="{color}"/>'
+        )
+    body.append(
+        f'<line x1="{margin}" y1="{height - margin}" x2="{width - margin}" '
+        f'y2="{height - margin}" stroke="#333"/>'
+    )
+    svg = _svg_document(width, height, body, title)
+    return _write(svg, path)

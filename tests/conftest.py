@@ -1,0 +1,124 @@
+"""Shared fixtures for the test suite.
+
+The ``small_network`` fixture is the hand-computed reference network used
+throughout the unit tests:
+
+.. code-block:: text
+
+    1 --2.0-- 2 --3.0-- 3
+    |                   |
+   4.0                 1.0
+    |                   |
+    4 --------2.0------ 5
+
+Known shortest node distances: d(1,3)=5, d(1,5)=6, d(2,4)=6, d(2,5)=4.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+
+SMALL_EDGES = [
+    (1, 2, 2.0),
+    (2, 3, 3.0),
+    (1, 4, 4.0),
+    (3, 5, 1.0),
+    (4, 5, 2.0),
+]
+
+SMALL_COORDS = {
+    1: (0.0, 1.0),
+    2: (2.0, 1.0),
+    3: (5.0, 1.0),
+    4: (0.0, 0.0),
+    5: (5.0, 0.0),
+}
+
+
+@pytest.fixture
+def small_network() -> SpatialNetwork:
+    return SpatialNetwork.from_edge_list(SMALL_EDGES, coords=SMALL_COORDS, name="small")
+
+
+@pytest.fixture
+def small_points(small_network) -> PointSet:
+    """Four points with hand-computed pairwise network distances.
+
+    p0 on (1,2)@0.5, p1 on (1,2)@1.5, p2 on (2,3)@1.0, p3 on (4,5)@1.0.
+    d(p0,p1)=1.0, d(p0,p2)=2.5, d(p1,p2)=1.5, d(p0,p3)=5.5 (via node 1),
+    d(p1,p3)=5.5 (via nodes 2-3-5: 0.5+3+1+1),
+    d(p2,p3)=min(via 2: 1+6+1=8, via 3: 2+1+1=4)=4.0.
+    """
+    ps = PointSet(small_network)
+    ps.add(1, 2, 0.5, point_id=0)
+    ps.add(1, 2, 1.5, point_id=1)
+    ps.add(2, 3, 1.0, point_id=2)
+    ps.add(4, 5, 1.0, point_id=3)
+    return ps
+
+
+def make_grid_network(width: int, height: int, spacing: float = 1.0) -> SpatialNetwork:
+    """A width x height grid network with uniform edge weights."""
+    net = SpatialNetwork(name=f"grid{width}x{height}")
+    def nid(i: int, j: int) -> int:
+        return i * height + j
+    for i in range(width):
+        for j in range(height):
+            net.add_node(nid(i, j), x=i * spacing, y=j * spacing)
+    for i in range(width):
+        for j in range(height):
+            if i + 1 < width:
+                net.add_edge(nid(i, j), nid(i + 1, j), spacing)
+            if j + 1 < height:
+                net.add_edge(nid(i, j), nid(i, j + 1), spacing)
+    return net
+
+
+@pytest.fixture
+def grid_network() -> SpatialNetwork:
+    return make_grid_network(5, 5)
+
+
+def make_random_connected_network(
+    rng: random.Random, n_nodes: int, extra_edges: int = 0
+) -> SpatialNetwork:
+    """A random connected network: a random spanning tree plus extra edges.
+
+    Weights are uniform in (0.1, 10).  Deterministic given the Random
+    instance.
+    """
+    net = SpatialNetwork(name="random")
+    nodes = list(range(n_nodes))
+    for node in nodes:
+        net.add_node(node, x=rng.uniform(0, 100), y=rng.uniform(0, 100))
+    shuffled = nodes[:]
+    rng.shuffle(shuffled)
+    for i in range(1, n_nodes):
+        attach = shuffled[rng.randrange(i)]
+        net.add_edge(shuffled[i], attach, rng.uniform(0.1, 10.0))
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < extra_edges * 20:
+        attempts += 1
+        u, v = rng.sample(nodes, 2)
+        if not net.has_edge(u, v):
+            net.add_edge(u, v, rng.uniform(0.1, 10.0))
+            added += 1
+    return net
+
+
+def scatter_points(
+    rng: random.Random, network: SpatialNetwork, n_points: int
+) -> PointSet:
+    """Place points uniformly at random on random edges of the network."""
+    edges = list(network.edges())
+    ps = PointSet(network)
+    for _ in range(n_points):
+        u, v, w = edges[rng.randrange(len(edges))]
+        ps.add(u, v, rng.uniform(0.0, w))
+    return ps

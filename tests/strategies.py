@@ -1,0 +1,40 @@
+"""Shared hypothesis strategies for the clustering property tests."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from tests.conftest import make_random_connected_network, scatter_points
+
+
+@st.composite
+def clustering_instance(
+    draw,
+    min_nodes=3,
+    max_nodes=14,
+    max_extra=8,
+    min_points=2,
+    max_points=12,
+    connected_only=False,
+):
+    """(network, points, rng_seed) for clustering property tests.
+
+    With ``connected_only=False`` the network may be augmented with a second
+    disconnected component to exercise unreachable-pair handling.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = random.Random(seed)
+    n_nodes = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    extra = draw(st.integers(min_value=0, max_value=max_extra))
+    net = make_random_connected_network(rng, n_nodes, extra_edges=extra)
+    if not connected_only and draw(st.booleans()):
+        # Attach an isolated two-node edge carrying one point.
+        base = 10_000
+        net.add_node(base, x=500.0, y=500.0)
+        net.add_node(base + 1, x=501.0, y=500.0)
+        net.add_edge(base, base + 1, rng.uniform(0.5, 3.0))
+    n_points = draw(st.integers(min_value=min_points, max_value=max_points))
+    points = scatter_points(rng, net, n_points)
+    return net, points, seed

@@ -1,0 +1,121 @@
+"""Unit tests for the point-augmented network view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.augmented import (
+    AugmentedView,
+    NODE,
+    POINT,
+    node_vertex,
+    point_vertex,
+)
+from repro.network.points import PointSet
+
+
+@pytest.fixture
+def aug(small_network, small_points):
+    return AugmentedView(small_network, small_points)
+
+
+class TestVertexEncoding:
+    def test_distinct_kinds(self):
+        assert node_vertex(3) == (NODE, 3)
+        assert point_vertex(3) == (POINT, 3)
+        assert node_vertex(3) != point_vertex(3)
+
+    def test_orderable(self):
+        # Vertices act as heap tie-breakers, so they must compare.
+        assert sorted([point_vertex(1), node_vertex(2), node_vertex(1)]) == [
+            node_vertex(1),
+            node_vertex(2),
+            point_vertex(1),
+        ]
+
+
+class TestNodeNeighbors:
+    def test_empty_edge_yields_node(self, aug):
+        # Edge (3,5) has no points: node 3's neighbour along it is node 5.
+        nbrs = dict(aug.neighbors(node_vertex(3)))
+        assert nbrs[node_vertex(5)] == pytest.approx(1.0)
+
+    def test_populated_edge_yields_first_point(self, aug):
+        # Edge (1,2) has p0@0.5 and p1@1.5; from node 1 the first is p0.
+        nbrs = dict(aug.neighbors(node_vertex(1)))
+        assert nbrs[point_vertex(0)] == pytest.approx(0.5)
+        assert node_vertex(2) not in nbrs
+
+    def test_populated_edge_reverse_direction(self, aug):
+        # From node 2, the nearest point on (1,2) is p1 at distance 0.5.
+        nbrs = dict(aug.neighbors(node_vertex(2)))
+        assert nbrs[point_vertex(1)] == pytest.approx(0.5)
+        # And the nearest on (2,3) is p2 at distance 1.0.
+        assert nbrs[point_vertex(2)] == pytest.approx(1.0)
+
+    def test_degree_preserved(self, aug, small_network):
+        for node in small_network.nodes():
+            assert len(list(aug.neighbors(node_vertex(node)))) == small_network.degree(node)
+
+
+class TestPointNeighbors:
+    def test_interior_point(self, aug):
+        # p0 on (1,2)@0.5: neighbours are node 1 (0.5) and p1 (1.0).
+        nbrs = dict(aug.neighbors(point_vertex(0)))
+        assert nbrs == {
+            node_vertex(1): pytest.approx(0.5),
+            point_vertex(1): pytest.approx(1.0),
+        }
+
+    def test_last_point_reaches_far_node(self, aug):
+        # p1 on (1,2)@1.5: neighbours are p0 (1.0) and node 2 (0.5).
+        nbrs = dict(aug.neighbors(point_vertex(1)))
+        assert nbrs == {
+            point_vertex(0): pytest.approx(1.0),
+            node_vertex(2): pytest.approx(0.5),
+        }
+
+    def test_sole_point_on_edge(self, aug):
+        # p3 on (4,5)@1.0 with weight 2: both endpoints at 1.0.
+        nbrs = dict(aug.neighbors(point_vertex(3)))
+        assert nbrs == {
+            node_vertex(4): pytest.approx(1.0),
+            node_vertex(5): pytest.approx(1.0),
+        }
+
+    def test_segment_lengths_sum_to_edge_weight(self, aug, small_network, small_points):
+        # Walking edge (1,2) node->p0->p1->node sums to the edge weight.
+        total = 0.5 + 1.0 + 0.5
+        assert total == pytest.approx(small_network.edge_weight(1, 2))
+
+
+class TestManyPointsOnOneEdge:
+    def test_chain_ordering(self, small_network):
+        ps = PointSet(small_network)
+        offsets = [0.2, 0.4, 0.9, 1.3, 1.9]
+        for off in offsets:
+            ps.add(1, 2, off)
+        aug = AugmentedView(small_network, ps)
+        # Walk the chain from node 1 to node 2 following augmented edges.
+        walk = [node_vertex(1)]
+        seen = {node_vertex(1)}
+        while walk[-1] != node_vertex(2):
+            candidates = [v for v, _ in aug.neighbors(walk[-1]) if v not in seen]
+            # Restrict to vertices on this edge (points 0..4 or node 2).
+            candidates = [
+                v for v in candidates if v[0] == POINT or v == node_vertex(2)
+            ]
+            nxt = candidates[0]
+            walk.append(nxt)
+            seen.add(nxt)
+        assert [v for v in walk if v[0] == POINT] == [point_vertex(i) for i in range(5)]
+
+    def test_invalidate_after_mutation(self, small_network):
+        ps = PointSet(small_network)
+        a = ps.add(1, 2, 0.5)
+        aug = AugmentedView(small_network, ps)
+        list(aug.neighbors(point_vertex(a.point_id)))  # warm the cache
+        b = ps.add(1, 2, 0.2)
+        aug.invalidate()
+        nbrs = dict(aug.neighbors(point_vertex(a.point_id)))
+        assert point_vertex(b.point_id) in nbrs

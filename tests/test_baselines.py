@@ -1,0 +1,182 @@
+"""Tests for the baseline algorithms (matrix-based and Euclidean)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.baselines.classic import (
+    matrix_agglomerative,
+    matrix_kmedoids,
+    matrix_single_link,
+    threshold_components,
+)
+from repro.baselines.euclidean import euclidean_distance_matrix
+from repro.baselines.matrix import DistanceMatrix, node_distance_matrix
+from repro.exceptions import ParameterError
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+
+from tests.conftest import make_random_connected_network, scatter_points
+
+
+@pytest.fixture
+def dm(small_network, small_points):
+    return DistanceMatrix.from_points(small_network, small_points)
+
+
+class TestDistanceMatrix:
+    def test_known_values(self, dm):
+        assert dm.distance(0, 1) == pytest.approx(1.0)
+        assert dm.distance(2, 3) == pytest.approx(4.0)
+        assert dm.distance(0, 0) == 0.0
+
+    def test_symmetric(self, dm):
+        import numpy as np
+
+        assert np.allclose(dm.values, dm.values.T)
+
+    def test_nbytes(self, dm):
+        assert dm.nbytes() == 4 * 4 * 8
+
+    def test_shape_validation(self):
+        import numpy as np
+
+        with pytest.raises(ParameterError):
+            DistanceMatrix([1, 2, 3], np.zeros((2, 2)))
+
+    def test_missing_point(self, dm):
+        from repro.exceptions import PointNotFoundError
+
+        with pytest.raises(PointNotFoundError):
+            dm.distance(0, 99)
+
+
+class TestNodeDistanceMatrix:
+    def test_matches_single_source(self, small_network):
+        from repro.network.dijkstra import single_source
+
+        ids, values = node_distance_matrix(small_network)
+        for i, u in enumerate(ids):
+            want = single_source(small_network, u)
+            for j, v in enumerate(ids):
+                assert values[i, j] == pytest.approx(want[v])
+
+    def test_quadratic_size(self, small_network):
+        ids, values = node_distance_matrix(small_network)
+        assert values.shape == (5, 5)
+
+
+class TestThresholdComponents:
+    def test_validation(self, dm):
+        with pytest.raises(ParameterError):
+            threshold_components(dm, eps=0.0)
+
+    def test_known_components(self, dm):
+        result = threshold_components(dm, eps=1.0)
+        assert result.as_partition() == {
+            frozenset({0, 1}), frozenset({2}), frozenset({3}),
+        }
+
+
+class TestMatrixKMedoids:
+    def test_k_validation(self, dm):
+        with pytest.raises(ParameterError):
+            matrix_kmedoids(dm, k=0)
+        with pytest.raises(ParameterError):
+            matrix_kmedoids(dm, k=5)
+
+    def test_deterministic_with_seed(self, dm):
+        a = matrix_kmedoids(dm, k=2, seed=3)
+        b = matrix_kmedoids(dm, k=2, seed=3)
+        assert a.assignment == b.assignment
+
+    def test_r_decreases_with_k(self, small_network):
+        rng = random.Random(1)
+        net = make_random_connected_network(rng, 20, extra_edges=10)
+        points = scatter_points(rng, net, 16)
+        dm = DistanceMatrix.from_points(net, points)
+        r2 = matrix_kmedoids(dm, k=2, seed=0).stats["R"]
+        r8 = matrix_kmedoids(dm, k=8, seed=0).stats["R"]
+        assert r8 <= r2
+
+
+class TestMatrixAgglomerative:
+    def test_single_matches_kruskal_variant(self, dm):
+        lance = matrix_agglomerative(dm, linkage="single")
+        kruskal = matrix_single_link(dm)
+        assert lance.merge_distances() == pytest.approx(kruskal.merge_distances())
+
+    def test_single_matches_on_random_instances(self):
+        rng = random.Random(5)
+        for _ in range(5):
+            net = make_random_connected_network(rng, 12, extra_edges=6)
+            points = scatter_points(rng, net, 8)
+            dm = DistanceMatrix.from_points(net, points)
+            lance = matrix_agglomerative(dm, linkage="single")
+            kruskal = matrix_single_link(dm)
+            assert lance.merge_distances() == pytest.approx(
+                kruskal.merge_distances()
+            )
+
+    def test_complete_link_hand_example(self):
+        """Points at offsets 0, 1, 3 on a line: single merges (0,1)@1 then
+        +3@2; complete merges (0,1)@1 then +3@3 (the max distance)."""
+        net = SpatialNetwork.from_edge_list([(1, 2, 10.0)])
+        ps = PointSet(net)
+        for off in (0.0, 1.0, 3.0):
+            ps.add(1, 2, off)
+        dm = DistanceMatrix.from_points(net, ps)
+        single = matrix_agglomerative(dm, linkage="single")
+        complete = matrix_agglomerative(dm, linkage="complete")
+        assert single.merge_distances() == pytest.approx([1.0, 2.0])
+        assert complete.merge_distances() == pytest.approx([1.0, 3.0])
+
+    def test_average_link_between_single_and_complete(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 10.0)])
+        ps = PointSet(net)
+        for off in (0.0, 1.0, 3.0):
+            ps.add(1, 2, off)
+        dm = DistanceMatrix.from_points(net, ps)
+        avg = matrix_agglomerative(dm, linkage="average")
+        assert avg.merge_distances() == pytest.approx([1.0, 2.5])
+
+    def test_disconnected_gives_forest(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0), (3, 4, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.2)
+        ps.add(1, 2, 0.8)
+        ps.add(3, 4, 0.5)
+        dm = DistanceMatrix.from_points(net, ps)
+        dendrogram = matrix_agglomerative(dm, linkage="complete")
+        assert dendrogram.num_roots == 2
+
+    def test_monotone_merges(self):
+        rng = random.Random(9)
+        net = make_random_connected_network(rng, 15, extra_edges=8)
+        points = scatter_points(rng, net, 10)
+        dm = DistanceMatrix.from_points(net, points)
+        for linkage in ("single", "complete", "average"):
+            distances = matrix_agglomerative(dm, linkage=linkage).merge_distances()
+            assert distances == sorted(distances)
+
+    def test_bad_linkage(self, dm):
+        with pytest.raises(ParameterError):
+            matrix_agglomerative(dm, linkage="ward")
+
+
+class TestEuclideanBaseline:
+    def test_straight_line_distances(self, small_network, small_points):
+        dm = euclidean_distance_matrix(small_network, small_points)
+        # p0 at (0.5, 1.0) and p1 at (1.5, 1.0): Euclidean 1.0.
+        assert dm.distance(0, 1) == pytest.approx(1.0)
+
+    def test_euclidean_never_exceeds_network(self, small_network, small_points):
+        net_dm = DistanceMatrix.from_points(small_network, small_points)
+        euc_dm = euclidean_distance_matrix(small_network, small_points)
+        for a in net_dm.ids:
+            for b in net_dm.ids:
+                if math.isfinite(net_dm.distance(a, b)):
+                    assert euc_dm.distance(a, b) <= net_dm.distance(a, b) + 1e-9

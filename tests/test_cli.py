@@ -1,0 +1,153 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_result_file, load_workload_file
+
+
+@pytest.fixture
+def workload_file(tmp_path):
+    path = tmp_path / "w.json"
+    rc = main([
+        "generate", "--grid", "8x8", "--points", "120", "--k", "3",
+        "--seed", "1", "--out", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_grid_workload(self, workload_file):
+        network, points = load_workload_file(workload_file)
+        assert network.num_nodes == 64
+        assert len(points) == 120
+
+    def test_paper_analogue(self, tmp_path):
+        out = tmp_path / "ol.json"
+        rc = main([
+            "generate", "--workload", "OL", "--scale", "0.02",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        network, points = load_workload_file(out)
+        assert network.num_nodes > 50
+        assert len(points) == 0  # no --points requested
+
+    def test_delaunay(self, tmp_path):
+        out = tmp_path / "d.json"
+        assert main(["generate", "--delaunay", "60", "--out", str(out)]) == 0
+        network, _ = load_workload_file(out)
+        assert network.num_nodes == 60
+
+    def test_explicit_s_init(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        main([
+            "generate", "--grid", "6x6", "--points", "40", "--k", "2",
+            "--s-init", "0.05", "--out", str(out),
+        ])
+        printed = capsys.readouterr().out
+        assert "suggested eps" in printed
+        assert "0.375" in printed  # 1.5 * 0.05 * 5
+
+
+class TestCluster:
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            ["--algorithm", "eps-link", "--eps", "1.0"],
+            ["--algorithm", "dbscan", "--eps", "1.0", "--min-pts", "3"],
+            ["--algorithm", "k-medoids", "--k", "3"],
+            ["--algorithm", "optics", "--eps", "1.0"],
+            ["--algorithm", "single-link", "--stop", "k", "--k", "3"],
+            ["--algorithm", "single-link", "--stop", "distance", "--eps", "1.0"],
+        ],
+    )
+    def test_each_algorithm(self, tmp_path, workload_file, extra):
+        out = tmp_path / "c.json"
+        rc = main(["cluster", str(workload_file), "--out", str(out), *extra])
+        assert rc == 0
+        result = load_result_file(out)
+        assert result.num_points == 120
+
+    def test_single_link_dendrogram_output(self, tmp_path, workload_file):
+        import json as jsonlib
+
+        from repro.core.dendrogram import Dendrogram
+
+        out = tmp_path / "c.json"
+        dendro = tmp_path / "d.json"
+        rc = main([
+            "cluster", str(workload_file), "--algorithm", "single-link",
+            "--stop", "k", "--k", "3", "--dendrogram", str(dendro),
+            "--out", str(out),
+        ])
+        assert rc == 0
+        doc = jsonlib.loads(dendro.read_text())
+        dendrogram = Dendrogram.from_dict(doc)
+        assert dendrogram.num_points == 120
+
+    def test_dendrogram_flag_rejected_elsewhere(self, tmp_path, workload_file):
+        with pytest.raises(SystemExit):
+            main([
+                "cluster", str(workload_file), "--algorithm", "eps-link",
+                "--eps", "1.0", "--dendrogram", str(tmp_path / "d.json"),
+                "--out", str(tmp_path / "c.json"),
+            ])
+
+    def test_eps_required(self, tmp_path, workload_file):
+        with pytest.raises(SystemExit):
+            main([
+                "cluster", str(workload_file), "--algorithm", "eps-link",
+                "--out", str(tmp_path / "c.json"),
+            ])
+
+    def test_empty_workload_rejected(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        main(["generate", "--grid", "4x4", "--out", str(empty)])
+        with pytest.raises(SystemExit):
+            main([
+                "cluster", str(empty), "--algorithm", "eps-link",
+                "--eps", "1.0", "--out", str(tmp_path / "c.json"),
+            ])
+
+
+class TestEvaluateRenderInfo:
+    def test_evaluate_prints_metrics(self, tmp_path, workload_file, capsys):
+        out = tmp_path / "c.json"
+        main(["cluster", str(workload_file), "--algorithm", "eps-link",
+              "--eps", "0.4", "--out", str(out)])
+        capsys.readouterr()
+        rc = main(["evaluate", str(workload_file), str(out)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) >= {"ari", "nmi", "purity", "clusters"}
+        assert -1.0 <= report["ari"] <= 1.0
+
+    def test_render_svg(self, tmp_path, workload_file):
+        cjson = tmp_path / "c.json"
+        main(["cluster", str(workload_file), "--algorithm", "eps-link",
+              "--eps", "0.4", "--out", str(cjson)])
+        svg = tmp_path / "map.svg"
+        rc = main(["render", str(workload_file), "--result", str(cjson),
+                   "--out", str(svg)])
+        assert rc == 0
+        assert svg.read_text().startswith("<svg")
+
+    def test_render_without_result(self, tmp_path, workload_file):
+        svg = tmp_path / "plain.svg"
+        assert main(["render", str(workload_file), "--out", str(svg)]) == 0
+        assert "<circle" in svg.read_text()
+
+    def test_info(self, workload_file, capsys):
+        rc = main(["info", str(workload_file)])
+        assert rc == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["nodes"] == 64
+        assert info["points"] == 120
+        assert info["connected"] is True
+        assert info["labels"] == [-1, 0, 1, 2]

@@ -1,0 +1,92 @@
+"""Tests for connectivity utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError, ParameterError
+from repro.network.components import (
+    connected_components,
+    extract_fraction,
+    is_connected,
+    largest_connected_component,
+)
+from repro.network.graph import SpatialNetwork
+
+
+@pytest.fixture
+def two_component_network():
+    return SpatialNetwork.from_edge_list(
+        [(1, 2, 1.0), (2, 3, 1.0), (10, 11, 1.0)], name="twocomp"
+    )
+
+
+class TestConnectedComponents:
+    def test_single_component(self, small_network):
+        comps = list(connected_components(small_network))
+        assert len(comps) == 1
+        assert comps[0] == set(small_network.nodes())
+
+    def test_two_components(self, two_component_network):
+        comps = sorted(connected_components(two_component_network), key=len)
+        assert [len(c) for c in comps] == [2, 3]
+
+    def test_empty_network(self):
+        assert list(connected_components(SpatialNetwork())) == []
+
+    def test_isolated_node(self):
+        net = SpatialNetwork()
+        net.add_node(1)
+        comps = list(connected_components(net))
+        assert comps == [{1}]
+
+
+class TestIsConnected:
+    def test_connected(self, small_network):
+        assert is_connected(small_network)
+
+    def test_disconnected(self, two_component_network):
+        assert not is_connected(two_component_network)
+
+    def test_empty_is_connected(self):
+        assert is_connected(SpatialNetwork())
+
+
+class TestLargestComponent:
+    def test_extracts_largest(self, two_component_network):
+        lcc = largest_connected_component(two_component_network)
+        assert set(lcc.nodes()) == {1, 2, 3}
+        assert lcc.num_edges == 2
+
+    def test_empty(self):
+        assert largest_connected_component(SpatialNetwork()).num_nodes == 0
+
+
+class TestExtractFraction:
+    def test_full_fraction_is_whole_network(self, grid_network):
+        sub = extract_fraction(grid_network, 1.0)
+        assert sub.num_nodes == grid_network.num_nodes
+        assert sub.num_edges == grid_network.num_edges
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.2, 0.5])
+    def test_partial_fractions_connected(self, grid_network, fraction):
+        sub = extract_fraction(grid_network, fraction)
+        want = round(fraction * grid_network.num_nodes)
+        assert sub.num_nodes == want
+        assert is_connected(sub)
+
+    def test_custom_seed_node(self, grid_network):
+        sub = extract_fraction(grid_network, 0.2, seed_node=24)
+        assert 24 in sub
+
+    def test_missing_seed(self, grid_network):
+        with pytest.raises(NodeNotFoundError):
+            extract_fraction(grid_network, 0.2, seed_node=999)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_invalid_fraction(self, grid_network, bad):
+        with pytest.raises(ParameterError):
+            extract_fraction(grid_network, bad)
+
+    def test_name_includes_percentage(self, grid_network):
+        assert "20pct" in extract_fraction(grid_network, 0.2).name

@@ -1,0 +1,68 @@
+"""Tests for the instrumentation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.counters import OpCounter, StatsRegistry, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            pass
+        assert sw.elapsed >= first >= 0.0
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+        sw.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+
+class TestOpCounter:
+    def test_addition(self):
+        a = OpCounter(heap_pushes=1, nodes_settled=2)
+        b = OpCounter(heap_pushes=3, edges_relaxed=4)
+        c = a + b
+        assert c.heap_pushes == 4
+        assert c.nodes_settled == 2
+        assert c.edges_relaxed == 4
+
+    def test_reset_and_dict(self):
+        c = OpCounter(heap_pops=5)
+        assert c.as_dict()["heap_pops"] == 5
+        c.reset()
+        assert c.as_dict()["heap_pops"] == 0
+
+
+class TestStatsRegistry:
+    def test_report_combines_everything(self):
+        reg = StatsRegistry()
+        with reg.timer("phase1"):
+            pass
+        reg.counter("traversal").heap_pushes += 7
+        report = reg.report()
+        assert report["time.phase1"] >= 0.0
+        assert report["ops.traversal.heap_pushes"] == 7
+
+    def test_same_name_returns_same_object(self):
+        reg = StatsRegistry()
+        assert reg.timer("x") is reg.timer("x")
+        assert reg.counter("y") is reg.counter("y")

@@ -1,0 +1,32 @@
+"""Run the doctest examples embedded in the library's docstrings.
+
+Keeps every ``>>>`` example in the public API honest: if a docstring
+example drifts from the implementation, this test fails.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+# Modules whose docstrings carry runnable examples (plus any added later:
+# the scan below finds every repro module automatically).
+def _all_modules() -> list[str]:
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if module_info.name in ("repro.__main__",):
+            continue
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

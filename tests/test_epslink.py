@@ -1,0 +1,189 @@
+"""Tests for ε-Link, including the component-equivalence property test.
+
+The oracle: ε-Link's clusters are exactly the connected components of the
+graph on points with an edge wherever the network distance is at most ε
+(the paper's MinPts=2 sufficient condition, applied transitively).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.classic import threshold_components
+from repro.baselines.matrix import DistanceMatrix
+from repro.core.epslink import EpsLink, EpsLinkEdgewise
+from repro.exceptions import ParameterError
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+
+from tests.strategies import clustering_instance
+
+
+class TestValidation:
+    def test_bad_eps(self, small_network, small_points):
+        with pytest.raises(ParameterError):
+            EpsLink(small_network, small_points, eps=0.0)
+
+    def test_bad_min_sup(self, small_network, small_points):
+        with pytest.raises(ParameterError):
+            EpsLink(small_network, small_points, eps=1.0, min_sup=0)
+
+    def test_foreign_point_set(self, small_network, small_points):
+        other = SpatialNetwork.from_edge_list([(1, 2, 1.0)])
+        with pytest.raises(ParameterError):
+            EpsLink(other, small_points, eps=1.0)
+
+
+class TestSmallNetwork:
+    """Distances in the fixture: d(p0,p1)=1, d(p1,p2)=1.5, d(p0,p2)=2.5,
+    d(p2,p3)=4, d(p0,p3)=5.5, d(p1,p3)=5.5."""
+
+    def test_tight_eps_pairs(self, small_network, small_points):
+        result = EpsLink(small_network, small_points, eps=1.0).run()
+        assert result.as_partition() == {
+            frozenset({0, 1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_chain_through_middle_point(self, small_network, small_points):
+        # eps=1.5 chains p0-p1-p2 even though d(p0,p2)=2.5 > eps.
+        result = EpsLink(small_network, small_points, eps=1.5).run()
+        assert result.as_partition() == {frozenset({0, 1, 2}), frozenset({3})}
+
+    def test_everything_linked(self, small_network, small_points):
+        result = EpsLink(small_network, small_points, eps=4.0).run()
+        assert result.num_clusters == 1
+
+    def test_min_sup_marks_outliers(self, small_network, small_points):
+        result = EpsLink(small_network, small_points, eps=1.0, min_sup=2).run()
+        assert result.outliers() == [2, 3]
+        assert result.as_partition() == {frozenset({0, 1})}
+
+    def test_stats_recorded(self, small_network, small_points):
+        result = EpsLink(small_network, small_points, eps=1.0).run()
+        assert result.stats["vertices_visited"] > 0
+        assert "wall_time_s" in result.stats
+
+
+class TestSameEdgeShortcut:
+    def test_cluster_through_detour(self):
+        """Two points far apart along a heavy edge but close via a detour
+        must cluster: eps-link uses network distance, not direct distance."""
+        net = SpatialNetwork.from_edge_list([(1, 2, 10.0), (1, 3, 1.0), (2, 3, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.5, point_id=0)
+        ps.add(1, 2, 9.5, point_id=1)  # direct gap 9, network distance 3
+        result = EpsLink(net, ps, eps=3.0).run()
+        assert result.num_clusters == 1
+
+    def test_no_cluster_below_detour_length(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 10.0), (1, 3, 1.0), (2, 3, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.5, point_id=0)
+        ps.add(1, 2, 9.5, point_id=1)
+        result = EpsLink(net, ps, eps=2.9).run()
+        assert result.num_clusters == 2
+
+
+class TestDisconnectedNetwork:
+    def test_components_stay_apart(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0), (3, 4, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.4, point_id=0)
+        ps.add(1, 2, 0.6, point_id=1)
+        ps.add(3, 4, 0.5, point_id=2)
+        result = EpsLink(net, ps, eps=100.0).run()
+        assert result.as_partition() == {frozenset({0, 1}), frozenset({2})}
+
+
+class TestSinglePoint:
+    def test_lone_point_is_own_cluster(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 5.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 1.0)
+        result = EpsLink(net, ps, eps=1.0).run()
+        assert result.num_clusters == 1
+        assert result.outliers() == []
+
+
+class TestEdgewiseVariant:
+    """The paper-literal Figure 6 traversal must produce identical clusters
+    to the augmented-graph implementation."""
+
+    def test_small_network_all_eps(self, small_network, small_points):
+        for eps in (0.4, 1.0, 1.5, 2.5, 4.0, 6.0):
+            a = EpsLink(small_network, small_points, eps=eps).run()
+            b = EpsLinkEdgewise(small_network, small_points, eps=eps).run()
+            assert a.same_clustering(b), f"eps={eps}"
+
+    def test_detour_through_other_edges(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 10.0), (1, 3, 1.0), (2, 3, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.5, point_id=0)
+        ps.add(1, 2, 9.5, point_id=1)
+        a = EpsLink(net, ps, eps=3.0).run()
+        b = EpsLinkEdgewise(net, ps, eps=3.0).run()
+        assert a.same_clustering(b)
+        assert b.num_clusters == 1
+
+    def test_min_sup(self, small_network, small_points):
+        b = EpsLinkEdgewise(small_network, small_points, eps=1.0, min_sup=2).run()
+        assert b.outliers() == [2, 3]
+
+    def test_reports_its_own_name(self, small_network, small_points):
+        result = EpsLinkEdgewise(small_network, small_points, eps=1.0).run()
+        assert result.algorithm == "eps-link-edgewise"
+
+
+@settings(max_examples=40, deadline=None)
+@given(clustering_instance())
+def test_property_edgewise_equals_augmented(data):
+    """Figure 6's edge-scanning traversal == the augmented-graph expansion."""
+    net, points, seed = data
+    dm = DistanceMatrix.from_points(net, points)
+    finite = sorted(
+        dm.values[i, j]
+        for i in range(len(dm.ids))
+        for j in range(i + 1, len(dm.ids))
+        if dm.values[i, j] < float("inf")
+    )
+    candidates = [0.5]
+    if finite:
+        candidates.extend([finite[0] * 1.01, finite[len(finite) // 2] * 1.0001])
+    for eps in candidates:
+        if eps <= 0:
+            continue
+        a = EpsLink(net, points, eps=eps).run()
+        b = EpsLinkEdgewise(net, points, eps=eps).run()
+        assert a.same_clustering(b), f"seed={seed} eps={eps}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(clustering_instance())
+def test_property_equals_threshold_components(data):
+    """Invariant 5: ε-Link == connected components of the ≤ε distance graph."""
+    net, points, seed = data
+    dm = DistanceMatrix.from_points(net, points)
+    # Derive a meaningful eps from the actual distance distribution.
+    finite = sorted(
+        dm.values[i, j]
+        for i in range(len(dm.ids))
+        for j in range(i + 1, len(dm.ids))
+        if dm.values[i, j] < float("inf")
+    )
+    candidates = [0.5]
+    if finite:
+        candidates.extend(
+            [finite[0] * 1.01, finite[len(finite) // 2] * 1.0001, finite[-1] * 0.99]
+        )
+    for eps_value in candidates:
+        if eps_value <= 0:
+            continue
+        got = EpsLink(net, points, eps=eps_value).run()
+        want = threshold_components(dm, eps_value)
+        assert got.same_clustering(want), (
+            f"seed={seed} eps={eps_value}: {got.as_partition()} != "
+            f"{want.as_partition()}"
+        )

@@ -1,0 +1,273 @@
+"""Tests for the Section 6 extensions: weight measures, time-dependent
+weights, and combined networks with transition edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.epslink import EpsLink
+from repro.exceptions import InvalidPositionError, ParameterError
+from repro.network.graph import SpatialNetwork
+from repro.network.multinet import (
+    Transition,
+    combine_networks,
+    split_edge,
+)
+from repro.network.points import PointSet
+from repro.network.timedep import (
+    TimeDependentNetwork,
+    WeightProfile,
+    rush_hour_profile,
+    time_parameterized_clusters,
+)
+from repro.network.weights import (
+    apply_measure,
+    combine_measures,
+    euclidean_measure,
+    toll_measure,
+    travel_time_measure,
+)
+
+
+class TestWeightMeasures:
+    def test_euclidean_measure(self, small_network):
+        m = euclidean_measure(small_network)
+        # Edge (1,2): nodes at (0,1) and (2,1) -> distance 2.
+        assert m[(1, 2)] == pytest.approx(2.0)
+        assert set(m) == {(u, v) for u, v, _ in small_network.edges()}
+
+    def test_travel_time_constant_speed(self, small_network):
+        m = travel_time_measure(small_network, speed=2.0)
+        assert m[(1, 2)] == pytest.approx(1.0)  # length 2 / speed 2
+
+    def test_travel_time_per_edge_speed(self, small_network):
+        m = travel_time_measure(
+            small_network, speed=lambda u, v, w: 4.0 if (u, v) == (1, 2) else 1.0
+        )
+        assert m[(1, 2)] == pytest.approx(0.5)
+        assert m[(2, 3)] == pytest.approx(3.0)
+
+    def test_travel_time_bad_speed(self, small_network):
+        with pytest.raises(ParameterError):
+            travel_time_measure(small_network, speed=lambda u, v, w: 0.0)
+
+    def test_toll_measure(self, small_network):
+        m = toll_measure(small_network, {(2, 1): 5.0})
+        assert m[(1, 2)] == pytest.approx(5.0)
+        assert m[(2, 3)] == pytest.approx(1e-9)
+
+    def test_toll_validation(self, small_network):
+        with pytest.raises(ParameterError):
+            toll_measure(small_network, {(1, 5): 2.0})  # no such edge
+        with pytest.raises(ParameterError):
+            toll_measure(small_network, {(1, 2): -1.0})
+
+    def test_combine_weighted_sum(self, small_network):
+        dist = euclidean_measure(small_network)
+        time = travel_time_measure(small_network, speed=2.0)
+        combined = combine_measures(small_network, [dist, time], [1.0, 10.0])
+        # Edge (1,2): 2.0 * 1 + 1.0 * 10 = 12.
+        assert combined.edge_weight(1, 2) == pytest.approx(12.0)
+
+    def test_combine_custom_aggregator(self, small_network):
+        dist = euclidean_measure(small_network)
+        time = travel_time_measure(small_network, speed=0.5)
+        combined = combine_measures(small_network, [dist, time], aggregator=max)
+        assert combined.edge_weight(1, 2) == pytest.approx(4.0)  # max(2, 4)
+
+    def test_apply_single_measure(self, small_network):
+        time = travel_time_measure(small_network, speed=2.0)
+        net = apply_measure(small_network, time)
+        assert net.edge_weight(2, 3) == pytest.approx(1.5)
+        assert net.num_edges == small_network.num_edges
+
+    def test_combine_validation(self, small_network):
+        with pytest.raises(ParameterError):
+            combine_measures(small_network, [])
+        with pytest.raises(ParameterError):
+            combine_measures(
+                small_network, [euclidean_measure(small_network)], [1.0, 2.0]
+            )
+        with pytest.raises(ParameterError):
+            combine_measures(small_network, [{(1, 2): 1.0}])  # missing edges
+
+    def test_clustering_changes_with_measure(self):
+        """The paper's point: different measures, different clusters."""
+        net = SpatialNetwork.from_edge_list(
+            [(1, 2, 1.0), (2, 3, 10.0), (3, 4, 1.0)]
+        )
+        ps = PointSet(net)
+        ps.add(1, 2, 0.5, point_id=0)
+        ps.add(2, 3, 5.0, point_id=1)
+        ps.add(3, 4, 0.5, point_id=2)
+        by_distance = EpsLink(net, ps, eps=2.0).run()
+        assert by_distance.num_clusters == 3  # the long middle edge separates
+        # A "travel time" measure where the middle edge is a fast highway.
+        fast = apply_measure(net, {(1, 2): 1.0, (2, 3): 1.0, (3, 4): 1.0})
+        ps_fast = PointSet(fast)
+        ps_fast.add(1, 2, 0.5, point_id=0)
+        ps_fast.add(2, 3, 0.5, point_id=1)
+        ps_fast.add(3, 4, 0.5, point_id=2)
+        by_time = EpsLink(fast, ps_fast, eps=2.0).run()
+        assert by_time.num_clusters == 1
+
+
+class TestWeightProfile:
+    def test_constant_profile(self):
+        p = WeightProfile([(0.0, 5.0)])
+        assert p(0) == 5.0
+        assert p(13.7) == 5.0
+
+    def test_interpolation(self):
+        p = WeightProfile([(0.0, 1.0), (12.0, 3.0)], period=24.0)
+        assert p(0.0) == pytest.approx(1.0)
+        assert p(6.0) == pytest.approx(2.0)
+        assert p(12.0) == pytest.approx(3.0)
+        # Wraps: 18.0 is halfway from (12, 3) back to (24 -> 0, 1).
+        assert p(18.0) == pytest.approx(2.0)
+
+    def test_periodicity(self):
+        p = WeightProfile([(0.0, 1.0), (12.0, 3.0)], period=24.0)
+        assert p(6.0) == pytest.approx(p(30.0))
+        assert p(-18.0) == pytest.approx(p(6.0))
+
+    @pytest.mark.parametrize("bad", [
+        {"breakpoints": []},
+        {"breakpoints": [(0.0, 1.0)], "period": 0.0},
+        {"breakpoints": [(0.0, 1.0), (0.0, 2.0)]},
+        {"breakpoints": [(25.0, 1.0)]},
+        {"breakpoints": [(0.0, -1.0)]},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ParameterError):
+            WeightProfile(**bad)
+
+    def test_rush_hour_shape(self):
+        p = rush_hour_profile(10.0, peak_factor=3.0, peaks=(8.0,), peak_width=2.0)
+        assert p(8.0) == pytest.approx(30.0)
+        assert p(6.0) == pytest.approx(10.0)
+        assert p(10.0) == pytest.approx(10.0)
+        assert p(7.0) == pytest.approx(20.0)
+        assert p(0.0) == pytest.approx(10.0)
+
+
+class TestTimeDependentNetwork:
+    @pytest.fixture
+    def tdn(self, small_network):
+        profile = WeightProfile([(0.0, 2.0), (12.0, 8.0)], period=24.0)
+        return TimeDependentNetwork(small_network, {(1, 2): profile})
+
+    def test_weight_at(self, tdn):
+        assert tdn.weight_at(1, 2, 0.0) == pytest.approx(2.0)
+        assert tdn.weight_at(1, 2, 12.0) == pytest.approx(8.0)
+        assert tdn.weight_at(2, 3, 12.0) == pytest.approx(3.0)  # unprofiled
+
+    def test_snapshot(self, tdn, small_network):
+        snap = tdn.snapshot(12.0)
+        assert snap.edge_weight(1, 2) == pytest.approx(8.0)
+        assert snap.edge_weight(2, 3) == pytest.approx(3.0)
+        # The base network is untouched.
+        assert small_network.edge_weight(1, 2) == pytest.approx(2.0)
+
+    def test_unknown_profiled_edge(self, small_network):
+        with pytest.raises(ParameterError):
+            TimeDependentNetwork(small_network, {(1, 5): WeightProfile([(0, 1.0)])})
+
+    def test_time_parameterized_clusters(self, small_network):
+        """Clusters change with the time of day (Section 6)."""
+        ps = PointSet(small_network)
+        ps.add(1, 2, 0.2, point_id=0)
+        ps.add(1, 2, 1.8, point_id=1)
+        profile = WeightProfile([(0.0, 2.0), (12.0, 20.0)], period=24.0)
+        tdn = TimeDependentNetwork(small_network, {(1, 2): profile})
+        results = time_parameterized_clusters(
+            tdn, ps, times=[0.0, 12.0],
+            clusterer_factory=lambda net, pts: EpsLink(net, pts, eps=2.5),
+        )
+        assert results[0.0].num_clusters == 1  # off-peak: 1.6 apart
+        assert results[12.0].num_clusters == 2  # rush hour: 16 apart
+
+
+class TestSplitEdge:
+    def test_split_preserves_total_weight(self, small_network):
+        new = split_edge(small_network, 1, 2, 0.5)
+        assert not small_network.has_edge(1, 2)
+        assert small_network.edge_weight(1, new) == pytest.approx(0.5)
+        assert small_network.edge_weight(new, 2) == pytest.approx(1.5)
+
+    def test_split_interpolates_coords(self, small_network):
+        new = split_edge(small_network, 1, 2, 1.0)
+        x, y = small_network.node_coords(new)
+        assert (x, y) == pytest.approx((1.0, 1.0))
+
+    def test_split_with_explicit_id(self, small_network):
+        new = split_edge(small_network, 1, 2, 0.5, new_node=77)
+        assert new == 77
+
+    def test_split_validation(self, small_network):
+        with pytest.raises(InvalidPositionError):
+            split_edge(small_network, 1, 2, 0.0)
+        with pytest.raises(InvalidPositionError):
+            split_edge(small_network, 1, 2, 2.0)
+        with pytest.raises(ParameterError):
+            split_edge(small_network, 1, 2, 0.5, new_node=3)
+
+
+class TestCombineNetworks:
+    @pytest.fixture
+    def road_and_canal(self):
+        road = SpatialNetwork.from_edge_list(
+            [(0, 1, 1.0), (1, 2, 1.0)], name="road"
+        )
+        canal = SpatialNetwork.from_edge_list([(0, 1, 2.0)], name="canal")
+        return road, canal
+
+    def test_namespacing(self, road_and_canal):
+        road, canal = road_and_canal
+        combo = combine_networks(
+            [road, canal],
+            [Transition(0, 2, 1, 0, weight=0.5)],
+        )
+        assert combo.network.num_nodes == 5
+        # Road edges intact, canal edges shifted by 3.
+        assert combo.network.edge_weight(0, 1) == pytest.approx(1.0)
+        assert combo.network.edge_weight(3, 4) == pytest.approx(2.0)
+        assert combo.global_node(1, 0) == 3
+
+    def test_transition_edge_connects(self, road_and_canal):
+        from repro.network.dijkstra import node_distance
+
+        road, canal = road_and_canal
+        combo = combine_networks(
+            [road, canal], [Transition(0, 2, 1, 0, weight=0.5)]
+        )
+        # road node 0 -> road node 2 (2.0) -> transition (0.5) -> canal end (2.0)
+        assert node_distance(combo.network, 0, combo.global_node(1, 1)) == (
+            pytest.approx(4.5)
+        )
+
+    def test_clusters_span_networks(self, road_and_canal):
+        road, canal = road_and_canal
+        combo = combine_networks(
+            [road, canal], [Transition(0, 2, 1, 0, weight=0.1)]
+        )
+        road_pts = PointSet(road)
+        road_pts.add(1, 2, 0.9, point_id=0)
+        canal_pts = PointSet(canal)
+        canal_pts.add(0, 1, 0.1, point_id=0)  # same local id as the road point
+        merged = combo.merge_point_sets([road_pts, canal_pts])
+        assert len(merged) == 2
+        result = EpsLink(combo.network, merged, eps=0.5).run()
+        # 0.1 (rest of road edge) + 0.1 (pier) + 0.1 (canal) = 0.3 <= eps.
+        assert result.num_clusters == 1
+
+    def test_transition_validation(self, road_and_canal):
+        road, canal = road_and_canal
+        with pytest.raises(ParameterError):
+            combine_networks([road, canal], [Transition(0, 2, 1, 0, weight=0.0)])
+        with pytest.raises(ParameterError):
+            combine_networks([road, canal], [Transition(0, 99, 1, 0, weight=1.0)])
+        with pytest.raises(ParameterError):
+            combine_networks([road, canal], [Transition(0, 2, 5, 0, weight=1.0)])
+        with pytest.raises(ParameterError):
+            combine_networks([], [])

@@ -1,0 +1,177 @@
+"""Unit tests for the in-memory spatial network model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    InvalidWeightError,
+    NetworkError,
+    NodeNotFoundError,
+)
+from repro.network.graph import SpatialNetwork, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(NetworkError):
+            normalize_edge(3, 3)
+
+
+class TestConstruction:
+    def test_empty_network(self):
+        net = SpatialNetwork()
+        assert net.num_nodes == 0
+        assert net.num_edges == 0
+        assert len(net) == 0
+
+    def test_add_nodes_and_edges(self, small_network):
+        assert small_network.num_nodes == 5
+        assert small_network.num_edges == 5
+        assert small_network.has_edge(1, 2)
+        assert small_network.has_edge(2, 1)
+        assert not small_network.has_edge(1, 5)
+
+    def test_add_node_idempotent(self):
+        net = SpatialNetwork()
+        net.add_node(1)
+        net.add_node(1)
+        assert net.num_nodes == 1
+
+    def test_coords_update_on_readd(self):
+        net = SpatialNetwork()
+        net.add_node(1, x=0.0, y=0.0)
+        net.add_node(1, x=3.0, y=4.0)
+        assert net.node_coords(1) == (3.0, 4.0)
+
+    def test_partial_coords_rejected(self):
+        net = SpatialNetwork()
+        with pytest.raises(NetworkError):
+            net.add_node(1, x=1.0)
+
+    def test_edge_weight_defaults_to_euclidean(self):
+        net = SpatialNetwork()
+        net.add_node(1, x=0.0, y=0.0)
+        net.add_node(2, x=3.0, y=4.0)
+        net.add_edge(1, 2)
+        assert net.edge_weight(1, 2) == pytest.approx(5.0)
+
+    def test_edge_readd_replaces_weight(self):
+        net = SpatialNetwork()
+        net.add_edge(1, 2, 2.0)
+        net.add_edge(2, 1, 7.0)
+        assert net.num_edges == 1
+        assert net.edge_weight(1, 2) == 7.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_invalid_weights_rejected(self, bad):
+        net = SpatialNetwork()
+        with pytest.raises(InvalidWeightError):
+            net.add_edge(1, 2, bad)
+
+    def test_self_loop_rejected(self):
+        net = SpatialNetwork()
+        with pytest.raises(NetworkError):
+            net.add_edge(4, 4, 1.0)
+
+    def test_from_edge_list_roundtrip(self, small_network):
+        clone = SpatialNetwork.from_edge_list(
+            small_network.edges(),
+            coords={n: small_network.node_coords(n) for n in small_network.nodes()},
+        )
+        assert clone.num_nodes == small_network.num_nodes
+        assert clone.num_edges == small_network.num_edges
+        assert sorted(clone.edges()) == sorted(small_network.edges())
+
+
+class TestAccessors:
+    def test_neighbors(self, small_network):
+        nbrs = dict(small_network.neighbors(1))
+        assert nbrs == {2: 2.0, 4: 4.0}
+
+    def test_neighbors_missing_node(self, small_network):
+        with pytest.raises(NodeNotFoundError):
+            list(small_network.neighbors(99))
+
+    def test_degree(self, small_network):
+        assert small_network.degree(1) == 2
+        assert small_network.degree(5) == 2
+
+    def test_edge_weight_symmetric(self, small_network):
+        assert small_network.edge_weight(1, 2) == small_network.edge_weight(2, 1)
+
+    def test_edge_weight_missing(self, small_network):
+        with pytest.raises(EdgeNotFoundError):
+            small_network.edge_weight(1, 5)
+
+    def test_edges_are_canonical_and_unique(self, small_network):
+        edges = list(small_network.edges())
+        assert len(edges) == small_network.num_edges
+        assert all(u < v for u, v, _ in edges)
+
+    def test_contains(self, small_network):
+        assert 1 in small_network
+        assert 99 not in small_network
+
+    def test_total_weight(self, small_network):
+        assert small_network.total_weight() == pytest.approx(12.0)
+
+    def test_node_coords_missing_node(self, small_network):
+        with pytest.raises(NodeNotFoundError):
+            small_network.node_coords(42)
+
+    def test_node_without_coords(self):
+        net = SpatialNetwork()
+        net.add_node(7)
+        with pytest.raises(NetworkError):
+            net.node_coords(7)
+        assert not net.has_coords(7)
+
+
+class TestMutation:
+    def test_remove_edge(self, small_network):
+        small_network.remove_edge(1, 2)
+        assert not small_network.has_edge(1, 2)
+        assert small_network.num_edges == 4
+
+    def test_remove_missing_edge(self, small_network):
+        with pytest.raises(EdgeNotFoundError):
+            small_network.remove_edge(1, 5)
+
+
+class TestDerivedNetworks:
+    def test_subnetwork(self, small_network):
+        sub = small_network.subnetwork({1, 2, 3})
+        assert sub.num_nodes == 3
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(2, 3)
+        assert sub.num_edges == 2
+        # Coordinates survive.
+        assert sub.node_coords(1) == small_network.node_coords(1)
+
+    def test_subnetwork_missing_node(self, small_network):
+        with pytest.raises(NodeNotFoundError):
+            small_network.subnetwork({1, 99})
+
+    def test_copy_is_independent(self, small_network):
+        clone = small_network.copy()
+        clone.remove_edge(1, 2)
+        assert small_network.has_edge(1, 2)
+        assert not clone.has_edge(1, 2)
+
+    def test_reweighted(self, small_network):
+        doubled = small_network.reweighted(lambda u, v, w: 2 * w)
+        assert doubled.edge_weight(1, 2) == pytest.approx(4.0)
+        assert doubled.num_edges == small_network.num_edges
+        # Original unchanged.
+        assert small_network.edge_weight(1, 2) == pytest.approx(2.0)
+
+    def test_repr(self, small_network):
+        assert "nodes=5" in repr(small_network)

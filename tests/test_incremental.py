@@ -1,0 +1,152 @@
+"""Tests for incremental ε-Link maintenance.
+
+Core invariant: after any sequence of insertions and deletions, the
+maintained clustering is identical to EpsLink run from scratch on the
+current point set.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.epslink import EpsLink
+from repro.core.incremental import IncrementalEpsLink
+from repro.exceptions import ParameterError, PointNotFoundError
+from repro.network.graph import SpatialNetwork
+
+from tests.conftest import make_random_connected_network
+
+
+@pytest.fixture
+def line():
+    return SpatialNetwork.from_edge_list([(1, 2, 20.0)])
+
+
+class TestValidation:
+    def test_bad_eps(self, line):
+        with pytest.raises(ParameterError):
+            IncrementalEpsLink(line, eps=0.0)
+
+    def test_bad_min_sup(self, line):
+        with pytest.raises(ParameterError):
+            IncrementalEpsLink(line, eps=1.0, min_sup=0)
+
+    def test_remove_missing(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        with pytest.raises(PointNotFoundError):
+            live.remove(7)
+
+
+class TestInsert:
+    def test_isolated_inserts(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        live.insert(1, 2, 1.0)
+        live.insert(1, 2, 10.0)
+        assert live.num_clusters == 2
+        assert len(live) == 2
+
+    def test_insert_joins_cluster(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        a = live.insert(1, 2, 1.0)
+        b = live.insert(1, 2, 1.8)
+        assert live.num_clusters == 1
+        assert live.result().cluster_of(a.point_id) == live.result().cluster_of(
+            b.point_id
+        )
+
+    def test_insert_bridges_two_clusters(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        live.insert(1, 2, 1.0)
+        live.insert(1, 2, 3.0)
+        assert live.num_clusters == 2
+        live.insert(1, 2, 2.0)
+        assert live.num_clusters == 1
+
+    def test_labels_preserved(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        p = live.insert(1, 2, 1.0, label=5)
+        assert live.points.get(p.point_id).label == 5
+
+
+class TestRemove:
+    def test_remove_bridge_splits(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        live.insert(1, 2, 1.0, point_id=0)
+        live.insert(1, 2, 2.0, point_id=1)
+        live.insert(1, 2, 3.0, point_id=2)
+        assert live.num_clusters == 1
+        live.remove(1)
+        assert live.num_clusters == 2
+
+    def test_remove_leaf_keeps_cluster(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        live.insert(1, 2, 1.0, point_id=0)
+        live.insert(1, 2, 2.0, point_id=1)
+        live.insert(1, 2, 3.0, point_id=2)
+        live.remove(2)
+        assert live.num_clusters == 1
+        assert len(live) == 2
+
+    def test_remove_untouched_clusters_stable(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        live.insert(1, 2, 1.0, point_id=0)
+        live.insert(1, 2, 1.5, point_id=1)
+        live.insert(1, 2, 10.0, point_id=2)
+        live.insert(1, 2, 10.5, point_id=3)
+        live.remove(0)
+        result = live.result()
+        assert result.cluster_of(2) == result.cluster_of(3)
+        assert result.cluster_of(1) != result.cluster_of(2)
+
+    def test_remove_last_point(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        p = live.insert(1, 2, 1.0)
+        live.remove(p.point_id)
+        assert len(live) == 0
+        assert live.num_clusters == 0
+
+
+class TestMinSup:
+    def test_small_clusters_reported_as_noise(self, line):
+        live = IncrementalEpsLink(line, eps=1.0, min_sup=2)
+        live.insert(1, 2, 1.0, point_id=0)
+        live.insert(1, 2, 1.5, point_id=1)
+        live.insert(1, 2, 10.0, point_id=2)
+        result = live.result()
+        assert result.outliers() == [2]
+        assert result.num_clusters == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=10**6)),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_property_matches_scratch_after_any_update_sequence(seed, ops):
+    """The maintained clustering always equals EpsLink from scratch."""
+    rng = random.Random(seed)
+    net = make_random_connected_network(rng, rng.randint(3, 12), extra_edges=6)
+    edges = list(net.edges())
+    eps = rng.uniform(0.5, 8.0)
+    live = IncrementalEpsLink(net, eps=eps)
+    for is_insert, op_seed in ops:
+        op_rng = random.Random(op_seed)
+        if is_insert or len(live) == 0:
+            u, v, w = edges[op_rng.randrange(len(edges))]
+            live.insert(u, v, op_rng.uniform(0.0, w))
+        else:
+            victim = op_rng.choice(sorted(live.points.point_ids()))
+            live.remove(victim)
+        if len(live) == 0:
+            continue
+        scratch = EpsLink(net, live.points, eps=eps).run()
+        assert live.result().same_clustering(scratch), (
+            f"seed={seed} after op ({is_insert}, {op_seed})"
+        )

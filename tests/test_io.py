@@ -1,0 +1,122 @@
+"""Tests for the JSON interchange format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.result import ClusteringResult
+from repro.io import (
+    FormatError,
+    load_result_file,
+    load_workload_file,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+from tests.conftest import make_random_connected_network, scatter_points
+import random
+
+
+class TestWorkloadRoundtrip:
+    def test_network_and_points(self, small_network, small_points):
+        doc = workload_to_dict(small_network, small_points)
+        net2, pts2 = workload_from_dict(doc)
+        assert sorted(net2.edges()) == sorted(small_network.edges())
+        assert net2.name == small_network.name
+        for node in small_network.nodes():
+            assert net2.node_coords(node) == small_network.node_coords(node)
+        assert len(pts2) == len(small_points)
+        for p in small_points:
+            q = pts2.get(p.point_id)
+            assert (q.edge, q.offset, q.label) == (p.edge, p.offset, p.label)
+
+    def test_network_only(self, small_network):
+        doc = workload_to_dict(small_network)
+        net2, pts2 = workload_from_dict(doc)
+        assert net2.num_edges == small_network.num_edges
+        assert len(pts2) == 0
+
+    def test_nodes_without_coords(self):
+        from repro.network.graph import SpatialNetwork
+
+        net = SpatialNetwork.from_edge_list([(1, 2, 3.0)])
+        net2, _ = workload_from_dict(workload_to_dict(net))
+        assert not net2.has_coords(1)
+        assert net2.edge_weight(1, 2) == 3.0
+
+    def test_labels_roundtrip(self, small_network):
+        from repro.network.points import PointSet
+
+        ps = PointSet(small_network)
+        ps.add(1, 2, 0.5, label=7)
+        ps.add(1, 2, 1.0, label=-1)
+        ps.add(2, 3, 1.0)  # unlabeled
+        _, pts2 = workload_from_dict(workload_to_dict(small_network, ps))
+        assert pts2.get(0).label == 7
+        assert pts2.get(1).label == -1
+        assert pts2.get(2).label is None
+
+    def test_file_roundtrip(self, tmp_path, small_network, small_points):
+        path = tmp_path / "w.json"
+        save_workload(path, small_network, small_points)
+        net2, pts2 = load_workload_file(path)
+        assert len(pts2) == len(small_points)
+        # The file is genuine JSON.
+        json.loads(path.read_text())
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(FormatError):
+            workload_from_dict({"format": "something-else"})
+        with pytest.raises(FormatError):
+            workload_from_dict({"format": "repro-workload", "version": 99})
+
+
+class TestResultRoundtrip:
+    def test_roundtrip(self):
+        result = ClusteringResult(
+            {0: 0, 1: 0, 2: -1},
+            algorithm="eps-link",
+            params={"eps": 1.5},
+            stats={"wall_time_s": 0.01, "medoids": [1, 2]},
+        )
+        back = result_from_dict(result_to_dict(result))
+        assert back.assignment == result.assignment
+        assert back.algorithm == "eps-link"
+        assert back.params["eps"] == 1.5
+
+    def test_non_jsonable_stats_degrade_to_repr(self):
+        result = ClusteringResult({}, algorithm="x", stats={"obj": object()})
+        doc = result_to_dict(result)
+        json.dumps(doc)  # must not raise
+        assert isinstance(doc["stats"]["obj"], str)
+
+    def test_file_roundtrip(self, tmp_path):
+        result = ClusteringResult({5: 1}, algorithm="dbscan")
+        path = tmp_path / "r.json"
+        save_result(path, result)
+        back = load_result_file(path)
+        assert back.assignment == {5: 1}
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(FormatError):
+            result_from_dict({"format": "repro-workload", "version": 1})
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_property_workload_roundtrip_random(seed):
+    rng = random.Random(seed)
+    net = make_random_connected_network(rng, rng.randint(2, 20), extra_edges=5)
+    points = scatter_points(rng, net, rng.randint(0, 15))
+    net2, pts2 = workload_from_dict(workload_to_dict(net, points))
+    assert sorted(net2.edges()) == pytest.approx(sorted(net.edges()))
+    assert {p.point_id for p in pts2} == {p.point_id for p in points}
+    for p in points:
+        assert pts2.get(p.point_id).offset == pytest.approx(p.offset)

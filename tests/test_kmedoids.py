@@ -1,0 +1,328 @@
+"""Tests for network k-medoids: Medoid_Dist_Find, Equation 1 assignment,
+Inc_Medoid_Update, and the swap loop.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.classic import assign_to_medoids
+from repro.baselines.matrix import DistanceMatrix
+from repro.core.kmedoids import NetworkKMedoids
+from repro.eval.metrics import NOISE
+from repro.exceptions import ParameterError, PointNotFoundError
+from repro.network.augmented import AugmentedView
+from repro.network.distance import network_distance
+from repro.network.dijkstra import single_source
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+
+from tests.conftest import make_random_connected_network, scatter_points
+from tests.strategies import clustering_instance
+
+
+class TestValidation:
+    def test_k_bounds(self, small_network, small_points):
+        with pytest.raises(ParameterError):
+            NetworkKMedoids(small_network, small_points, k=0)
+        with pytest.raises(ParameterError):
+            NetworkKMedoids(small_network, small_points, k=5)
+
+    def test_bad_restarts(self, small_network, small_points):
+        with pytest.raises(ParameterError):
+            NetworkKMedoids(small_network, small_points, k=2, n_restarts=0)
+
+    def test_initial_medoids_must_be_distinct(self, small_network, small_points):
+        with pytest.raises(ParameterError):
+            NetworkKMedoids(
+                small_network, small_points, k=2, initial_medoids=[0, 0]
+            )
+
+    def test_initial_medoids_must_exist(self, small_network, small_points):
+        with pytest.raises(PointNotFoundError):
+            NetworkKMedoids(
+                small_network, small_points, k=2, initial_medoids=[0, 42]
+            )
+
+
+class TestMedoidDistFind:
+    def brute_force(self, network, points, medoids):
+        """Per-medoid Dijkstra + direct distances: nearest medoid per node."""
+        best_dist = {}
+        best_med = {}
+        for m in medoids:
+            weight = network.edge_weight(m.u, m.v)
+            for seed_node, d0 in ((m.u, m.offset), (m.v, weight - m.offset)):
+                for node, d in single_source(network, seed_node).items():
+                    total = d0 + d
+                    if total < best_dist.get(node, math.inf):
+                        best_dist[node] = total
+                        best_med[node] = m.point_id
+        return best_dist, best_med
+
+    def test_matches_bruteforce_small(self, small_network, small_points):
+        km = NetworkKMedoids(small_network, small_points, k=2, seed=0)
+        medoids = [small_points.get(0), small_points.get(3)]
+        state = km.medoid_dist_find(medoids)
+        want_dist, _ = self.brute_force(small_network, small_points, medoids)
+        assert state.node_dist == pytest.approx(want_dist)
+
+    def test_matches_bruteforce_random(self):
+        rng = random.Random(5)
+        for _ in range(5):
+            net = make_random_connected_network(rng, 30, extra_edges=15)
+            points = scatter_points(rng, net, 12)
+            km = NetworkKMedoids(net, points, k=3, seed=1)
+            medoids = [points.get(pid) for pid in rng.sample(sorted(points.point_ids()), 3)]
+            state = km.medoid_dist_find(medoids)
+            want_dist, want_med = self.brute_force(net, points, medoids)
+            assert state.node_dist == pytest.approx(want_dist)
+            for node, med in state.node_medoid.items():
+                # The chosen medoid must achieve the minimal distance
+                # (ties may resolve differently than brute force).
+                m = points.get(med)
+                w = net.edge_weight(m.u, m.v)
+                via_u = m.offset + single_source(net, m.u)[node]
+                via_v = (w - m.offset) + single_source(net, m.v)[node]
+                assert min(via_u, via_v) == pytest.approx(want_dist[node])
+
+
+class TestAssignPoints:
+    def test_matches_matrix_argmin(self, small_network, small_points):
+        dm = DistanceMatrix.from_points(small_network, small_points)
+        km = NetworkKMedoids(small_network, small_points, k=2, seed=0)
+        for medoid_ids in ([0, 3], [1, 2], [0, 2]):
+            medoids = [small_points.get(pid) for pid in medoid_ids]
+            state = km.medoid_dist_find(medoids)
+            assignment, distance = km.assign_points(medoids, state)
+            want_assignment, want_distance = assign_to_medoids(dm, medoid_ids)
+            assert distance == pytest.approx(want_distance)
+            for pid in assignment:
+                assert dm.distance(pid, assignment[pid]) == pytest.approx(
+                    want_distance[pid]
+                )
+
+    def test_same_edge_medoid_direct_assignment(self):
+        """A medoid on the point's own edge must be considered directly
+        (third term of Equation 1)."""
+        # Single long edge: node-based terms alone would give wrong results.
+        net = SpatialNetwork.from_edge_list([(1, 2, 100.0)])
+        ps = PointSet(net)
+        m1 = ps.add(1, 2, 10.0, point_id=0)
+        m2 = ps.add(1, 2, 90.0, point_id=1)
+        p = ps.add(1, 2, 49.0, point_id=2)
+        km = NetworkKMedoids(net, ps, k=2, seed=0)
+        state = km.medoid_dist_find([m1, m2])
+        assignment, distance = km.assign_points([m1, m2], state)
+        assert assignment[2] == 0  # 39 to m1 vs 41 to m2
+        assert distance[2] == pytest.approx(39.0)
+
+    def test_unreachable_points_get_noise(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0), (3, 4, 1.0)])
+        ps = PointSet(net)
+        m = ps.add(1, 2, 0.5, point_id=0)
+        ps.add(3, 4, 0.5, point_id=1)
+        km = NetworkKMedoids(net, ps, k=1, seed=0, initial_medoids=[0])
+        state = km.medoid_dist_find([m])
+        assignment, distance = km.assign_points([m], state)
+        assert assignment[1] == NOISE
+        assert math.isinf(distance[1])
+
+
+class TestIncMedoidUpdate:
+    def test_single_swap_equals_scratch(self, small_network, small_points):
+        km = NetworkKMedoids(small_network, small_points, k=2, seed=0)
+        medoids = [small_points.get(0), small_points.get(3)]
+        state = km.medoid_dist_find(medoids)
+        new_state = km.inc_medoid_update(
+            state, small_points.get(3), small_points.get(2), [small_points.get(0)]
+        )
+        scratch = km.medoid_dist_find([small_points.get(0), small_points.get(2)])
+        assert new_state.node_dist == pytest.approx(scratch.node_dist)
+
+    def test_input_state_not_mutated(self, small_network, small_points):
+        km = NetworkKMedoids(small_network, small_points, k=2, seed=0)
+        medoids = [small_points.get(0), small_points.get(3)]
+        state = km.medoid_dist_find(medoids)
+        before = dict(state.node_dist)
+        km.inc_medoid_update(
+            state, small_points.get(3), small_points.get(2), [small_points.get(0)]
+        )
+        assert state.node_dist == before
+
+    def test_inplace_rollback_restores_state(self, small_network, small_points):
+        km = NetworkKMedoids(small_network, small_points, k=2, seed=0)
+        medoids = [small_points.get(0), small_points.get(3)]
+        state = km.medoid_dist_find(medoids)
+        before_dist = dict(state.node_dist)
+        before_med = dict(state.node_medoid)
+        log = km.inc_medoid_update_inplace(
+            state, small_points.get(3), small_points.get(2), [small_points.get(0)]
+        )
+        # The in-place update really changed something...
+        assert state.node_dist != before_dist or state.node_medoid != before_med
+        km.rollback_update(state, log)
+        # ...and the rollback restored it exactly.
+        assert state.node_dist == before_dist
+        assert state.node_medoid == before_med
+
+    def test_inplace_equals_pure_variant(self, small_network, small_points):
+        km = NetworkKMedoids(small_network, small_points, k=2, seed=0)
+        medoids = [small_points.get(0), small_points.get(3)]
+        state = km.medoid_dist_find(medoids)
+        pure = km.inc_medoid_update(
+            state, small_points.get(3), small_points.get(2), [small_points.get(0)]
+        )
+        km.inc_medoid_update_inplace(
+            state, small_points.get(3), small_points.get(2), [small_points.get(0)]
+        )
+        assert state.node_dist == pure.node_dist
+        assert state.node_medoid == pure.node_medoid
+
+
+class TestFullRun:
+    def test_k_equals_n(self, small_network, small_points):
+        result = NetworkKMedoids(small_network, small_points, k=4, seed=0).run()
+        # Every point is its own medoid: perfect partitioning with R = 0.
+        assert result.num_clusters == 4
+        assert result.stats["R"] == pytest.approx(0.0)
+
+    def test_k_one_single_cluster(self, small_network, small_points):
+        result = NetworkKMedoids(small_network, small_points, k=1, seed=0).run()
+        assert result.num_clusters == 1
+        assert result.num_points == 4
+
+    def test_reproducible_with_seed(self, small_network, small_points):
+        a = NetworkKMedoids(small_network, small_points, k=2, seed=42).run()
+        b = NetworkKMedoids(small_network, small_points, k=2, seed=42).run()
+        assert a.assignment == b.assignment
+        assert a.stats["R"] == b.stats["R"]
+
+    def test_incremental_and_scratch_same_result(self, small_network, small_points):
+        inc = NetworkKMedoids(
+            small_network, small_points, k=2, seed=7, incremental=True
+        ).run()
+        scratch = NetworkKMedoids(
+            small_network, small_points, k=2, seed=7, incremental=False
+        ).run()
+        assert inc.assignment == scratch.assignment
+        assert inc.stats["R"] == pytest.approx(scratch.stats["R"])
+
+    def test_restarts_never_worse(self):
+        rng = random.Random(3)
+        net = make_random_connected_network(rng, 25, extra_edges=12)
+        points = scatter_points(rng, net, 20)
+        single = NetworkKMedoids(net, points, k=3, seed=11, n_restarts=1).run()
+        multi = NetworkKMedoids(net, points, k=3, seed=11, n_restarts=4).run()
+        assert multi.stats["R"] <= single.stats["R"] + 1e-9
+
+    def test_initial_medoids_respected(self, small_network, small_points):
+        km = NetworkKMedoids(
+            small_network,
+            small_points,
+            k=2,
+            seed=0,
+            max_bad_swaps=0,  # no swaps: clusters come from the init only
+            initial_medoids=[0, 3],
+        )
+        result = km.run()
+        assert set(result.stats["medoids"]) == {0, 3}
+
+    def test_medoid_in_own_cluster(self):
+        rng = random.Random(9)
+        net = make_random_connected_network(rng, 20, extra_edges=10)
+        points = scatter_points(rng, net, 15)
+        result = NetworkKMedoids(net, points, k=3, seed=2).run()
+        for med in result.stats["medoids"]:
+            assert result.cluster_of(med) == med
+
+    def test_r_equals_sum_of_distances_to_medoids(self):
+        rng = random.Random(13)
+        net = make_random_connected_network(rng, 15, extra_edges=8)
+        points = scatter_points(rng, net, 10)
+        result = NetworkKMedoids(net, points, k=2, seed=4).run()
+        aug = AugmentedView(net, points)
+        total = 0.0
+        for pid, med in result.assignment.items():
+            total += network_distance(aug, points.get(pid), points.get(med))
+        assert result.stats["R"] == pytest.approx(total)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    clustering_instance(connected_only=True, min_points=4, max_points=10),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_incremental_equals_scratch(data, k, swap_seed):
+    """Invariant 4: Inc_Medoid_Update == Medoid_Dist_Find after any swap."""
+    net, points, seed = data
+    ids = sorted(points.point_ids())
+    if k >= len(ids):
+        k = len(ids) - 1
+    rng = random.Random(swap_seed)
+    medoid_ids = rng.sample(ids, k)
+    non_medoids = [pid for pid in ids if pid not in medoid_ids]
+    old_id = rng.choice(medoid_ids)
+    new_id = rng.choice(non_medoids)
+
+    km = NetworkKMedoids(net, points, k=k, seed=0)
+    medoids = [points.get(pid) for pid in medoid_ids]
+    state = km.medoid_dist_find(medoids)
+    survivors = [points.get(pid) for pid in medoid_ids if pid != old_id]
+    incremental = km.inc_medoid_update(
+        state, points.get(old_id), points.get(new_id), survivors
+    )
+    new_ids = sorted(set(medoid_ids) - {old_id} | {new_id})
+    scratch = km.medoid_dist_find([points.get(pid) for pid in new_ids])
+
+    assert incremental.node_dist.keys() == scratch.node_dist.keys()
+    for node in scratch.node_dist:
+        assert incremental.node_dist[node] == pytest.approx(
+            scratch.node_dist[node], rel=1e-9, abs=1e-9
+        ), f"seed={seed} node={node}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    clustering_instance(connected_only=True, min_points=4, max_points=12),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_property_full_run_incremental_equals_scratch(data, k, run_seed):
+    """The whole optimizer — in-place Fig. 5 updates + incremental Eq. 1
+    re-scans with rollbacks — follows the exact same trajectory as the
+    recompute-everything variant."""
+    net, points, seed = data
+    k = min(k, len(points) - 1) or 1
+    inc = NetworkKMedoids(
+        net, points, k=k, seed=run_seed, incremental=True, max_bad_swaps=6
+    ).run()
+    scratch = NetworkKMedoids(
+        net, points, k=k, seed=run_seed, incremental=False, max_bad_swaps=6
+    ).run()
+    assert inc.assignment == scratch.assignment, f"seed={seed}"
+    assert inc.stats["R"] == scratch.stats["R"]
+    assert inc.stats["medoids"] == scratch.stats["medoids"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(clustering_instance(connected_only=True, min_points=4, max_points=9))
+def test_property_assignment_matches_matrix(data):
+    """Invariant 3: Eq. 1 + Medoid_Dist_Find == brute-force argmin."""
+    net, points, seed = data
+    ids = sorted(points.point_ids())
+    dm = DistanceMatrix.from_points(net, points)
+    rng = random.Random(seed)
+    k = min(3, len(ids) - 1) or 1
+    medoid_ids = rng.sample(ids, k)
+    km = NetworkKMedoids(net, points, k=k, seed=0)
+    medoids = [points.get(pid) for pid in medoid_ids]
+    state = km.medoid_dist_find(medoids)
+    _, distance = km.assign_points(medoids, state)
+    _, want_distance = assign_to_medoids(dm, medoid_ids)
+    assert distance == pytest.approx(want_distance, rel=1e-9, abs=1e-9)

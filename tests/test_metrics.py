@@ -1,0 +1,148 @@
+"""Tests for clustering quality metrics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.metrics import (
+    NOISE,
+    adjusted_rand_index,
+    confusion_counts,
+    medoid_evaluation,
+    normalized_mutual_information,
+    purity,
+)
+from repro.exceptions import ParameterError
+
+PERFECT = {0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2}
+RELABELED = {0: 7, 1: 7, 2: 9, 3: 9, 4: 4, 5: 4}
+MERGED = {0: 0, 1: 0, 2: 0, 3: 0, 4: 1, 5: 1}
+ALL_ONE = {pid: 0 for pid in PERFECT}
+SINGLETONS = {pid: pid for pid in PERFECT}
+
+
+class TestAdjustedRandIndex:
+    def test_identical_is_one(self):
+        assert adjusted_rand_index(PERFECT, PERFECT) == pytest.approx(1.0)
+
+    def test_label_permutation_is_one(self):
+        assert adjusted_rand_index(PERFECT, RELABELED) == pytest.approx(1.0)
+
+    def test_merging_reduces_score(self):
+        score = adjusted_rand_index(PERFECT, MERGED)
+        assert 0.0 < score < 1.0
+
+    def test_degenerate_partitions(self):
+        # All-in-one vs ground truth: ARI is 0 by chance correction.
+        assert adjusted_rand_index(PERFECT, ALL_ONE) == pytest.approx(0.0)
+        assert adjusted_rand_index(PERFECT, SINGLETONS) == pytest.approx(0.0)
+
+    def test_single_point(self):
+        assert adjusted_rand_index({0: 0}, {0: 5}) == 1.0
+
+    def test_mismatched_point_sets_rejected(self):
+        with pytest.raises(ParameterError):
+            adjusted_rand_index(PERFECT, {0: 0})
+
+    def test_symmetry(self):
+        assert adjusted_rand_index(PERFECT, MERGED) == pytest.approx(
+            adjusted_rand_index(MERGED, PERFECT)
+        )
+
+    def test_noise_drop(self):
+        truth = {**PERFECT, 5: NOISE}
+        pred = dict(PERFECT)
+        # Dropping removes point 5 from both, leaving identical partitions.
+        assert adjusted_rand_index(truth, pred, noise="drop") == pytest.approx(1.0)
+
+    def test_noise_as_label_penalises(self):
+        truth = {**PERFECT, 5: NOISE}
+        assert adjusted_rand_index(truth, PERFECT) < 1.0
+
+    def test_bad_noise_mode(self):
+        with pytest.raises(ParameterError):
+            adjusted_rand_index(PERFECT, PERFECT, noise="ignore")
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        assert normalized_mutual_information(PERFECT, RELABELED) == pytest.approx(1.0)
+
+    def test_independent_is_low(self):
+        assert normalized_mutual_information(PERFECT, ALL_ONE) == pytest.approx(0.0)
+
+    def test_bounded(self):
+        score = normalized_mutual_information(PERFECT, MERGED)
+        assert 0.0 <= score <= 1.0
+
+    def test_both_trivial(self):
+        assert normalized_mutual_information(ALL_ONE, ALL_ONE) == 1.0
+
+
+class TestPurity:
+    def test_identical_is_one(self):
+        assert purity(PERFECT, RELABELED) == pytest.approx(1.0)
+
+    def test_singletons_are_pure(self):
+        assert purity(PERFECT, SINGLETONS) == pytest.approx(1.0)
+
+    def test_merged_purity(self):
+        # MERGED's first cluster holds two truth labels of 2 points each.
+        assert purity(PERFECT, MERGED) == pytest.approx(4 / 6)
+
+
+class TestConfusion:
+    def test_counts(self):
+        counts = confusion_counts(PERFECT, MERGED)
+        assert counts[(0, 0)] == 2
+        assert counts[(1, 0)] == 2
+        assert counts[(2, 1)] == 2
+        assert sum(counts.values()) == 6
+
+
+class TestMedoidEvaluation:
+    def test_sums_distances(self):
+        assert medoid_evaluation({0: 1.5, 1: 2.5}) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert medoid_evaluation({}) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_property_metrics_invariant_to_relabeling(n, k, seed):
+    """All metrics are invariant under bijective relabeling of predictions."""
+    rng = random.Random(seed)
+    truth = {i: rng.randrange(k) for i in range(n)}
+    pred = {i: rng.randrange(k) for i in range(n)}
+    mapping = {label: label + 100 for label in set(pred.values())}
+    relabeled = {pid: mapping[lab] for pid, lab in pred.items()}
+    assert adjusted_rand_index(truth, pred) == pytest.approx(
+        adjusted_rand_index(truth, relabeled)
+    )
+    assert normalized_mutual_information(truth, pred) == pytest.approx(
+        normalized_mutual_information(truth, relabeled)
+    )
+    assert purity(truth, pred) == pytest.approx(purity(truth, relabeled))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_property_ari_bounded_and_maximal_on_self(n, k, seed):
+    rng = random.Random(seed)
+    truth = {i: rng.randrange(k) for i in range(n)}
+    pred = {i: rng.randrange(k) for i in range(n)}
+    score = adjusted_rand_index(truth, pred)
+    assert -1.0 <= score <= 1.0
+    assert adjusted_rand_index(truth, truth) == pytest.approx(1.0)

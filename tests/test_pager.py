@@ -1,0 +1,164 @@
+"""Tests for the paged file and LRU buffer manager."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import PageError, StorageError
+from repro.storage.pager import BufferManager, PagedFile
+
+
+@pytest.fixture
+def paged(tmp_path):
+    f = PagedFile(tmp_path / "test.db", page_size=512)
+    yield f
+    f.close()
+
+
+class TestPagedFile:
+    def test_new_file_has_header_page(self, paged):
+        assert paged.num_pages == 1
+        assert paged.page_size == 512
+
+    def test_allocate_and_rw(self, paged):
+        pid = paged.allocate()
+        assert pid == 1
+        paged.write_page(pid, b"hello")
+        assert paged.read_page(pid)[:5] == b"hello"
+        assert paged.read_page(pid)[5:] == b"\x00" * (512 - 5)
+
+    def test_page_id_validation(self, paged):
+        with pytest.raises(PageError):
+            paged.read_page(0)  # header page is not directly accessible
+        with pytest.raises(PageError):
+            paged.read_page(99)
+
+    def test_oversized_write_rejected(self, paged):
+        pid = paged.allocate()
+        with pytest.raises(PageError):
+            paged.write_page(pid, b"x" * 513)
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "persist.db"
+        with PagedFile(path, page_size=512) as f:
+            pid = f.allocate()
+            f.write_page(pid, b"durable")
+            f.set_meta(b"root=7")
+        with PagedFile(path) as f:
+            assert f.page_size == 512
+            assert f.num_pages == 2
+            assert f.read_page(pid)[:7] == b"durable"
+            assert f.get_meta() == b"root=7"
+
+    def test_magic_validation(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"not a paged file" * 100)
+        with pytest.raises(StorageError):
+            PagedFile(path)
+
+    def test_meta_capacity(self, paged):
+        with pytest.raises(StorageError):
+            paged.set_meta(b"x" * 1000)
+
+    def test_io_counters(self, paged):
+        pid = paged.allocate()
+        paged.write_page(pid, b"a")
+        paged.read_page(pid)
+        assert paged.writes == 1
+        assert paged.reads == 1
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            PagedFile(tmp_path / "tiny.db", page_size=16)
+
+
+class TestBufferManager:
+    def test_read_caches(self, paged):
+        buf = BufferManager(paged, capacity_bytes=512 * 4)
+        pid = paged.allocate()
+        paged.write_page(pid, b"cached")
+        buf.read(pid)
+        buf.read(pid)
+        assert buf.hits == 1
+        assert buf.misses == 1
+        assert paged.reads == 1
+
+    def test_write_back_on_flush(self, paged):
+        buf = BufferManager(paged, capacity_bytes=512 * 4)
+        pid = buf.allocate()
+        buf.write(pid, b"dirty")
+        assert paged.writes == 0  # not yet written through
+        buf.flush()
+        assert paged.writes == 1
+        assert paged.read_page(pid)[:5] == b"dirty"
+
+    def test_eviction_writes_dirty_pages(self, paged):
+        buf = BufferManager(paged, capacity_bytes=512 * 2)  # 2 frames
+        pids = [buf.allocate() for _ in range(3)]
+        for i, pid in enumerate(pids):
+            buf.write(pid, bytes([i]) * 8)
+        assert buf.evictions >= 1
+        # The evicted dirty page reached the file and reads back correctly.
+        buf.flush()
+        for i, pid in enumerate(pids):
+            assert paged.read_page(pid)[:8] == bytes([i]) * 8
+
+    def test_lru_order(self, paged):
+        buf = BufferManager(paged, capacity_bytes=512 * 2)
+        a, b, c = (buf.allocate() for _ in range(3))
+        for pid in (a, b, c):
+            paged.write_page(pid, b"x")
+        buf.read(a)
+        buf.read(b)
+        buf.read(a)  # a is now most recent
+        buf.read(c)  # evicts b
+        buf.read(a)
+        assert buf.hits == 2  # the re-read of a (twice)
+
+    def test_read_through_after_eviction(self, paged):
+        buf = BufferManager(paged, capacity_bytes=512)  # 1 frame
+        a = buf.allocate()
+        b = buf.allocate()
+        buf.write(a, b"page-a")
+        buf.write(b, b"page-b")  # evicts and persists a
+        assert buf.read(a)[:6] == b"page-a"
+
+    def test_capacity_minimum_one(self, paged):
+        buf = BufferManager(paged, capacity_bytes=1)
+        assert buf.capacity_pages == 1
+
+    def test_stats_and_reset(self, paged):
+        buf = BufferManager(paged, capacity_bytes=512 * 4)
+        pid = buf.allocate()
+        buf.write(pid, b"x")
+        buf.read(pid)
+        stats = buf.stats()
+        assert stats["buffer_hits"] == 1
+        buf.reset_stats()
+        assert buf.stats()["buffer_hits"] == 0
+
+    def test_drop_cache_forces_reread(self, paged):
+        buf = BufferManager(paged, capacity_bytes=512 * 4)
+        pid = buf.allocate()
+        buf.write(pid, b"x")
+        buf.drop_cache()
+        buf.read(pid)
+        assert buf.misses == 1
+
+    def test_oversized_write_rejected(self, paged):
+        buf = BufferManager(paged, capacity_bytes=512 * 4)
+        pid = buf.allocate()
+        with pytest.raises(PageError):
+            buf.write(pid, b"x" * 1000)
+
+    def test_close_flushes(self, tmp_path):
+        path = tmp_path / "close.db"
+        f = PagedFile(path, page_size=512)
+        buf = BufferManager(f, capacity_bytes=512 * 4)
+        pid = buf.allocate()
+        buf.write(pid, b"flushed")
+        buf.close()
+        with PagedFile(path) as f2:
+            assert f2.read_page(pid)[:7] == b"flushed"

@@ -1,0 +1,110 @@
+"""Tests for data-driven eps/delta estimation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.epslink import EpsLink
+from repro.datagen import ClusterSpec, generate_clustered_points, grid_city, suggest_eps
+from repro.datagen.clusters import well_separated_seed_edges
+from repro.eval.metrics import adjusted_rand_index
+from repro.eval.params import estimate_delta, estimate_eps, knn_distance_sample
+from repro.exceptions import ParameterError
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+
+
+@pytest.fixture(scope="module")
+def clustered_workload():
+    network = grid_city(18, 18, removal=0.1, seed=21)
+    spec = ClusterSpec(k=4, s_init=0.02, outlier_fraction=0.02)
+    seeds = well_separated_seed_edges(network, 4, seed=22)
+    points = generate_clustered_points(network, 600, spec, seed=23, seed_edges=seeds)
+    return network, points, spec
+
+
+class TestKnnDistanceSample:
+    def test_sorted_and_sized(self, clustered_workload):
+        network, points, _ = clustered_workload
+        sample = knn_distance_sample(network, points, k=1, sample_size=50, seed=1)
+        assert len(sample) == 50
+        assert sample == sorted(sample)
+        assert all(d >= 0 for d in sample)
+
+    def test_small_point_set_uses_all(self, small_network, small_points):
+        sample = knn_distance_sample(small_network, small_points, k=1, sample_size=100)
+        assert len(sample) == 4
+
+    def test_unreachable_neighbors_are_inf(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0), (3, 4, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.5)
+        ps.add(3, 4, 0.5)
+        sample = knn_distance_sample(net, ps, k=1)
+        assert all(math.isinf(d) for d in sample)
+
+    def test_empty_point_set(self, small_network):
+        assert knn_distance_sample(small_network, PointSet(small_network)) == []
+
+    def test_validation(self, small_network, small_points):
+        with pytest.raises(ParameterError):
+            knn_distance_sample(small_network, small_points, k=0)
+        with pytest.raises(ParameterError):
+            knn_distance_sample(small_network, small_points, sample_size=0)
+
+
+class TestEstimateEps:
+    def test_estimated_eps_recovers_clusters(self, clustered_workload):
+        """The estimate must land in the window that separates intra-cluster
+        gaps (<= 1.5 * s_init * F) from the inter-cluster distances."""
+        network, points, spec = clustered_workload
+        eps = estimate_eps(network, points, min_pts=2, quantile=0.90, seed=3)
+        truth = {p.point_id: p.label for p in points}
+        result = EpsLink(network, points, eps=eps, min_sup=3).run()
+        ari = adjusted_rand_index(truth, dict(result.assignment), noise="drop")
+        assert ari > 0.9
+
+    def test_estimate_scales_with_density(self, clustered_workload):
+        network, points, spec = clustered_workload
+        eps = estimate_eps(network, points, seed=3)
+        # Within an order of magnitude of the generator's known answer.
+        known = suggest_eps(spec)
+        assert known / 10 < eps < known * 10
+
+    def test_validation(self, clustered_workload):
+        network, points, _ = clustered_workload
+        with pytest.raises(ParameterError):
+            estimate_eps(network, points, quantile=0.0)
+        with pytest.raises(ParameterError):
+            estimate_eps(network, points, min_pts=1)
+
+    def test_all_isolated_raises(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0), (3, 4, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.5)
+        ps.add(3, 4, 0.5)
+        with pytest.raises(ParameterError):
+            estimate_eps(net, ps)
+
+
+class TestEstimateDelta:
+    def test_delta_below_eps(self, clustered_workload):
+        network, points, _ = clustered_workload
+        delta = estimate_delta(network, points, seed=5)
+        eps = estimate_eps(network, points, seed=5)
+        assert 0 < delta < eps
+
+    def test_delta_preserves_cluster_recovery(self, clustered_workload):
+        """Single-Link with the estimated delta still recovers the planted
+        clusters when cut at the estimated eps."""
+        from repro.core.singlelink import SingleLink
+
+        network, points, spec = clustered_workload
+        delta = estimate_delta(network, points, seed=5)
+        eps = max(estimate_eps(network, points, quantile=0.90, seed=5), delta)
+        dendrogram = SingleLink(network, points, delta=delta).build_dendrogram()
+        cut = dendrogram.cut_distance(eps)
+        linked = EpsLink(network, points, eps=eps).run()
+        assert cut.as_partition() == linked.as_partition()

@@ -1,0 +1,173 @@
+"""Unit tests for network points and point sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    InvalidPositionError,
+    PointNotFoundError,
+)
+from repro.network.points import NetworkPoint, PointSet
+
+
+class TestNetworkPoint:
+    def test_basic_attributes(self):
+        p = NetworkPoint(7, 1, 2, 0.5, label=3)
+        assert p.point_id == 7
+        assert p.edge == (1, 2)
+        assert p.offset == 0.5
+        assert p.label == 3
+
+    def test_immutable(self):
+        p = NetworkPoint(0, 1, 2, 0.5)
+        with pytest.raises(AttributeError):
+            p.offset = 1.0
+
+    def test_non_canonical_edge_rejected(self):
+        with pytest.raises(InvalidPositionError):
+            NetworkPoint(0, 5, 2, 0.5)
+
+    def test_equality_and_hash(self):
+        a = NetworkPoint(0, 1, 2, 0.5)
+        b = NetworkPoint(0, 1, 2, 0.5)
+        c = NetworkPoint(1, 1, 2, 0.5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_coords_interpolation(self, small_network):
+        # Edge (1, 2) runs from (0, 1) to (2, 1) with weight 2.0.
+        p = NetworkPoint(0, 1, 2, 0.5)
+        x, y = p.coords(small_network)
+        assert (x, y) == pytest.approx((0.5, 1.0))
+
+
+class TestPointSetAdd:
+    def test_add_assigns_sequential_ids(self, small_network):
+        ps = PointSet(small_network)
+        a = ps.add(1, 2, 0.5)
+        b = ps.add(1, 2, 1.0)
+        assert (a.point_id, b.point_id) == (0, 1)
+        assert len(ps) == 2
+
+    def test_add_with_reversed_endpoints_mirrors_offset(self, small_network):
+        ps = PointSet(small_network)
+        # 0.5 away from node 2 on edge (1,2) of weight 2 => offset 1.5 from node 1.
+        p = ps.add(2, 1, 0.5)
+        assert p.edge == (1, 2)
+        assert p.offset == pytest.approx(1.5)
+
+    def test_add_on_missing_edge(self, small_network):
+        ps = PointSet(small_network)
+        with pytest.raises(EdgeNotFoundError):
+            ps.add(1, 5, 0.5)
+
+    def test_offset_out_of_range(self, small_network):
+        ps = PointSet(small_network)
+        with pytest.raises(InvalidPositionError):
+            ps.add(1, 2, 2.5)
+        with pytest.raises(InvalidPositionError):
+            ps.add(1, 2, -0.5)
+
+    def test_offset_clamped_within_tolerance(self, small_network):
+        ps = PointSet(small_network)
+        p = ps.add(1, 2, 2.0 + 1e-12)
+        assert p.offset == 2.0
+
+    def test_duplicate_id_rejected(self, small_network):
+        ps = PointSet(small_network)
+        ps.add(1, 2, 0.5, point_id=3)
+        with pytest.raises(InvalidPositionError):
+            ps.add(1, 2, 1.0, point_id=3)
+
+    def test_auto_id_skips_taken_ids(self, small_network):
+        ps = PointSet(small_network)
+        ps.add(1, 2, 0.5, point_id=0)
+        ps.add(1, 2, 0.6, point_id=1)
+        p = ps.add(1, 2, 0.7)
+        assert p.point_id == 2
+
+    def test_from_points_roundtrip(self, small_network, small_points):
+        clone = PointSet.from_points(small_network, list(small_points))
+        assert len(clone) == len(small_points)
+        for p in small_points:
+            q = clone.get(p.point_id)
+            assert q.edge == p.edge
+            assert q.offset == p.offset
+
+
+class TestPointSetLookup:
+    def test_get_and_contains(self, small_points):
+        assert small_points.get(0).offset == 0.5
+        assert 0 in small_points
+        assert 99 not in small_points
+
+    def test_get_missing(self, small_points):
+        with pytest.raises(PointNotFoundError):
+            small_points.get(99)
+
+    def test_points_on_edge_sorted(self, small_points):
+        pts = small_points.points_on_edge(1, 2)
+        assert [p.point_id for p in pts] == [0, 1]
+        assert [p.offset for p in pts] == [0.5, 1.5]
+        # Symmetric lookup.
+        assert small_points.points_on_edge(2, 1) == pts
+
+    def test_points_on_empty_edge(self, small_points):
+        assert small_points.points_on_edge(3, 5) == []
+
+    def test_points_on_missing_edge(self, small_points):
+        with pytest.raises(EdgeNotFoundError):
+            small_points.points_on_edge(1, 5)
+
+    def test_points_from_direction(self, small_points):
+        from_1 = small_points.points_from(1, 2)
+        from_2 = small_points.points_from(2, 1)
+        assert [p.point_id for p in from_1] == [0, 1]
+        assert [p.point_id for p in from_2] == [1, 0]
+
+    def test_populated_edges(self, small_points):
+        assert sorted(small_points.populated_edges()) == [(1, 2), (2, 3), (4, 5)]
+        assert small_points.num_populated_edges() == 3
+
+    def test_iteration_matches_len(self, small_points):
+        assert len(list(small_points)) == len(small_points)
+
+
+class TestPointSetMutation:
+    def test_remove(self, small_points):
+        small_points.remove(0)
+        assert 0 not in small_points
+        assert [p.point_id for p in small_points.points_on_edge(1, 2)] == [1]
+
+    def test_remove_last_point_clears_edge(self, small_points):
+        small_points.remove(2)
+        assert (2, 3) not in set(small_points.populated_edges())
+
+    def test_remove_missing(self, small_points):
+        with pytest.raises(PointNotFoundError):
+            small_points.remove(42)
+
+
+class TestDistanceToNode:
+    def test_both_endpoints(self, small_network, small_points):
+        p = small_points.get(0)  # edge (1,2) weight 2, offset 0.5
+        assert small_points.distance_to_node(p, 1) == pytest.approx(0.5)
+        assert small_points.distance_to_node(p, 2) == pytest.approx(1.5)
+
+    def test_non_adjacent_node(self, small_points):
+        p = small_points.get(0)
+        with pytest.raises(InvalidPositionError):
+            small_points.distance_to_node(p, 3)
+
+
+class TestLabels:
+    def test_labels_mapping(self, small_network):
+        ps = PointSet(small_network)
+        ps.add(1, 2, 0.5, label=1)
+        ps.add(1, 2, 1.0)
+        labels = ps.labels()
+        assert labels[0] == 1
+        assert labels[1] is None

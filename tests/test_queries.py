@@ -1,0 +1,130 @@
+"""Tests for network range and kNN queries, validated against brute force."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.augmented import AugmentedView
+from repro.network.distance import network_distance
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+from repro.network.queries import knn_query, nearest_point, range_query
+
+from tests.conftest import make_random_connected_network, scatter_points
+
+
+@pytest.fixture
+def aug(small_network, small_points):
+    return AugmentedView(small_network, small_points)
+
+
+class TestRangeQuery:
+    def test_known_ranges(self, aug, small_points):
+        # Distances from p0: p1=1.0, p2=2.5, p3=5.5.
+        q = small_points.get(0)
+        got = range_query(aug, q, eps=2.5)
+        ids = [p.point_id for p, _ in got]
+        assert ids == [0, 1, 2]
+        dists = dict((p.point_id, d) for p, d in got)
+        assert dists[1] == pytest.approx(1.0)
+        assert dists[2] == pytest.approx(2.5)
+
+    def test_exclude_query(self, aug, small_points):
+        got = range_query(aug, small_points.get(0), eps=2.5, include_query=False)
+        assert [p.point_id for p, _ in got] == [1, 2]
+
+    def test_zero_eps_only_query(self, aug, small_points):
+        got = range_query(aug, small_points.get(0), eps=0.0)
+        assert [p.point_id for p, _ in got] == [0]
+
+    def test_negative_eps_empty(self, aug, small_points):
+        assert range_query(aug, small_points.get(0), eps=-1.0) == []
+
+    def test_sorted_by_distance(self, aug, small_points):
+        got = range_query(aug, small_points.get(0), eps=10.0)
+        dists = [d for _, d in got]
+        assert dists == sorted(dists)
+        assert len(got) == 4
+
+
+class TestKnnQuery:
+    def test_known_neighbors(self, aug, small_points):
+        got = knn_query(aug, small_points.get(0), k=2)
+        assert [p.point_id for p, _ in got] == [1, 2]
+
+    def test_k_zero(self, aug, small_points):
+        assert knn_query(aug, small_points.get(0), k=0) == []
+
+    def test_k_exceeds_population(self, aug, small_points):
+        got = knn_query(aug, small_points.get(0), k=10)
+        assert len(got) == 3  # all other points
+
+    def test_include_query(self, aug, small_points):
+        got = knn_query(aug, small_points.get(0), k=1, include_query=True)
+        assert got[0][0].point_id == 0
+        assert got[0][1] == 0.0
+
+    def test_nearest_point(self, aug, small_points):
+        hit = nearest_point(aug, small_points.get(0))
+        assert hit is not None
+        assert hit[0].point_id == 1
+
+    def test_nearest_point_alone(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0)])
+        ps = PointSet(net)
+        p = ps.add(1, 2, 0.5)
+        aug = AugmentedView(net, ps)
+        assert nearest_point(aug, p) is None
+
+
+# ---------------------------------------------------------------------------
+# Property tests against brute force
+# ---------------------------------------------------------------------------
+
+@st.composite
+def query_instance(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = random.Random(seed)
+    n_nodes = draw(st.integers(min_value=3, max_value=12))
+    net = make_random_connected_network(rng, n_nodes, extra_edges=draw(st.integers(0, 6)))
+    points = scatter_points(rng, net, draw(st.integers(min_value=3, max_value=10)))
+    eps = draw(st.floats(min_value=0.1, max_value=30.0, allow_nan=False))
+    k = draw(st.integers(min_value=1, max_value=5))
+    return net, points, eps, k
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_instance())
+def test_property_range_query_matches_bruteforce(instance):
+    net, points, eps, _ = instance
+    aug = AugmentedView(net, points)
+    pts = list(points)
+    query = pts[0]
+    got = {p.point_id for p, _ in range_query(aug, query, eps)}
+    want = {
+        p.point_id
+        for p in pts
+        if network_distance(aug, query, p) <= eps + 1e-12
+    }
+    assert got == want
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_instance())
+def test_property_knn_matches_bruteforce(instance):
+    net, points, _, k = instance
+    aug = AugmentedView(net, points)
+    pts = list(points)
+    query = pts[0]
+    got = knn_query(aug, query, k)
+    brute = sorted(
+        (network_distance(aug, query, p), p.point_id)
+        for p in pts
+        if p.point_id != query.point_id
+    )
+    want_dists = [d for d, _ in brute[:k]]
+    got_dists = [d for _, d in got]
+    assert got_dists == pytest.approx(want_dists)

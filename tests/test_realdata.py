@@ -1,0 +1,130 @@
+"""Tests for the real road-network file loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.realdata import load_cnode_cedge, load_edge_list_file
+from repro.exceptions import ParameterError
+from repro.network.components import largest_connected_component
+
+
+@pytest.fixture
+def sample_files(tmp_path):
+    """A tiny network in the classic .cnode/.cedge format."""
+    cnode = tmp_path / "city.cnode"
+    cnode.write_text(
+        "0 10.0 20.0\n"
+        "1 11.0 20.0\n"
+        "2 11.0 21.0\n"
+        "3 50.0 50.0\n"
+        "4 51.0 50.0\n"
+    )
+    cedge = tmp_path / "city.cedge"
+    cedge.write_text(
+        "0 0 1 1.5\n"
+        "1 1 2 1.0\n"
+        "2 0 2 2.0\n"
+        "3 3 4 1.0\n"  # a second, disconnected component
+    )
+    return cnode, cedge
+
+
+class TestCnodeCedge:
+    def test_loads_nodes_edges_coords(self, sample_files):
+        cnode, cedge = sample_files
+        net = load_cnode_cedge(cnode, cedge)
+        assert net.num_nodes == 5
+        assert net.num_edges == 4
+        assert net.node_coords(0) == (10.0, 20.0)
+        assert net.edge_weight(0, 1) == pytest.approx(1.5)
+
+    def test_paper_cleaning_step(self, sample_files):
+        """The paper: 'we extracted the largest connected component'."""
+        cnode, cedge = sample_files
+        net = load_cnode_cedge(cnode, cedge)
+        lcc = largest_connected_component(net)
+        assert set(lcc.nodes()) == {0, 1, 2}
+
+    def test_comments_blank_lines_and_commas(self, tmp_path):
+        cnode = tmp_path / "c.cnode"
+        cnode.write_text("# header\n\n0, 0.0, 0.0\n1, 1.0, 0.0\n")
+        cedge = tmp_path / "c.cedge"
+        cedge.write_text("0, 0, 1, 2.5\n")
+        net = load_cnode_cedge(cnode, cedge)
+        assert net.edge_weight(0, 1) == pytest.approx(2.5)
+
+    def test_zero_length_edges_clamped(self, tmp_path):
+        cnode = tmp_path / "z.cnode"
+        cnode.write_text("0 0 0\n1 1 0\n")
+        cedge = tmp_path / "z.cedge"
+        cedge.write_text("0 0 1 0.0\n")
+        net = load_cnode_cedge(cnode, cedge)
+        assert net.edge_weight(0, 1) > 0
+
+    def test_self_loops_skipped(self, tmp_path):
+        cnode = tmp_path / "s.cnode"
+        cnode.write_text("0 0 0\n1 1 0\n")
+        cedge = tmp_path / "s.cedge"
+        cedge.write_text("0 0 0 1.0\n1 0 1 1.0\n")
+        net = load_cnode_cedge(cnode, cedge)
+        assert net.num_edges == 1
+
+    def test_duplicate_edges_keep_minimum(self, tmp_path):
+        cnode = tmp_path / "d.cnode"
+        cnode.write_text("0 0 0\n1 1 0\n")
+        cedge = tmp_path / "d.cedge"
+        cedge.write_text("0 0 1 5.0\n1 1 0 2.0\n2 0 1 9.0\n")
+        net = load_cnode_cedge(cnode, cedge)
+        assert net.edge_weight(0, 1) == pytest.approx(2.0)
+
+    def test_malformed_node_line(self, tmp_path):
+        cnode = tmp_path / "bad.cnode"
+        cnode.write_text("0 1.0\n")
+        cedge = tmp_path / "bad.cedge"
+        cedge.write_text("")
+        with pytest.raises(ParameterError):
+            load_cnode_cedge(cnode, cedge)
+
+    def test_unknown_node_in_edge(self, tmp_path):
+        cnode = tmp_path / "u.cnode"
+        cnode.write_text("0 0 0\n")
+        cedge = tmp_path / "u.cedge"
+        cedge.write_text("0 0 7 1.0\n")
+        with pytest.raises(ParameterError):
+            load_cnode_cedge(cnode, cedge)
+
+    def test_loaded_network_clusters(self, sample_files):
+        """End to end: load, place objects, cluster."""
+        from repro.core.epslink import EpsLink
+        from repro.network.points import PointSet
+
+        cnode, cedge = sample_files
+        net = load_cnode_cedge(cnode, cedge)
+        ps = PointSet(net)
+        ps.add(0, 1, 0.2)
+        ps.add(0, 1, 0.9)
+        ps.add(3, 4, 0.5)
+        result = EpsLink(net, ps, eps=1.0).run()
+        assert result.num_clusters == 2
+
+
+class TestEdgeListFile:
+    def test_plain_edges(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# u v w\n1 2 3.5\n2 3 1.0\n")
+        net = load_edge_list_file(path)
+        assert net.num_edges == 2
+        assert net.edge_weight(1, 2) == pytest.approx(3.5)
+
+    def test_with_coords(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 2 5.0 0.0 0.0 3.0 4.0\n")
+        net = load_edge_list_file(path, has_coords=True)
+        assert net.node_coords(2) == (3.0, 4.0)
+
+    def test_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(ParameterError):
+            load_edge_list_file(path)

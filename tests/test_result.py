@@ -1,0 +1,89 @@
+"""Tests for the ClusteringResult container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import ClusteringResult
+from repro.eval.metrics import NOISE
+
+
+@pytest.fixture
+def result():
+    return ClusteringResult(
+        {0: 0, 1: 0, 2: 1, 3: NOISE, 4: 1},
+        algorithm="test",
+        params={"eps": 1.0},
+        stats={"visited": 10},
+    )
+
+
+class TestViews:
+    def test_clusters(self, result):
+        assert result.clusters() == {0: [0, 1], 1: [2, 4]}
+
+    def test_num_clusters_excludes_noise(self, result):
+        assert result.num_clusters == 2
+
+    def test_num_points(self, result):
+        assert result.num_points == 5
+
+    def test_members(self, result):
+        assert result.members(0) == [0, 1]
+        assert result.members(42) == []
+
+    def test_outliers(self, result):
+        assert result.outliers() == [3]
+        assert result.is_noise(3)
+        assert not result.is_noise(0)
+
+    def test_sizes(self, result):
+        assert result.sizes() == {0: 2, 1: 2}
+
+    def test_cluster_of(self, result):
+        assert result.cluster_of(2) == 1
+        assert result.cluster_of(3) == NOISE
+
+    def test_iter_and_len(self, result):
+        assert dict(result) == result.assignment
+        assert len(result) == 5
+
+    def test_repr(self, result):
+        assert "clusters=2" in repr(result)
+        assert "noise=1" in repr(result)
+
+
+class TestComparison:
+    def test_as_partition(self, result):
+        assert result.as_partition() == {frozenset({0, 1}), frozenset({2, 4})}
+
+    def test_same_clustering_ignores_labels(self, result):
+        relabeled = ClusteringResult(
+            {0: 9, 1: 9, 2: 7, 3: NOISE, 4: 7}, algorithm="other"
+        )
+        assert result.same_clustering(relabeled)
+
+    def test_different_noise_not_same(self, result):
+        other = ClusteringResult(
+            {0: 0, 1: 0, 2: 1, 3: 1, 4: 1}, algorithm="other"
+        )
+        assert not result.same_clustering(other)
+
+    def test_different_partition_not_same(self, result):
+        other = ClusteringResult(
+            {0: 0, 1: 1, 2: 1, 3: NOISE, 4: 0}, algorithm="other"
+        )
+        assert not result.same_clustering(other)
+
+
+class TestMetadata:
+    def test_params_and_stats_copied(self):
+        params = {"eps": 1.0}
+        res = ClusteringResult({}, algorithm="x", params=params)
+        params["eps"] = 2.0
+        assert res.params["eps"] == 1.0
+
+    def test_empty_result(self):
+        res = ClusteringResult({}, algorithm="x")
+        assert res.num_clusters == 0
+        assert res.outliers() == []

@@ -1,0 +1,107 @@
+"""Failure-injection tests for the storage layer: corrupt files, bad record
+ids, and undersized configurations must fail loudly, never silently."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.exceptions import PageError, StorageError, TreeError
+from repro.storage.bptree import BPlusTree
+from repro.storage.flatfile import RecordFile, rid_encode
+from repro.storage.netstore import NetworkStore
+from repro.storage.pager import BufferManager, PagedFile
+
+
+class TestCorruptPagedFiles:
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"GIF89a" + b"\x00" * 600)
+        with pytest.raises(StorageError):
+            PagedFile(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc.db"
+        path.write_bytes(b"RP")
+        with pytest.raises(StorageError):
+            PagedFile(path)
+
+    def test_corrupt_meta_length(self, tmp_path):
+        path = tmp_path / "meta.db"
+        with PagedFile(path, page_size=512):
+            pass
+        raw = bytearray(path.read_bytes())
+        # Overwrite the meta-length field with an absurd value.
+        struct.pack_into("<H", raw, struct.calcsize("<4sIQ"), 9999)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError):
+            PagedFile(path)
+
+
+class TestNetworkStoreRobustness:
+    def test_store_requires_meta(self, tmp_path):
+        path = tmp_path / "nometa.db"
+        with PagedFile(path, page_size=4096):
+            pass
+        with pytest.raises(StorageError):
+            NetworkStore(path)
+
+    def test_reopen_after_clean_close(self, tmp_path, small_network, small_points):
+        path = tmp_path / "ok.db"
+        NetworkStore.build(path, small_network, small_points).close()
+        # Two consecutive reopens both work (close is idempotent).
+        for _ in range(2):
+            with NetworkStore(path) as store:
+                assert store.num_nodes == small_network.num_nodes
+
+
+class TestRecordFileRobustness:
+    def test_read_from_wrong_page_kind(self, tmp_path):
+        """Reading a rid pointing at an overflow data page (not a slotted
+        page) must fail with a PageError, not return garbage silently."""
+        f = PagedFile(tmp_path / "rf.db", page_size=512)
+        buf = BufferManager(f)
+        rf = RecordFile(buf)
+        rf.append(b"x" * 2000)  # creates overflow chain pages
+        overflow_pid = f.num_pages - 1
+        with pytest.raises(PageError):
+            rf.read(rid_encode(overflow_pid, 5))
+        buf.close()
+
+    def test_out_of_range_page(self, tmp_path):
+        f = PagedFile(tmp_path / "rf2.db", page_size=512)
+        buf = BufferManager(f)
+        rf = RecordFile(buf)
+        rf.append(b"ok")
+        with pytest.raises(PageError):
+            rf.read(rid_encode(999, 0))
+        buf.close()
+
+
+class TestBPlusTreeRobustness:
+    def test_page_too_small(self):
+        class TinyFile:
+            page_size = 40  # fits barely 1 entry: unusable for a B+-tree
+
+        class TinyBuffer:
+            file = TinyFile()
+
+        with pytest.raises(TreeError):
+            BPlusTree(TinyBuffer())
+
+    def test_check_invariants_detects_corruption(self, tmp_path):
+        f = PagedFile(tmp_path / "corrupt.db", page_size=512)
+        buf = BufferManager(f)
+        tree = BPlusTree(buf)
+        for k in range(10):
+            tree.insert(k, k)
+        # Corrupt the leaf in place: write keys out of order.
+        raw = bytearray(buf.read(tree.root_pid))
+        header = struct.Struct("<BHQ")
+        entry = struct.Struct("<qq")
+        entry.pack_into(raw, header.size, 99, 0)  # first key now largest
+        buf.write(tree.root_pid, bytes(raw))
+        with pytest.raises(TreeError):
+            tree.check_invariants()
+        buf.close()

@@ -1,0 +1,85 @@
+"""Tests for the weighted Union-Find."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_initial_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.num_sets == 3
+        assert len(uf) == 3
+        assert all(uf.find(i) == i for i in (1, 2, 3))
+
+    def test_union_and_connected(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+        assert uf.num_sets == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind([1, 2])
+        assert uf.union(1, 2)
+        assert not uf.union(1, 2)
+        assert uf.num_sets == 1
+
+    def test_add_existing_is_noop(self):
+        uf = UnionFind([1])
+        uf.add(1)
+        assert uf.num_sets == 1
+
+    def test_contains(self):
+        uf = UnionFind([1])
+        assert 1 in uf
+        assert 2 not in uf
+
+    def test_set_size(self):
+        uf = UnionFind([1, 2, 3, 4])
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.set_size(1) == 3
+        assert uf.set_size(4) == 1
+
+    def test_sets_view(self):
+        uf = UnionFind([1, 2, 3, 4])
+        uf.union(1, 3)
+        sets = uf.sets()
+        assert sorted(sorted(m) for m in sets.values()) == [[1, 3], [2], [4]]
+
+    def test_works_with_hashable_items(self):
+        uf = UnionFind(["a", (1, 2)])
+        uf.union("a", (1, 2))
+        assert uf.connected("a", (1, 2))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_property_matches_naive_partition(n, seed):
+    """Union-Find agrees with a naive set-merging implementation."""
+    rng = random.Random(seed)
+    uf = UnionFind(range(n))
+    naive = {i: {i} for i in range(n)}
+    for _ in range(n * 2):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        uf.union(a, b)
+        sa, sb = naive[a], naive[b]
+        if sa is not sb:
+            sa |= sb
+            for item in sb:
+                naive[item] = sa
+    for i in range(n):
+        for j in range(n):
+            assert uf.connected(i, j) == (j in naive[i])
+        assert uf.set_size(i) == len(naive[i])
+    assert uf.num_sets == len({id(s) for s in naive.values()})

@@ -1,0 +1,177 @@
+"""Tests for the SVG renderers (structure-level, via XML parsing)."""
+
+from __future__ import annotations
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.epslink import EpsLink
+from repro.core.singlelink import SingleLink
+from repro.eval.metrics import NOISE
+from repro.exceptions import ParameterError
+from repro.network.graph import SpatialNetwork
+from repro.viz import (
+    CLUSTER_PALETTE,
+    color_for,
+    render_merge_curve_svg,
+    render_network_svg,
+    render_reachability_svg,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestColorFor:
+    def test_noise_is_grey(self):
+        assert color_for(NOISE) == "#999999"
+
+    def test_palette_cycles(self):
+        n = len(CLUSTER_PALETTE)
+        assert color_for(0) == color_for(n)
+        assert color_for(1) != color_for(2)
+
+
+class TestNetworkRendering:
+    def test_edges_rendered(self, small_network):
+        svg = render_network_svg(small_network)
+        root = parse(svg)
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(lines) == small_network.num_edges
+
+    def test_points_rendered_with_cluster_colors(self, small_network, small_points):
+        result = EpsLink(small_network, small_points, eps=1.5).run()
+        svg = render_network_svg(
+            small_network, small_points, assignment=result.assignment
+        )
+        root = parse(svg)
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == len(small_points)
+        fills = {c.get("fill") for c in circles}
+        assert len(fills) == result.num_clusters
+
+    def test_ground_truth_coloring_fallback(self, small_network):
+        from repro.network.points import PointSet
+
+        ps = PointSet(small_network)
+        ps.add(1, 2, 0.5, label=0)
+        ps.add(2, 3, 0.5, label=1)
+        svg = render_network_svg(small_network, ps)
+        circles = parse(svg).findall(f"{SVG_NS}circle")
+        assert {c.get("fill") for c in circles} == {color_for(0), color_for(1)}
+
+    def test_noise_points_grey(self, small_network, small_points):
+        assignment = {pid: NOISE for pid in small_points.point_ids()}
+        svg = render_network_svg(small_network, small_points, assignment=assignment)
+        circles = parse(svg).findall(f"{SVG_NS}circle")
+        assert {c.get("fill") for c in circles} == {"#999999"}
+
+    def test_writes_file(self, tmp_path, small_network):
+        path = tmp_path / "map.svg"
+        render_network_svg(small_network, path=str(path))
+        assert path.exists()
+        parse(path.read_text())
+
+    def test_requires_coordinates(self):
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0)])
+        with pytest.raises(ParameterError):
+            render_network_svg(net)
+
+    def test_title_escaped(self, small_network):
+        svg = render_network_svg(small_network, title="a<b>&c")
+        assert "a&lt;b&gt;&amp;c" in svg
+        parse(svg)
+
+
+class TestMergeCurve:
+    def test_polyline_and_axes(self, small_network, small_points):
+        dendrogram = SingleLink(small_network, small_points).build_dendrogram()
+        svg = render_merge_curve_svg(dendrogram.merge_distances())
+        root = parse(svg)
+        assert root.findall(f"{SVG_NS}polyline")
+        assert len(root.findall(f"{SVG_NS}line")) == 2  # the two axes
+
+    def test_interesting_markers(self):
+        distances = [1.0] * 20 + [10.0]
+        svg = render_merge_curve_svg(distances, interesting=[20])
+        root = parse(svg)
+        assert root.findall(f"{SVG_NS}circle")
+
+    def test_tail_truncation(self):
+        svg = render_merge_curve_svg(list(range(1, 200)), tail=49)
+        poly = parse(svg).find(f"{SVG_NS}polyline")
+        assert len(poly.get("points").split()) == 49
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            render_merge_curve_svg([])
+
+
+class TestDendrogramRendering:
+    def test_paths_per_merge(self, small_network, small_points):
+        from repro.viz import render_dendrogram_svg
+
+        dendrogram = SingleLink(small_network, small_points).build_dendrogram()
+        svg = render_dendrogram_svg(dendrogram)
+        root = parse(svg)
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == len(dendrogram.merges)
+
+    def test_group_leaves_annotated(self, small_network, small_points):
+        from repro.viz import render_dendrogram_svg
+
+        dendrogram = SingleLink(
+            small_network, small_points, delta=1.5
+        ).build_dendrogram()
+        svg = render_dendrogram_svg(dendrogram)
+        root = parse(svg)
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "3" in texts  # the p0-p1-p2 delta group
+
+    def test_too_many_leaves_rejected(self, small_network, small_points):
+        from repro.viz import render_dendrogram_svg
+
+        dendrogram = SingleLink(small_network, small_points).build_dendrogram()
+        with pytest.raises(ParameterError):
+            render_dendrogram_svg(dendrogram, max_leaves=2)
+
+    def test_forest_renders(self):
+        from repro.network.points import PointSet
+        from repro.viz import render_dendrogram_svg
+
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0), (3, 4, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.2)
+        ps.add(1, 2, 0.8)
+        ps.add(3, 4, 0.5)
+        dendrogram = SingleLink(net, ps).build_dendrogram()
+        assert dendrogram.num_roots == 2
+        parse(render_dendrogram_svg(dendrogram))
+
+
+class TestReachabilityPlot:
+    def test_bars_per_point(self):
+        plot = [(0, math.inf), (1, 0.5), (2, 0.7), (3, math.inf), (4, 0.2)]
+        svg = render_reachability_svg(plot, max_eps=1.0)
+        root = parse(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 5
+        # Region starts (inf) get the accent colour.
+        accents = [r for r in rects if r.get("fill") == "#984ea3"]
+        assert len(accents) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            render_reachability_svg([], max_eps=1.0)
+
+    def test_end_to_end_with_optics(self, small_network, small_points):
+        from repro.core.optics import NetworkOPTICS
+
+        result = NetworkOPTICS(small_network, small_points, max_eps=3.0).compute()
+        svg = render_reachability_svg(result.reachability_plot(), max_eps=3.0)
+        parse(svg)

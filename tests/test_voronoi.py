@@ -1,0 +1,92 @@
+"""Tests for the network Voronoi assignment service."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ParameterError, PointNotFoundError
+from repro.network.augmented import AugmentedView
+from repro.network.distance import network_distance
+from repro.network.voronoi import network_voronoi, node_voronoi
+
+from tests.strategies import clustering_instance
+
+
+class TestValidation:
+    def test_empty_sites(self, small_network, small_points):
+        with pytest.raises(ParameterError):
+            network_voronoi(small_network, small_points, [])
+        with pytest.raises(ParameterError):
+            node_voronoi(small_network, small_points, [])
+
+    def test_missing_site(self, small_network, small_points):
+        with pytest.raises(PointNotFoundError):
+            network_voronoi(small_network, small_points, [99])
+
+    def test_duplicate_sites_deduplicated(self, small_network, small_points):
+        assignment, _ = network_voronoi(small_network, small_points, [0, 0, 3])
+        assert set(assignment.values()) <= {0, 3}
+
+
+class TestKnownAssignments:
+    """Fixture distances: d(p0,p1)=1, d(p1,p2)=1.5, d(p0,p3)=5.5,
+    d(p2,p3)=4."""
+
+    def test_two_sites(self, small_network, small_points):
+        assignment, distance = network_voronoi(small_network, small_points, [0, 3])
+        assert assignment[0] == 0
+        assert assignment[3] == 3
+        assert assignment[1] == 0  # d=1 vs 5.5
+        assert assignment[2] == 0  # d=2.5 vs 4
+        assert distance[1] == pytest.approx(1.0)
+        assert distance[2] == pytest.approx(2.5)
+        assert distance[0] == 0.0
+
+    def test_sites_have_zero_distance(self, small_network, small_points):
+        _, distance = network_voronoi(small_network, small_points, [1, 2])
+        assert distance[1] == 0.0
+        assert distance[2] == 0.0
+
+    def test_node_voronoi_matches_medoid_dist_find(self, small_network, small_points):
+        from repro.core.kmedoids import NetworkKMedoids
+
+        km = NetworkKMedoids(small_network, small_points, k=2, seed=0)
+        medoids = [small_points.get(0), small_points.get(3)]
+        state = km.medoid_dist_find(medoids)
+        owner, dist = node_voronoi(small_network, small_points, [0, 3])
+        assert dist == pytest.approx(state.node_dist)
+        assert owner == state.node_medoid
+
+    def test_unreachable_points_absent(self):
+        from repro.network.graph import SpatialNetwork
+        from repro.network.points import PointSet
+
+        net = SpatialNetwork.from_edge_list([(1, 2, 1.0), (3, 4, 1.0)])
+        ps = PointSet(net)
+        ps.add(1, 2, 0.5, point_id=0)
+        ps.add(3, 4, 0.5, point_id=1)
+        assignment, _ = network_voronoi(net, ps, [0])
+        assert 1 not in assignment
+
+
+@settings(max_examples=40, deadline=None)
+@given(clustering_instance(min_points=3, max_points=10), st.integers(1, 3))
+def test_property_assignment_is_argmin(data, n_sites):
+    """Every object's assigned site achieves the minimum network distance."""
+    net, points, seed = data
+    ids = sorted(points.point_ids())
+    rng = random.Random(seed)
+    sites = rng.sample(ids, min(n_sites, len(ids)))
+    assignment, distance = network_voronoi(net, points, sites)
+    aug = AugmentedView(net, points)
+    for pid, site in assignment.items():
+        d_all = []
+        for s in sites:
+            try:
+                d_all.append(network_distance(aug, points.get(pid), points.get(s)))
+            except Exception:
+                d_all.append(float("inf"))
+        assert distance[pid] == pytest.approx(min(d_all), rel=1e-9, abs=1e-9)
