@@ -1,13 +1,23 @@
-"""Shared, cached workloads for the benchmark suite.
+"""Shared, cached workloads and metrics plumbing for the benchmark suite.
 
 Benchmarks run the paper's experiments at reduced scale (pure Python is
 orders of magnitude slower than the paper's 2002 C++ setup); every scale
 choice is recorded here and in EXPERIMENTS.md.  Workloads are cached
 per-process so parametrised benchmarks share the generation cost.
+
+This module also owns the *metrics sidecar* plumbing: ``conftest.py``
+enables :mod:`repro.obs` around every benchmark and collects one counter /
+span snapshot per test, and :func:`sidecar_path` / the re-exported
+``write_metrics_sidecar`` decide where that JSON lands so
+``make_report.py`` can pick it up next to the ``--benchmark-json`` output.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
+from repro.obs import write_metrics_sidecar  # noqa: F401  (re-export for conftest)
 from repro.datagen import (
     ClusterSpec,
     generate_clustered_points,
@@ -57,6 +67,35 @@ def cluster_spec_for(network, n_points: int, k: int) -> ClusterSpec:
     # The mean generated gap is s_cur averaged over the ramp: 3 * s_init.
     s_init = max(avg_gap / 3.0, 1e-9)
     return ClusterSpec(k=k, s_init=s_init, magnification=5.0, outlier_fraction=0.01)
+
+
+#: Environment override for the sidecar location.
+SIDECAR_ENV = "REPRO_METRICS_SIDECAR"
+#: Fallback sidecar name when pytest-benchmark writes no JSON.
+DEFAULT_SIDECAR = "benchmarks-metrics.json"
+
+
+def sidecar_path(config) -> Path:
+    """Where the metrics sidecar of this benchmark session goes.
+
+    Priority: the ``REPRO_METRICS_SIDECAR`` env var, then
+    ``<--benchmark-json path>.metrics.json`` (so the sidecar always sits
+    next to the timing JSON it annotates), then ``benchmarks-metrics.json``
+    in the pytest rootdir.
+    """
+    env = os.environ.get(SIDECAR_ENV)
+    if env:
+        return Path(env)
+    try:
+        bench_json = config.getoption("--benchmark-json")
+    except (ValueError, KeyError):
+        bench_json = None
+    # pytest-benchmark declares the option as argparse.FileType: the value
+    # is an already-open file object whose .name is the path.
+    bench_json = getattr(bench_json, "name", bench_json)
+    if bench_json:
+        return Path(f"{bench_json}.metrics.json")
+    return Path(str(config.rootpath)) / DEFAULT_SIDECAR
 
 
 def ground_truth(points) -> dict[int, int]:

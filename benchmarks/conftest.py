@@ -1,0 +1,59 @@
+"""Benchmark-suite hooks: capture repro.obs metrics for every bench run.
+
+Every test in ``benchmarks/`` runs with :mod:`repro.obs` enabled; after each
+test its counter/span snapshot is appended to a session-wide list, and at
+session end the list is written as a *metrics sidecar* JSON next to the
+pytest-benchmark timing JSON (see :func:`_workloads.sidecar_path`).  The
+sidecar carries the hardware-independent cost measures (heap pops, page
+faults, swap iterations, ...) that the paper reports alongside wall time;
+``make_report.py --metrics`` renders them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Benchmarks are run from the repo root with `pytest benchmarks/`; make both
+# the src/ layout and the `benchmarks` namespace package importable without
+# requiring an editable install or a particular invocation style.
+_ROOT = Path(__file__).resolve().parent.parent
+for _p in (str(_ROOT / "src"), str(_ROOT)):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+import pytest  # noqa: E402
+
+from repro import obs  # noqa: E402
+
+from benchmarks._workloads import sidecar_path, write_metrics_sidecar  # noqa: E402
+
+
+def pytest_configure(config):
+    config._repro_obs_runs = []
+
+
+@pytest.fixture(autouse=True)
+def _obs_capture(request):
+    """Record one obs snapshot per benchmark test."""
+    obs.enable(fresh=True)
+    try:
+        yield
+    finally:
+        snap = obs.snapshot()
+        obs.disable()
+        if snap["counters"] or snap["spans"]:
+            request.config._repro_obs_runs.append(
+                {"test": request.node.nodeid, **snap}
+            )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    runs = getattr(session.config, "_repro_obs_runs", None)
+    if not runs:
+        return
+    path = sidecar_path(session.config)
+    write_metrics_sidecar(path, runs)
+    tr = session.config.pluginmanager.get_plugin("terminalreporter")
+    if tr is not None:
+        tr.write_line(f"repro.obs metrics sidecar: {path} ({len(runs)} runs)")

@@ -8,7 +8,14 @@ ablations.  Absolute times differ from the paper's 2002 C++/disk setup by
 construction; the *shapes* (who wins, by what factor, where curves bend)
 are the reproduction target (see EXPERIMENTS.md).
 
+Alongside the timing JSON every run emits a :mod:`repro.obs` *metrics
+sidecar* (``<benchmark-json>.metrics.json``, written by
+``benchmarks/conftest.py``) holding the hardware-independent cost counters
+— heap pops, page faults, swap iterations — which are reported after the
+timing tables.
+
 Run:  python benchmarks/make_report.py [--json existing-results.json]
+                                       [--metrics existing.metrics.json]
 """
 
 from __future__ import annotations
@@ -21,6 +28,12 @@ import tempfile
 from collections import defaultdict
 from pathlib import Path
 
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.obs import load_metrics_sidecar  # noqa: E402
+
 
 def run_benchmarks(json_path: Path) -> None:
     cmd = [
@@ -28,7 +41,7 @@ def run_benchmarks(json_path: Path) -> None:
         "-q", f"--benchmark-json={json_path}",
     ]
     print(f"$ {' '.join(cmd)}", flush=True)
-    subprocess.run(cmd, check=True, cwd=Path(__file__).resolve().parent.parent)
+    subprocess.run(cmd, check=True, cwd=_ROOT)
 
 
 def load(json_path: Path) -> dict:
@@ -208,6 +221,27 @@ def report_ablation_delta(entries) -> None:
           " an order of magnitude; merges above delta are unchanged.")
 
 
+def report_obs(payload: dict) -> None:
+    runs = payload.get("runs", [])
+    header(f"repro.obs counters - aggregated over {len(runs)} benchmark runs")
+    totals: dict[str, int] = defaultdict(int)
+    span_time: dict[str, float] = defaultdict(float)
+    for run in runs:
+        for name, value in run.get("counters", {}).items():
+            totals[name] += value
+        for name, agg in run.get("spans", {}).items():
+            span_time[name] += agg.get("total_s", 0.0)
+    print(f"{'counter':<52}{'total':>16}")
+    for name in sorted(totals):
+        print(f"{name:<52}{totals[name]:>16}")
+    if span_time:
+        print(f"\n{'phase':<52}{'total time':>16}")
+        for name, total in sorted(span_time.items(), key=lambda kv: -kv[1]):
+            print(f"{name:<52}{total:>15.3f}s")
+    print("\nthese counts are the hardware-independent cost measure of the"
+          "\npaper's experiments; per-run snapshots live in the sidecar JSON.")
+
+
 REPORTERS = {
     "fig11-effectiveness": report_fig11,
     "fig12-incremental-speedup": report_fig12,
@@ -239,6 +273,10 @@ def main() -> None:
         "--json", type=Path, default=None,
         help="reuse an existing --benchmark-json file instead of re-running",
     )
+    parser.add_argument(
+        "--metrics", type=Path, default=None,
+        help="repro.obs metrics sidecar (default: <benchmark-json>.metrics.json)",
+    )
     args = parser.parse_args()
     if args.json is not None:
         json_path = args.json
@@ -251,6 +289,11 @@ def main() -> None:
             reporter(groups[group])
         else:
             print(f"\n[missing group: {group}]")
+    metrics_path = args.metrics or Path(f"{json_path}.metrics.json")
+    if metrics_path.exists():
+        report_obs(load_metrics_sidecar(metrics_path))
+    else:
+        print(f"\n[no metrics sidecar at {metrics_path}]")
 
 
 if __name__ == "__main__":

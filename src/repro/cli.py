@@ -8,6 +8,10 @@ A pipeline for working with spatial-network clustering from the shell::
     python -m repro render city.json --result clusters.json --out map.svg
     python -m repro info city.json
 
+``cluster`` and ``evaluate`` take ``--stats`` (print the :mod:`repro.obs`
+per-phase time + counter table) and ``--trace FILE`` (write the run's
+hierarchical timing spans as JSONL).
+
 Workloads and results travel as the JSON documents of :mod:`repro.io`.
 """
 
@@ -17,6 +21,7 @@ import argparse
 import json
 import sys
 
+from repro import obs
 from repro.core import (
     EpsLink,
     NetworkDBSCAN,
@@ -100,11 +105,33 @@ def _build_algorithm(args: argparse.Namespace, network, points):
     raise SystemExit(f"unknown algorithm {name!r}")
 
 
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable observability when ``--stats``/``--trace`` ask for it."""
+    wanted = bool(getattr(args, "stats", False) or getattr(args, "trace", None))
+    if wanted:
+        try:
+            obs.enable(trace_path=args.trace)
+        except OSError as exc:
+            raise SystemExit(f"cannot open trace file {args.trace}: {exc}")
+    return wanted
+
+
+def _obs_end(args: argparse.Namespace) -> None:
+    """Close the trace and print the phase/counter table."""
+    obs.disable()
+    if args.trace:
+        print(f"wrote trace {args.trace}")
+    if args.stats:
+        print()
+        print(obs.format_table())
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     network, points = load_workload_file(args.workload)
     if len(points) == 0:
         raise SystemExit("the workload holds no points to cluster")
     algorithm = _build_algorithm(args, network, points)
+    observing = _obs_begin(args)
     if args.dendrogram:
         if args.algorithm != "single-link":
             raise SystemExit("--dendrogram is only available for single-link")
@@ -119,6 +146,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
           f"{len(result.outliers())} outliers "
           f"({result.stats.get('wall_time_s', 0):.3f}s)")
     print(f"wrote {args.out}")
+    if observing:
+        _obs_end(args)
     return 0
 
 
@@ -129,17 +158,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if any(label is None for label in labels.values()):
         raise SystemExit("the workload carries no ground-truth labels")
     predicted = dict(result.assignment)
-    report = {
-        "algorithm": result.algorithm,
-        "clusters": result.num_clusters,
-        "outliers": len(result.outliers()),
-        "ari": round(adjusted_rand_index(labels, predicted, noise="drop"), 4),
-        "nmi": round(
-            normalized_mutual_information(labels, predicted, noise="drop"), 4
-        ),
-        "purity": round(purity(labels, predicted, noise="drop"), 4),
-    }
+    observing = _obs_begin(args)
+    with obs.span("evaluate", algorithm=result.algorithm):
+        report = {
+            "algorithm": result.algorithm,
+            "clusters": result.num_clusters,
+            "outliers": len(result.outliers()),
+            "ari": round(adjusted_rand_index(labels, predicted, noise="drop"), 4),
+            "nmi": round(
+                normalized_mutual_information(labels, predicted, noise="drop"), 4
+            ),
+            "purity": round(purity(labels, predicted, noise="drop"), 4),
+        }
     print(json.dumps(report, indent=2))
+    if observing:
+        _obs_end(args)
     return 0
 
 
@@ -226,11 +259,19 @@ def build_parser() -> argparse.ArgumentParser:
     clus.add_argument("--dendrogram", default=None,
                       help="(single-link) also write the dendrogram JSON here")
     clus.add_argument("--out", required=True, help="output clustering JSON")
+    clus.add_argument("--stats", action="store_true",
+                      help="print the repro.obs per-phase time/counter table")
+    clus.add_argument("--trace", default=None, metavar="FILE",
+                      help="write hierarchical timing spans as JSONL to FILE")
     clus.set_defaults(func=_cmd_cluster)
 
     ev = sub.add_parser("evaluate", help="score a clustering vs ground truth")
     ev.add_argument("workload")
     ev.add_argument("result")
+    ev.add_argument("--stats", action="store_true",
+                    help="print the repro.obs per-phase time/counter table")
+    ev.add_argument("--trace", default=None, metavar="FILE",
+                    help="write hierarchical timing spans as JSONL to FILE")
     ev.set_defaults(func=_cmd_evaluate)
 
     ren = sub.add_parser("render", help="render a workload/clustering to SVG")

@@ -6,6 +6,7 @@ import time
 
 from repro.exceptions import ParameterError
 from repro.network.points import PointSet
+from repro.obs.core import STATE as _OBS, span as _span
 
 __all__ = ["NetworkClusterer"]
 
@@ -39,9 +40,18 @@ class NetworkClusterer:
         return wrapped is points.network
 
     def run(self):
-        """Execute the algorithm, recording wall-clock time in the result."""
+        """Execute the algorithm, recording wall-clock time in the result.
+
+        With :mod:`repro.obs` enabled the whole run is traced as a
+        ``cluster.<algorithm>`` span, the root under which the per-phase
+        spans of the concrete algorithms nest.
+        """
         start = time.perf_counter()
-        result = self._cluster()
+        if _OBS.enabled:
+            with _span("cluster." + self.algorithm_name):
+                result = self._cluster()
+        else:
+            result = self._cluster()
         result.stats.setdefault("wall_time_s", time.perf_counter() - start)
         return result
 

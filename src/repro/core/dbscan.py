@@ -30,6 +30,7 @@ from repro.exceptions import ParameterError
 from repro.network.augmented import AugmentedView
 from repro.network.points import PointSet
 from repro.network.queries import range_query
+from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
 
 __all__ = ["NetworkDBSCAN"]
 
@@ -84,36 +85,43 @@ class NetworkDBSCAN(NetworkClusterer):
         }
         n_range_queries = 0
         next_label = 0
-        for seed in self.points:
-            if assignment[seed.point_id] != _UNVISITED:
-                continue
-            neighborhood = range_query(aug, seed, self.eps)
-            n_range_queries += 1
-            if len(neighborhood) < self.min_pts:
-                assignment[seed.point_id] = NOISE  # may become border later
-                continue
-            # Found a new core object: grow its cluster.
-            label = next_label
-            next_label += 1
-            assignment[seed.point_id] = label
-            queue = deque(p.point_id for p, _ in neighborhood)
-            while queue:
-                pid = queue.popleft()
-                state = assignment[pid]
-                if state == NOISE:
-                    # Previously deemed noise: it is density-reachable, so it
-                    # becomes a border member of this cluster.
-                    assignment[pid] = label
+        with _span("dbscan.scan"):
+            for seed in self.points:
+                if assignment[seed.point_id] != _UNVISITED:
                     continue
-                if state != _UNVISITED:
-                    continue
-                assignment[pid] = label
-                member_neighborhood = range_query(aug, self.points.get(pid), self.eps)
+                neighborhood = range_query(aug, seed, self.eps)
                 n_range_queries += 1
-                if len(member_neighborhood) >= self.min_pts:
-                    # pid is core: its neighbours are density-reachable.
-                    queue.extend(p.point_id for p, _ in member_neighborhood)
+                if len(neighborhood) < self.min_pts:
+                    assignment[seed.point_id] = NOISE  # may become border later
+                    continue
+                # Found a new core object: grow its cluster.
+                label = next_label
+                next_label += 1
+                assignment[seed.point_id] = label
+                queue = deque(p.point_id for p, _ in neighborhood)
+                while queue:
+                    pid = queue.popleft()
+                    state = assignment[pid]
+                    if state == NOISE:
+                        # Previously deemed noise: it is density-reachable, so
+                        # it becomes a border member of this cluster.
+                        assignment[pid] = label
+                        continue
+                    if state != _UNVISITED:
+                        continue
+                    assignment[pid] = label
+                    member_neighborhood = range_query(
+                        aug, self.points.get(pid), self.eps
+                    )
+                    n_range_queries += 1
+                    if len(member_neighborhood) >= self.min_pts:
+                        # pid is core: its neighbours are density-reachable.
+                        queue.extend(p.point_id for p, _ in member_neighborhood)
         n_noise = sum(1 for lab in assignment.values() if lab == NOISE)
+        if _OBS.enabled:
+            _obs_add("dbscan.range_queries", n_range_queries)
+            _obs_add("dbscan.noise_points", n_noise)
+            _obs_add("dbscan.clusters", next_label)
         return ClusteringResult(
             assignment,
             algorithm=self.algorithm_name,

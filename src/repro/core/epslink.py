@@ -37,6 +37,7 @@ from repro.eval.metrics import NOISE
 from repro.exceptions import ParameterError
 from repro.network.augmented import AugmentedView, POINT, point_vertex
 from repro.network.points import PointSet
+from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
 
 __all__ = ["EpsLink", "EpsLinkEdgewise"]
 
@@ -92,16 +93,23 @@ class EpsLink(NetworkClusterer):
         assignment: dict[int, int] = {}
         vertices_visited = 0
         next_label = 0
-        for seed in self.points:
-            if seed.point_id in assignment:
-                continue
-            members, visited = self._expand_cluster(aug, seed.point_id, assignment)
-            vertices_visited += visited
-            for pid in members:
-                assignment[pid] = next_label
-            next_label += 1
+        with _span("epslink.sweep"):
+            for seed in self.points:
+                if seed.point_id in assignment:
+                    continue
+                members, visited = self._expand_cluster(
+                    aug, seed.point_id, assignment
+                )
+                vertices_visited += visited
+                for pid in members:
+                    assignment[pid] = next_label
+                next_label += 1
 
         n_outliers = self._apply_min_sup(assignment)
+        if _OBS.enabled:
+            _obs_add("epslink.expansions", next_label)
+            _obs_add("epslink.vertices_visited", vertices_visited)
+            _obs_add("epslink.outliers", n_outliers)
         return ClusteringResult(
             assignment,
             algorithm=self.algorithm_name,

@@ -43,6 +43,7 @@ from repro.eval.metrics import NOISE
 from repro.exceptions import ParameterError
 from repro.network.dijkstra import multi_source
 from repro.network.points import NetworkPoint, PointSet
+from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
 
 __all__ = ["NetworkKMedoids", "MedoidState"]
 
@@ -449,14 +450,44 @@ class NetworkKMedoids(NetworkClusterer):
         medoid_set = set(medoid_ids)
 
         t0 = time.perf_counter()
-        state = self.medoid_dist_find(medoids)
-        assignment, distance = self.assign_points(medoids, state)
+        # The paper's three phases, traced separately: *seed* (Figure 4's
+        # concurrent expansion from the initial medoids), *expand*
+        # (Equation 1's point assignment), *swap* (the replacement loop).
+        with _span("kmedoids.seed"):
+            state = self.medoid_dist_find(medoids)
+        with _span("kmedoids.expand"):
+            assignment, distance = self.assign_points(medoids, state)
         stats["first_iteration_time_s"] += time.perf_counter() - t0
         stats["iterations"] += 1
         R = sum(distance.values())
         incident = self._incident_populated_edges() if self.incremental else None
 
         all_ids = sorted(self.points.point_ids())
+        with _span("kmedoids.swap"):
+            medoid_set, R, assignment = self._swap_loop(
+                medoid_set, state, assignment, distance, R, all_ids, incident, stats
+            )
+        if _OBS.enabled:
+            _obs_add("kmedoids.restarts")
+        return R, dict(assignment), sorted(medoid_set)
+
+    def _swap_loop(
+        self,
+        medoid_set: set[int],
+        state: MedoidState,
+        assignment: dict[int, int],
+        distance: dict[int, float],
+        R: float,
+        all_ids: list[int],
+        incident,
+        stats: dict,
+    ) -> tuple[set[int], float, dict[int, int]]:
+        """The medoid replacement loop (the paper's swap phase).
+
+        Returns the final medoid set, evaluation value and assignment (the
+        non-incremental path rebinds the maps rather than mutating them, so
+        the caller must take the returned ones).
+        """
         bad = 0
         swaps = 0
         while bad < self.max_bad_swaps and swaps < self.max_swaps:
@@ -501,6 +532,9 @@ class NetworkKMedoids(NetworkClusterer):
                 else:
                     self.rollback_assignment(assignment, distance, assign_log)
                     self.rollback_update(state, state_log)
+                if _OBS.enabled:
+                    _obs_add("kmedoids.update_touched_nodes", len(state_log))
+                    _obs_add("kmedoids.update_reassigned_points", len(assign_log))
             else:
                 cand_state = self.medoid_dist_find(cand_medoids)
                 cand_assignment, cand_distance = self.assign_points(
@@ -520,6 +554,10 @@ class NetworkKMedoids(NetworkClusterer):
             if committed:
                 bad = 0
                 stats["committed_swaps"] += 1
+                if _OBS.enabled:
+                    _obs_add("kmedoids.committed_swaps")
             else:
                 bad += 1
-        return R, dict(assignment), sorted(medoid_set)
+        if _OBS.enabled:
+            _obs_add("kmedoids.swap_iterations", swaps)
+        return medoid_set, R, assignment

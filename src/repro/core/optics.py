@@ -30,6 +30,7 @@ from repro.exceptions import ParameterError
 from repro.network.augmented import AugmentedView
 from repro.network.points import PointSet
 from repro.network.queries import range_query
+from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
 
 __all__ = ["NetworkOPTICS", "OPTICSResult", "OrderedPoint"]
 
@@ -139,10 +140,15 @@ class NetworkOPTICS(NetworkClusterer):
         reachability: dict[int, float] = {}
         ordering: list[OrderedPoint] = []
 
-        for seed in self.points:
-            if seed.point_id in processed:
-                continue
-            self._expand_order(aug, seed.point_id, processed, reachability, ordering)
+        with _span("optics.ordering"):
+            for seed in self.points:
+                if seed.point_id in processed:
+                    continue
+                self._expand_order(
+                    aug, seed.point_id, processed, reachability, ordering
+                )
+        if _OBS.enabled:
+            _obs_add("optics.ordered_points", len(ordering))
         return OPTICSResult(ordering, self.max_eps, self.min_pts)
 
     def _cluster(self) -> ClusteringResult:

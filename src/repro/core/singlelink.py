@@ -44,6 +44,7 @@ from repro.exceptions import ParameterError
 from repro.network.augmented import AugmentedView, node_vertex, point_vertex
 from repro.network.dijkstra import multi_source
 from repro.network.points import PointSet
+from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
 
 __all__ = ["SingleLink"]
 
@@ -133,38 +134,51 @@ class SingleLink(NetworkClusterer):
         """
         aug = AugmentedView(self.network, self.points)
         seeds = [(0.0, point_vertex(p.point_id), p.point_id) for p in self.points]
-        dist, owner = multi_source(aug, seeds)
+        # Phase 1: the network Voronoi diagram of the objects.
+        with _span("singlelink.voronoi"):
+            dist, owner = multi_source(aug, seeds)
 
-        best: dict[tuple[int, int], float] = {}
-        vertices = [node_vertex(n) for n in self.network.nodes()]
-        vertices.extend(point_vertex(p.point_id) for p in self.points)
-        for vertex in vertices:
-            dv = dist.get(vertex)
-            if dv is None:
-                continue  # vertex in a component without objects
-            ov = owner[vertex]
-            for nbr, seg in aug.neighbors(vertex):
-                du = dist.get(nbr)
-                if du is None:
-                    continue
-                ou = owner[nbr]
-                if ou == ov:
-                    continue
-                pair = (ov, ou) if ov < ou else (ou, ov)
-                weight = dv + seg + du
-                if weight < best.get(pair, float("inf")):
-                    best[pair] = weight
-        bridges = sorted((w, a, b) for (a, b), w in best.items())
+        # Phase 2: cheapest bridge per adjacent owner pair.
+        with _span("singlelink.bridges"):
+            best: dict[tuple[int, int], float] = {}
+            vertices = [node_vertex(n) for n in self.network.nodes()]
+            vertices.extend(point_vertex(p.point_id) for p in self.points)
+            for vertex in vertices:
+                dv = dist.get(vertex)
+                if dv is None:
+                    continue  # vertex in a component without objects
+                ov = owner[vertex]
+                for nbr, seg in aug.neighbors(vertex):
+                    du = dist.get(nbr)
+                    if du is None:
+                        continue
+                    ou = owner[nbr]
+                    if ou == ov:
+                        continue
+                    pair = (ov, ou) if ov < ou else (ou, ov)
+                    weight = dv + seg + du
+                    if weight < best.get(pair, float("inf")):
+                        best[pair] = weight
+            bridges = sorted((w, a, b) for (a, b), w in best.items())
         stats = {
             "vertices_settled": len(dist),
             "candidate_pairs": len(bridges),
         }
+        if _OBS.enabled:
+            _obs_add("singlelink.vertices_settled", len(dist))
+            _obs_add("singlelink.candidate_pairs", len(bridges))
         return bridges, stats
 
     # ------------------------------------------------------------------
     # Phase 3: Kruskal with the delta heuristic
     # ------------------------------------------------------------------
     def _kruskal(
+        self, bridges: list[tuple[float, int, int]], stats: dict
+    ) -> Dendrogram:
+        with _span("singlelink.kruskal"):
+            return self._kruskal_inner(bridges, stats)
+
+    def _kruskal_inner(
         self, bridges: list[tuple[float, int, int]], stats: dict
     ) -> Dendrogram:
         point_ids = sorted(self.points.point_ids())
@@ -216,4 +230,8 @@ class SingleLink(NetworkClusterer):
             next_id += 1
 
         self.last_stats = stats
+        if _OBS.enabled:
+            _obs_add("singlelink.premerged_pairs", split)
+            _obs_add("singlelink.recorded_merges", len(merges))
+            _obs_add("singlelink.initial_clusters", len(leaf_members))
         return Dendrogram(leaf_members, merges, premerge_distance=self.delta)

@@ -1,58 +1,28 @@
-"""Instrumentation: wall-clock timers and operation counters.
+"""Legacy instrumentation shims over :mod:`repro.obs`.
 
-The paper's cost experiments report execution time on 2002-era hardware with
-a real disk; this library reports both wall-clock time (Python, so absolute
-numbers differ) and hardware-independent operation counts: heap operations,
-nodes settled, edges relaxed, and — through the storage layer — page reads,
-writes, and buffer hits.  The *shapes* of the paper's cost curves are
-reproduced in terms of either measure.
+This module predates the unified observability subsystem; it is kept as a
+thin compatibility layer so existing imports (``Stopwatch``, ``OpCounter``,
+``StatsRegistry``) keep working.  New code should use :mod:`repro.obs`
+directly: its counters, spans and reports are what the CLI's ``--stats`` /
+``--trace`` flags and the benchmark metrics sidecars are built on.
+
+* :class:`Stopwatch` is re-exported from :mod:`repro.obs.timing` unchanged.
+* :class:`OpCounter` remains a plain dataclass of traversal counts, with
+  :meth:`OpCounter.publish` to fold its values into the global registry
+  under the ``dijkstra.*``-style namespace.
+* :class:`StatsRegistry` keeps its named-timers/named-counters API and
+  gains :meth:`StatsRegistry.publish` to mirror everything it recorded into
+  :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro import obs
+from repro.obs.timing import Stopwatch
+
 __all__ = ["Stopwatch", "OpCounter", "StatsRegistry"]
-
-
-class Stopwatch:
-    """A simple cumulative wall-clock timer.
-
-    >>> sw = Stopwatch()
-    >>> with sw:
-    ...     pass
-    >>> sw.elapsed >= 0.0
-    True
-    """
-
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-        self._started: float | None = None
-
-    def start(self) -> None:
-        if self._started is not None:
-            raise RuntimeError("stopwatch already running")
-        self._started = time.perf_counter()
-
-    def stop(self) -> float:
-        if self._started is None:
-            raise RuntimeError("stopwatch is not running")
-        delta = time.perf_counter() - self._started
-        self.elapsed += delta
-        self._started = None
-        return delta
-
-    def reset(self) -> None:
-        self.elapsed = 0.0
-        self._started = None
-
-    def __enter__(self) -> "Stopwatch":
-        self.start()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
 
 
 @dataclass
@@ -72,7 +42,7 @@ class OpCounter:
         self.edges_relaxed = 0
         self.points_scanned = 0
 
-    def as_dict(self) -> dict[int, int]:
+    def as_dict(self) -> dict[str, int]:
         return {
             "heap_pushes": self.heap_pushes,
             "heap_pops": self.heap_pops,
@@ -80,6 +50,13 @@ class OpCounter:
             "edges_relaxed": self.edges_relaxed,
             "points_scanned": self.points_scanned,
         }
+
+    def publish(self, prefix: str) -> None:
+        """Fold these counts into :mod:`repro.obs` as ``<prefix>.<field>``
+        (a no-op while observability is disabled)."""
+        for key, value in self.as_dict().items():
+            if value:
+                obs.add(f"{prefix}.{key}", value)
 
     def __add__(self, other: "OpCounter") -> "OpCounter":
         return OpCounter(
@@ -93,7 +70,12 @@ class OpCounter:
 
 @dataclass
 class StatsRegistry:
-    """Named stopwatches and counters for a whole experiment run."""
+    """Named stopwatches and counters for a whole experiment run.
+
+    A local registry: several experiments can record independently and only
+    :meth:`publish` merges a run into the process-global :mod:`repro.obs`
+    namespace.
+    """
 
     timers: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
@@ -113,3 +95,10 @@ class StatsRegistry:
             for key, value in ctr.as_dict().items():
                 out[f"ops.{name}.{key}"] = value
         return out
+
+    def publish(self) -> None:
+        """Mirror every recorded counter into :mod:`repro.obs` under
+        ``ops.<name>.<field>`` (timers are not mirrored: wall-clock belongs
+        to spans, which carry hierarchy this registry lacks)."""
+        for name, ctr in self.counters.items():
+            ctr.publish(f"ops.{name}")

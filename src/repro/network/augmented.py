@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.network.points import NetworkPoint, PointSet
+from repro.obs.core import STATE as _OBS
 
 __all__ = ["AugmentedView", "NODE", "POINT", "node_vertex", "point_vertex"]
 
@@ -91,6 +92,14 @@ class AugmentedView:
     def neighbors(self, vertex: Vertex) -> Iterator[tuple[Vertex, float]]:
         """Iterate ``(neighbor_vertex, segment_length)`` pairs of ``vertex``."""
         kind, ident = vertex
+        if _OBS.enabled:
+            c = _OBS.counters
+            key = (
+                "augmented.node_expansions"
+                if kind == NODE
+                else "augmented.point_expansions"
+            )
+            c[key] = c.get(key, 0) + 1
         if kind == NODE:
             yield from self._node_neighbors(ident)
         else:

@@ -20,6 +20,15 @@ All functions operate on any object implementing ``neighbors(node)``
 returning ``(neighbor, weight)`` pairs — both the in-memory
 :class:`~repro.network.graph.SpatialNetwork` and the disk-backed store
 qualify.
+
+Observability
+-------------
+When :mod:`repro.obs` is enabled, traversals report under the ``dijkstra.*``
+namespace: ``runs``, ``heap_pushes``, ``heap_pops``, ``nodes_settled`` and
+``edges_relaxed``.  The counting lives in *twin* loops selected by a single
+flag check on entry, so a disabled run executes the exact uninstrumented
+bytecode — the paper's cost curves must never be perturbed by the tooling
+that measures them.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import math
 from collections.abc import Iterable, Mapping
 
 from repro.exceptions import UnreachableError
+from repro.obs.core import STATE as _OBS, add as _obs_add
 
 __all__ = [
     "single_source",
@@ -63,6 +73,8 @@ def single_source(
     -------
     dict mapping node -> distance, containing every settled node.
     """
+    if _OBS.enabled:
+        return _single_source_counted(network, source, targets, cutoff)
     remaining = set(targets) if targets is not None else None
     dist: dict[int, float] = {}
     heap: list[tuple[float, int]] = [(0.0, source)]
@@ -81,6 +93,45 @@ def single_source(
             nd = d + weight
             if nd <= cutoff:
                 heapq.heappush(heap, (nd, nbr))
+    return dist
+
+
+def _single_source_counted(
+    network,
+    source: int,
+    targets: Iterable[int] | None,
+    cutoff: float,
+) -> dict[int, float]:
+    """Counting twin of :func:`single_source` (obs enabled)."""
+    remaining = set(targets) if targets is not None else None
+    dist: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    pops = 0
+    pushes = 1  # the seed entry
+    relaxed = 0
+    while heap:
+        d, node = heapq.heappop(heap)
+        pops += 1
+        if node in dist:
+            continue
+        dist[node] = d
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for nbr, weight in network.neighbors(node):
+            relaxed += 1
+            if nbr in dist:
+                continue
+            nd = d + weight
+            if nd <= cutoff:
+                heapq.heappush(heap, (nd, nbr))
+                pushes += 1
+    _obs_add("dijkstra.runs")
+    _obs_add("dijkstra.heap_pops", pops)
+    _obs_add("dijkstra.heap_pushes", pushes)
+    _obs_add("dijkstra.edges_relaxed", relaxed)
+    _obs_add("dijkstra.nodes_settled", len(dist))
     return dist
 
 
@@ -110,6 +161,9 @@ def single_source_with_paths(
             nd = d + weight
             if nd <= cutoff:
                 heapq.heappush(heap, (nd, nbr, node))
+    if _OBS.enabled:
+        _obs_add("dijkstra.runs")
+        _obs_add("dijkstra.nodes_settled", len(dist))
     return dist, pred
 
 
@@ -155,6 +209,9 @@ def multi_source(
     else:
         entries = list(seeds)
 
+    if _OBS.enabled:
+        return _multi_source_counted(network, entries, cutoff)
+
     dist: dict[int, float] = {}
     label: dict[int, object] = {}
     counter = 0  # tie-breaker so heterogeneous labels never get compared
@@ -178,6 +235,49 @@ def multi_source(
             if nd <= cutoff:
                 counter += 1
                 heapq.heappush(heap, (nd, counter, nbr, lab))
+    return dist, label
+
+
+def _multi_source_counted(
+    network,
+    entries: list[tuple[float, int, object]],
+    cutoff: float,
+) -> tuple[dict[int, float], dict[int, object]]:
+    """Counting twin of :func:`multi_source` (obs enabled)."""
+    dist: dict[int, float] = {}
+    label: dict[int, object] = {}
+    counter = 0
+    heap: list[tuple[float, int, int, object]] = []
+    for d0, node, lab in entries:
+        if d0 <= cutoff:
+            heap.append((d0, counter, node, lab))
+            counter += 1
+    heapq.heapify(heap)
+    pops = 0
+    pushes = len(heap)
+    relaxed = 0
+
+    while heap:
+        d, _, node, lab = heapq.heappop(heap)
+        pops += 1
+        if node in dist:
+            continue
+        dist[node] = d
+        label[node] = lab
+        for nbr, weight in network.neighbors(node):
+            relaxed += 1
+            if nbr in dist:
+                continue
+            nd = d + weight
+            if nd <= cutoff:
+                counter += 1
+                heapq.heappush(heap, (nd, counter, nbr, lab))
+                pushes += 1
+    _obs_add("dijkstra.multi_source_runs")
+    _obs_add("dijkstra.heap_pops", pops)
+    _obs_add("dijkstra.heap_pushes", pushes)
+    _obs_add("dijkstra.edges_relaxed", relaxed)
+    _obs_add("dijkstra.nodes_settled", len(dist))
     return dist, label
 
 

@@ -15,6 +15,7 @@ import math
 
 from repro.network.augmented import AugmentedView, POINT, point_vertex
 from repro.network.points import NetworkPoint
+from repro.obs.core import STATE as _OBS, add as _obs_add
 
 __all__ = ["range_query", "knn_query", "nearest_point"]
 
@@ -50,6 +51,10 @@ def range_query(
                 nd = d + weight
                 if nd <= eps:
                     heapq.heappush(heap, (nd, nbr))
+    if _OBS.enabled:
+        _obs_add("queries.range_queries")
+        _obs_add("queries.vertices_settled", len(dist))
+        _obs_add("queries.points_found", len(results))
     return results
 
 
@@ -83,6 +88,9 @@ def knn_query(
         for nbr, weight in aug.neighbors(vertex):
             if nbr not in dist:
                 heapq.heappush(heap, (d + weight, nbr))
+    if _OBS.enabled:
+        _obs_add("queries.knn_queries")
+        _obs_add("queries.vertices_settled", len(dist))
     return results
 
 

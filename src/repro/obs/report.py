@@ -1,0 +1,100 @@
+"""Reporting over the observability state: snapshots, tables, sidecars.
+
+Three consumers read the unified registry:
+
+* the CLI's ``--stats`` flag prints :func:`format_table` after a run;
+* the benchmark suite serialises one :func:`snapshot` per benchmark into a
+  *metrics sidecar* JSON (``write_metrics_sidecar``) that
+  ``benchmarks/make_report.py`` folds into the paper report;
+* tests assert on :func:`snapshot` directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.core import STATE
+
+__all__ = [
+    "SIDECAR_SCHEMA",
+    "format_table",
+    "load_metrics_sidecar",
+    "snapshot",
+    "write_metrics_sidecar",
+]
+
+SIDECAR_SCHEMA = "repro.obs.sidecar/v1"
+
+
+def snapshot() -> dict:
+    """The current aggregates: ``{"counters": {...}, "spans": {...}}``.
+
+    ``spans`` maps each span name to ``{"count", "total_s"}``.  The returned
+    structure is a deep copy — later instrumentation does not mutate it.
+    """
+    return {
+        "counters": dict(sorted(STATE.counters.items())),
+        "spans": {
+            name: {
+                "count": STATE.span_count[name],
+                "total_s": STATE.span_total.get(name, 0.0),
+            }
+            for name in sorted(STATE.span_count)
+        },
+    }
+
+
+def format_table(snap: dict | None = None) -> str:
+    """A printable per-phase time + counter table of ``snap`` (or the live
+    state)."""
+    if snap is None:
+        snap = snapshot()
+    lines: list[str] = []
+    spans = snap.get("spans", {})
+    counters = snap.get("counters", {})
+    if spans:
+        lines.append(f"{'phase':<44}{'calls':>8}{'total':>12}{'mean':>12}")
+        lines.append("-" * 76)
+        for name, agg in sorted(
+            spans.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+        ):
+            count = agg["count"]
+            total = agg["total_s"]
+            mean = total / count if count else 0.0
+            lines.append(
+                f"{name:<44}{count:>8}{total:>11.4f}s{mean * 1e3:>10.3f}ms"
+            )
+    if counters:
+        if spans:
+            lines.append("")
+        lines.append(f"{'counter':<56}{'value':>16}")
+        lines.append("-" * 72)
+        for name, value in sorted(counters.items()):
+            lines.append(f"{name:<56}{value:>16}")
+    if not lines:
+        return "(no observability data recorded)"
+    return "\n".join(lines)
+
+
+def write_metrics_sidecar(path, runs: list[dict], meta: dict | None = None) -> None:
+    """Serialise per-run snapshots into a metrics sidecar JSON.
+
+    ``runs`` entries are ``{"test": <id>, "counters": ..., "spans": ...}``
+    dicts (a snapshot tagged with the producing test/benchmark id).
+    """
+    payload = {"schema": SIDECAR_SCHEMA, "meta": meta or {}, "runs": runs}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_metrics_sidecar(path) -> dict:
+    """Read a sidecar written by :func:`write_metrics_sidecar`."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SIDECAR_SCHEMA:
+        raise ValueError(
+            f"{path}: not a repro.obs metrics sidecar "
+            f"(schema={payload.get('schema')!r})"
+        )
+    return payload

@@ -38,6 +38,7 @@ from repro.exceptions import (
 )
 from repro.network.graph import normalize_edge
 from repro.network.points import NetworkPoint, PointSet
+from repro.obs.core import add as _obs_add, span as _span
 from repro.storage.bptree import BPlusTree
 from repro.storage.ccam import ccam_order
 from repro.storage.flatfile import RecordFile
@@ -118,6 +119,21 @@ class NetworkStore:
         ``network.nodes()`` yields), or an explicit node list — the ablation
         hook for the CCAM locality experiment.
         """
+        with _span("netstore.build", path=str(path)):
+            return cls._build(
+                path, network, points, page_size, buffer_bytes, node_order
+            )
+
+    @classmethod
+    def _build(
+        cls,
+        path: str,
+        network,
+        points: PointSet | None,
+        page_size: int,
+        buffer_bytes: int,
+        node_order: list[int] | str,
+    ) -> "NetworkStore":
         file = PagedFile(path, page_size=page_size)
         buffer = BufferManager(file, capacity_bytes=buffer_bytes)
         adj_file = RecordFile(buffer)
@@ -207,6 +223,7 @@ class NetworkStore:
         rid = self._node_tree.search(node)
         if rid is None:
             raise NodeNotFoundError(node)
+        _obs_add("storage.adj_record_reads")
         record = self._adj_file.read(rid)
         (count,) = _ADJ_HEADER.unpack_from(record, 0)
         entries = [
@@ -261,6 +278,7 @@ class NetworkStore:
         rid = self._point_tree.search(first_pid)
         if rid is None:
             raise StorageError(f"missing point group for first id {first_pid}")
+        _obs_add("storage.group_record_reads")
         return self._decode_group(self._pts_file.read(rid))
 
     @staticmethod

@@ -12,7 +12,10 @@ those two layers:
 
 The buffer statistics are the hardware-independent cost measure of the
 storage experiments: 2002 disk latencies are long gone, but the *number* of
-page faults a clustering algorithm triggers is timeless.
+page faults a clustering algorithm triggers is timeless.  Both layers keep
+their per-instance counters *and* mirror every event into the unified
+:mod:`repro.obs` registry (``storage.physical_reads``,
+``storage.buffer_hits``, ...) so traversal and I/O cost land in one report.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import struct
 from collections import OrderedDict
 
 from repro.exceptions import PageError, StorageError
+from repro.obs.core import add as _obs_add
 
 __all__ = ["PagedFile", "BufferManager", "DEFAULT_PAGE_SIZE", "DEFAULT_BUFFER_BYTES"]
 
@@ -127,6 +131,7 @@ class PagedFile:
     def read_page(self, pid: int) -> bytes:
         self._check_pid(pid)
         self.reads += 1
+        _obs_add("storage.physical_reads")
         self._fh.seek(pid * self.page_size)
         data = self._fh.read(self.page_size)
         if len(data) != self.page_size:
@@ -140,6 +145,7 @@ class PagedFile:
                 f"data of {len(data)} bytes exceeds page size {self.page_size}"
             )
         self.writes += 1
+        _obs_add("storage.physical_writes")
         self._fh.seek(pid * self.page_size)
         self._fh.write(bytes(data).ljust(self.page_size, b"\x00"))
 
@@ -196,9 +202,11 @@ class BufferManager:
         frame = self._frames.get(pid)
         if frame is not None:
             self.hits += 1
+            _obs_add("storage.buffer_hits")
             self._frames.move_to_end(pid)
             return frame
         self.misses += 1
+        _obs_add("storage.buffer_misses")
         data = self.file.read_page(pid)
         self._admit(pid, data)
         return data
@@ -225,6 +233,7 @@ class BufferManager:
         while len(self._frames) >= self.capacity_pages:
             old_pid, old_data = self._frames.popitem(last=False)
             self.evictions += 1
+            _obs_add("storage.buffer_evictions")
             if old_pid in self._dirty:
                 self.file.write_page(old_pid, old_data)
                 self._dirty.discard(old_pid)

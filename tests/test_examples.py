@@ -7,6 +7,7 @@ Euclidean), so a plain successful run is a meaningful check.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -14,7 +15,19 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _env_with_src() -> dict[str, str]:
+    """The subprocess runs from a sandbox cwd, so `repro` must be importable
+    via PYTHONPATH rather than an editable install."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
 
 
 def test_examples_exist():
@@ -30,6 +43,7 @@ def test_example_runs_cleanly(script, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,  # examples that write artefacts do so in a sandbox
+        env=_env_with_src(),
     )
     assert proc.returncode == 0, (
         f"{script} failed:\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
