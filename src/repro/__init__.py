@@ -31,7 +31,10 @@ Quickstart
 """
 
 from repro.exceptions import (
+    BudgetExceededError,
+    ChecksumError,
     NetworkError,
+    PageCorruptError,
     ParameterError,
     PointError,
     ReproError,
@@ -60,6 +63,9 @@ __all__ = [
     "UnreachableError",
     "ParameterError",
     "StorageError",
+    "ChecksumError",
+    "PageCorruptError",
+    "BudgetExceededError",
     # Network substrate
     "SpatialNetwork",
     "PointSet",
@@ -89,6 +95,10 @@ def __getattr__(name):
         "ClusteringResult": "repro.core",
         "Dendrogram": "repro.core",
         "NetworkStore": "repro.storage",
+        "verify_store": "repro.storage",
+        "OpBudget": "repro.faults",
+        "FaultRule": "repro.faults",
+        "CrashPoint": "repro.faults",
     }
     if name in lazy:
         import importlib
@@ -97,4 +107,10 @@ def __getattr__(name):
         value = getattr(module, name)
         globals()[name] = value
         return value
+    if name == "faults":
+        import importlib
+
+        module = importlib.import_module("repro.faults")
+        globals()[name] = module
+        return module
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -7,6 +7,13 @@ A pipeline for working with spatial-network clustering from the shell::
     python -m repro evaluate city.json clusters.json
     python -m repro render city.json --result clusters.json --out map.svg
     python -m repro info city.json
+    python -m repro check store.db
+
+``check`` verifies a disk network store (header, page checksums, index
+invariants, record bounds, counts) and exits non-zero when anything is
+wrong — see :mod:`repro.storage.verify`.  ``cluster`` accepts operation
+budgets (``--max-expansions``, ``--max-distance-computations``) that shed
+oversized runs with a clean report instead of an unbounded stall.
 
 ``cluster`` and ``evaluate`` take ``--stats`` (print the :mod:`repro.obs`
 per-phase time + counter table) and ``--trace FILE`` (write the run's
@@ -39,6 +46,7 @@ from repro.datagen import (
 )
 from repro.datagen.clusters import well_separated_seed_edges
 from repro.eval import adjusted_rand_index, normalized_mutual_information, purity
+from repro.exceptions import BudgetExceededError
 from repro.io import (
     load_result_file,
     load_workload_file,
@@ -81,27 +89,49 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_budget(args: argparse.Namespace):
+    """An OpBudget from the --max-* flags, or None when none were given."""
+    caps = (
+        getattr(args, "max_expansions", None),
+        getattr(args, "max_distance_computations", None),
+        getattr(args, "max_page_reads", None),
+    )
+    if all(cap is None for cap in caps):
+        return None
+    from repro.faults import OpBudget
+
+    return OpBudget(
+        max_expansions=caps[0],
+        max_distance_computations=caps[1],
+        max_page_reads=caps[2],
+    )
+
+
 def _build_algorithm(args: argparse.Namespace, network, points):
     name = args.algorithm
+    budget = _build_budget(args)
     if name == "k-medoids":
         return NetworkKMedoids(network, points, k=args.k, seed=args.seed,
-                               n_restarts=args.restarts)
+                               n_restarts=args.restarts, budget=budget)
     if name in ("eps-link", "dbscan", "optics") and args.eps is None:
         raise SystemExit(f"--eps is required for {name}")
     if name == "eps-link":
-        return EpsLink(network, points, eps=args.eps, min_sup=args.min_pts)
+        return EpsLink(network, points, eps=args.eps, min_sup=args.min_pts,
+                       budget=budget)
     if name == "dbscan":
-        return NetworkDBSCAN(network, points, eps=args.eps, min_pts=args.min_pts)
+        return NetworkDBSCAN(network, points, eps=args.eps, min_pts=args.min_pts,
+                             budget=budget)
     if name == "optics":
         return NetworkOPTICS(network, points, max_eps=args.eps,
-                             min_pts=args.min_pts)
+                             min_pts=args.min_pts, budget=budget)
     if name == "single-link":
         stop_k = args.k if args.stop == "k" else None
         stop_distance = args.eps if args.stop == "distance" else None
         if args.stop == "distance" and args.eps is None:
             raise SystemExit("--stop distance requires --eps")
         return SingleLink(network, points, delta=args.delta,
-                          stop_k=stop_k, stop_distance=stop_distance)
+                          stop_k=stop_k, stop_distance=stop_distance,
+                          budget=budget)
     raise SystemExit(f"unknown algorithm {name!r}")
 
 
@@ -140,7 +170,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             json.dump(dendrogram.to_dict(), fh)
         print(f"wrote {args.dendrogram}: {dendrogram.num_leaves} leaves, "
               f"{len(dendrogram.merges)} merges")
-    result = algorithm.run()
+    try:
+        result = algorithm.run()
+    except BudgetExceededError as exc:
+        if observing:
+            _obs_end(args)
+        print(f"aborted cleanly: {exc} (algorithm {exc.algorithm})",
+              file=sys.stderr)
+        return 3
     save_result(args.out, result)
     print(f"{result.algorithm}: {result.num_clusters} clusters, "
           f"{len(result.outliers())} outliers "
@@ -192,6 +229,30 @@ def _cmd_render(args: argparse.Namespace) -> int:
     )
     print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.storage.verify import verify_store
+
+    findings = verify_store(args.store)
+    if args.json:
+        print(json.dumps([
+            {
+                "severity": f.severity,
+                "kind": f.kind,
+                "page_id": f.page_id,
+                "message": f.message,
+            }
+            for f in findings
+        ], indent=2))
+    else:
+        for f in findings:
+            print(f)
+        print(
+            f"{args.store}: "
+            + ("OK" if not findings else f"{len(findings)} problem(s) found")
+        )
+    return 0 if not findings else 2
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -263,6 +324,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the repro.obs per-phase time/counter table")
     clus.add_argument("--trace", default=None, metavar="FILE",
                       help="write hierarchical timing spans as JSONL to FILE")
+    clus.add_argument("--max-expansions", type=int, default=None,
+                      help="abort cleanly after this many traversal settles")
+    clus.add_argument("--max-distance-computations", type=int, default=None,
+                      help="abort cleanly after this many distance evaluations")
+    clus.add_argument("--max-page-reads", type=int, default=None,
+                      help="abort cleanly after this many physical page reads")
     clus.set_defaults(func=_cmd_cluster)
 
     ev = sub.add_parser("evaluate", help="score a clustering vs ground truth")
@@ -284,6 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
     inf = sub.add_parser("info", help="summarise a workload file")
     inf.add_argument("workload")
     inf.set_defaults(func=_cmd_info)
+
+    chk = sub.add_parser(
+        "check", help="verify a disk network store's integrity"
+    )
+    chk.add_argument("store", help="network-store file built by NetworkStore")
+    chk.add_argument("--json", action="store_true",
+                     help="emit findings as JSON instead of text")
+    chk.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -11,6 +11,12 @@ Four clustering paradigms over network distances:
 
 from repro.core.base import NetworkClusterer
 from repro.core.dbscan import NetworkDBSCAN
+from repro.core.degrade import (
+    ComponentPointSet,
+    ConnectivityReport,
+    analyze_connectivity,
+    distribute_k,
+)
 from repro.core.dendrogram import Dendrogram, Merge
 from repro.core.epslink import EpsLink, EpsLinkEdgewise
 from repro.core.incremental import IncrementalEpsLink
@@ -23,6 +29,10 @@ from repro.core.unionfind import UnionFind
 __all__ = [
     "NetworkClusterer",
     "NetworkDBSCAN",
+    "ComponentPointSet",
+    "ConnectivityReport",
+    "analyze_connectivity",
+    "distribute_k",
     "Dendrogram",
     "Merge",
     "EpsLink",

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import time
 
-from repro.exceptions import ParameterError
+from repro.core.degrade import analyze_connectivity
+from repro.exceptions import BudgetExceededError, ParameterError
 from repro.network.points import PointSet
 from repro.obs.core import STATE as _OBS, span as _span
 
@@ -20,18 +21,47 @@ class NetworkClusterer:
     traversal protocol (``neighbors``, ``edge_weight``, ``nodes``, ...), so
     the algorithms work over both :class:`~repro.network.SpatialNetwork`
     and the disk-backed :class:`~repro.storage.NetworkStore`.
+
+    Robustness contract
+    -------------------
+    * ``budget`` — an optional :class:`~repro.faults.OpBudget`; while the
+      run executes it is the process-active budget, so every traversal and
+      page read is charged against it.  Exhaustion raises
+      :class:`~repro.exceptions.BudgetExceededError` (tagged with the
+      algorithm name) and leaves no shared state corrupted.
+    * ``check_connectivity`` — ``None`` (default) analyses the network's
+      components only for algorithms that declare
+      ``handles_disconnected = False``; ``True`` forces the analysis (its
+      report lands in ``result.stats``), ``False`` skips it entirely.  On a
+      disconnected network, non-handling algorithms are orchestrated per
+      component via :meth:`_cluster_components`, and every result carries an
+      explicit ``unreachable_pairs`` count — the object pairs no distance-
+      based method can relate.
     """
 
     #: Subclasses set this to their reporting name.
     algorithm_name = "abstract"
 
-    def __init__(self, network, points: PointSet) -> None:
+    #: Whether :meth:`_cluster` already yields well-defined per-component
+    #: results on a disconnected network (density/linkage methods do; the
+    #: partitioning method does not and overrides :meth:`_cluster_components`).
+    handles_disconnected = True
+
+    def __init__(
+        self,
+        network,
+        points: PointSet,
+        budget=None,
+        check_connectivity: bool | None = None,
+    ) -> None:
         if points.network is not network and not self._same_backend(network, points):
             raise ParameterError(
                 "the point set was built against a different network object"
             )
         self.network = network
         self.points = points
+        self.budget = budget
+        self.check_connectivity = check_connectivity
 
     @staticmethod
     def _same_backend(network, points: PointSet) -> bool:
@@ -47,13 +77,51 @@ class NetworkClusterer:
         spans of the concrete algorithms nest.
         """
         start = time.perf_counter()
+        try:
+            if self.budget is not None:
+                with self.budget.activate():
+                    result = self._run_traced()
+            else:
+                result = self._run_traced()
+        except BudgetExceededError as exc:
+            if exc.algorithm is None:
+                exc.algorithm = self.algorithm_name
+            raise
+        result.stats.setdefault("wall_time_s", time.perf_counter() - start)
+        return result
+
+    def _run_traced(self):
         if _OBS.enabled:
             with _span("cluster." + self.algorithm_name):
-                result = self._cluster()
-        else:
+                return self._run_checked()
+        return self._run_checked()
+
+    def _run_checked(self):
+        check = self.check_connectivity
+        if check is None:
+            check = not self.handles_disconnected
+        if not check:
+            return self._cluster()
+        report = analyze_connectivity(self.network, self.points)
+        if report.num_populated_components <= 1 or self.handles_disconnected:
             result = self._cluster()
-        result.stats.setdefault("wall_time_s", time.perf_counter() - start)
+        else:
+            result = self._cluster_components(report)
+        result.stats["connectivity"] = report.summary()
+        result.stats["unreachable_pairs"] = report.unreachable_pairs
         return result
 
     def _cluster(self):
         raise NotImplementedError
+
+    def _cluster_components(self, report):
+        """Per-component orchestration on a disconnected network.
+
+        Only reached when ``handles_disconnected`` is ``False``; such
+        subclasses must override this to run themselves once per populated
+        component and merge the results.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares handles_disconnected=False "
+            "but does not implement _cluster_components"
+        )

@@ -69,8 +69,12 @@ class NetworkDBSCAN(NetworkClusterer):
         points: PointSet,
         eps: float,
         min_pts: int = 2,
+        budget=None,
+        check_connectivity: bool | None = None,
     ) -> None:
-        super().__init__(network, points)
+        super().__init__(
+            network, points, budget=budget, check_connectivity=check_connectivity
+        )
         if eps <= 0:
             raise ParameterError(f"eps must be positive, got {eps!r}")
         if min_pts < 1:

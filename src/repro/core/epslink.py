@@ -35,6 +35,7 @@ from repro.core.base import NetworkClusterer
 from repro.core.result import ClusteringResult
 from repro.eval.metrics import NOISE
 from repro.exceptions import ParameterError
+from repro.faults.core import STATE as _FAULTS, fire as _fault
 from repro.network.augmented import AugmentedView, POINT, point_vertex
 from repro.network.points import PointSet
 from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
@@ -78,8 +79,12 @@ class EpsLink(NetworkClusterer):
         points: PointSet,
         eps: float,
         min_sup: int = 1,
+        budget=None,
+        check_connectivity: bool | None = None,
     ) -> None:
-        super().__init__(network, points)
+        super().__init__(
+            network, points, budget=budget, check_connectivity=check_connectivity
+        )
         if eps <= 0:
             raise ParameterError(f"eps must be positive, got {eps!r}")
         if min_sup < 1:
@@ -139,10 +144,16 @@ class EpsLink(NetworkClusterer):
         best[seed_vertex] = 0.0
         heap: list[tuple[float, tuple[int, int]]] = [(0.0, seed_vertex)]
         visited = 0
+        guard = _FAULTS.engaged
+        budget = _FAULTS.budget if guard else None
         while heap:
             d, vertex = heapq.heappop(heap)
             if d > best.get(vertex, float("inf")):
                 continue  # stale entry superseded by a closer source
+            if guard:
+                _fault("epslink.expand")
+                if budget is not None:
+                    budget.spend_expansions(1, partial=assignment)
             visited += 1
             kind, ident = vertex
             if kind == POINT and ident not in members:
@@ -251,10 +262,16 @@ class EpsLinkEdgewise(EpsLink):
                 heapq.heappush(heap, (d, node))
 
         # Expansion (paper lines 12-37).
+        guard = _FAULTS.engaged
+        budget = _FAULTS.budget if guard else None
         while heap:
             d, node = heapq.heappop(heap)
             if d > nn_dist.get(node, math.inf):
                 continue  # stale entry (paper line 14's freshness check)
+            if guard:
+                _fault("epslink.expand")
+                if budget is not None:
+                    budget.spend_expansions(1, partial=assignment)
             for nbr, _ in network.neighbors(node):
                 scan_edge(node, nbr, d)
         return members, visited

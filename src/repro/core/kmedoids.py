@@ -38,9 +38,11 @@ import random
 import time
 
 from repro.core.base import NetworkClusterer
+from repro.core.degrade import ComponentPointSet, distribute_k
 from repro.core.result import ClusteringResult
 from repro.eval.metrics import NOISE
 from repro.exceptions import ParameterError
+from repro.faults.core import STATE as _FAULTS, fire as _fault
 from repro.network.dijkstra import multi_source
 from repro.network.points import NetworkPoint, PointSet
 from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
@@ -99,9 +101,16 @@ class NetworkKMedoids(NetworkClusterer):
     max_swaps:
         Hard cap on swap attempts per restart (safety valve; the paper's
         termination is via ``max_bad_swaps``).
+    budget / check_connectivity:
+        See :class:`~repro.core.base.NetworkClusterer`.  k-medoids is the
+        one algorithm that cannot natively handle a disconnected network
+        (medoids seeded in one component never reach another), so by
+        default connectivity is analysed and a disconnected input is
+        clustered per component with ``k`` apportioned by object count.
     """
 
     algorithm_name = "k-medoids"
+    handles_disconnected = False
 
     def __init__(
         self,
@@ -114,8 +123,12 @@ class NetworkKMedoids(NetworkClusterer):
         seed: int | None = None,
         initial_medoids: list[int] | None = None,
         max_swaps: int = 10_000,
+        budget=None,
+        check_connectivity: bool | None = None,
     ) -> None:
-        super().__init__(network, points)
+        super().__init__(
+            network, points, budget=budget, check_connectivity=check_connectivity
+        )
         if not 1 <= k <= len(points):
             raise ParameterError(
                 f"k must be in [1, {len(points)}], got {k!r}"
@@ -239,6 +252,8 @@ class NetworkKMedoids(NetworkClusterer):
             counter += 1
         heapq.heapify(heap)
 
+        guard = _FAULTS.engaged
+        budget = _FAULTS.budget if guard else None
         # Modified Concurrent_Expansion: accept a pop when the node is
         # unassigned *or* the new distance improves on the stored one.
         while heap:
@@ -246,6 +261,10 @@ class NetworkKMedoids(NetworkClusterer):
             current = node_dist.get(node)
             if current is not None and d >= current:
                 continue
+            if guard:
+                _fault("kmedoids.update_settle")
+                if budget is not None:
+                    budget.spend_expansions(1, partial=state)
             record(node)
             node_dist[node] = d
             node_medoid[node] = med
@@ -299,7 +318,11 @@ class NetworkKMedoids(NetworkClusterer):
         du = state.node_dist.get(u)
         dv = state.node_dist.get(v)
         node_medoid = state.node_medoid
+        budget = _FAULTS.budget if _FAULTS.engaged else None
         for p in self.points.points_on_edge(u, v):
+            if budget is not None:
+                # One Equation-1 evaluation per point.
+                budget.spend_distance_computations(1, partial=assignment)
             best = math.inf
             best_med = NOISE
             if du is not None:
@@ -428,6 +451,73 @@ class NetworkKMedoids(NetworkClusterer):
                 "incremental": self.incremental,
             },
             stats=dict(stats, medoids=best_medoids),
+        )
+
+    def _cluster_components(self, report) -> ClusteringResult:
+        """Cluster a disconnected network one component at a time.
+
+        ``k`` is apportioned over the populated components in proportion to
+        their object counts (see :func:`~repro.core.degrade.distribute_k`).
+        Cluster labels are medoid point ids — globally unique — so the
+        per-component assignments merge without relabelling.  When
+        ``k`` is smaller than the number of populated components, the
+        smallest components receive no medoid and their objects are
+        reported as ``NOISE`` (counted in ``stats["unclustered_points"]``).
+        """
+        populated = [
+            (comp, count)
+            for comp, count in zip(report.components, report.point_counts)
+            if count > 0
+        ]
+        quotas = distribute_k(self.k, [count for _, count in populated])
+        assignment: dict[int, int] = {}
+        medoids: list[int] = []
+        total_R = 0.0
+        unclustered = 0
+        per_component: list[dict] = []
+        for (comp, count), quota in zip(populated, quotas):
+            view = ComponentPointSet(self.points, comp)
+            if quota == 0:
+                for p in view:
+                    assignment[p.point_id] = NOISE
+                unclustered += count
+                per_component.append({"points": count, "k": 0})
+                continue
+            sub = NetworkKMedoids(
+                self.network,
+                view,
+                quota,
+                max_bad_swaps=self.max_bad_swaps,
+                n_restarts=self.n_restarts,
+                incremental=self.incremental,
+                seed=self._rng.randrange(2**32),
+                max_swaps=self.max_swaps,
+                check_connectivity=False,
+            )
+            # _cluster (not run): the surrounding run() already owns the
+            # span, timing, and budget activation.
+            sub_result = sub._cluster()
+            assignment.update(sub_result.assignment)
+            medoids.extend(sub_result.stats["medoids"])
+            total_R += sub_result.stats["R"]
+            per_component.append(
+                {"points": count, "k": quota, "R": sub_result.stats["R"]}
+            )
+        return ClusteringResult(
+            assignment,
+            algorithm=self.algorithm_name,
+            params={
+                "k": self.k,
+                "max_bad_swaps": self.max_bad_swaps,
+                "n_restarts": self.n_restarts,
+                "incremental": self.incremental,
+            },
+            stats={
+                "R": total_R,
+                "medoids": sorted(medoids),
+                "per_component": per_component,
+                "unclustered_points": unclustered,
+            },
         )
 
     def _incident_populated_edges(self) -> dict[int, list[tuple[int, int]]]:

@@ -123,8 +123,12 @@ class NetworkOPTICS(NetworkClusterer):
         points: PointSet,
         max_eps: float,
         min_pts: int = 2,
+        budget=None,
+        check_connectivity: bool | None = None,
     ) -> None:
-        super().__init__(network, points)
+        super().__init__(
+            network, points, budget=budget, check_connectivity=check_connectivity
+        )
         if max_eps <= 0:
             raise ParameterError(f"max_eps must be positive, got {max_eps!r}")
         if min_pts < 1:

@@ -82,8 +82,12 @@ class SingleLink(NetworkClusterer):
         delta: float = 0.0,
         stop_k: int | None = None,
         stop_distance: float | None = None,
+        budget=None,
+        check_connectivity: bool | None = None,
     ) -> None:
-        super().__init__(network, points)
+        super().__init__(
+            network, points, budget=budget, check_connectivity=check_connectivity
+        )
         if delta < 0:
             raise ParameterError(f"delta must be non-negative, got {delta!r}")
         if stop_k is not None and stop_k < 1:

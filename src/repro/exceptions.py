@@ -20,8 +20,12 @@ __all__ = [
     "InvalidPositionError",
     "UnreachableError",
     "ParameterError",
+    "BudgetExceededError",
     "StorageError",
     "PageError",
+    "ChecksumError",
+    "PageCorruptError",
+    "CorruptRecordError",
     "TreeError",
 ]
 
@@ -78,12 +82,90 @@ class ParameterError(ReproError, ValueError):
     """An algorithm parameter is invalid (e.g. k < 1, eps <= 0)."""
 
 
+class BudgetExceededError(ReproError):
+    """An operation budget (:class:`repro.faults.OpBudget`) was exhausted.
+
+    Raised by traversal and clustering code when a caller-imposed limit on
+    expansions, distance computations, or page reads is hit.  The abort is
+    *clean*: no shared state is corrupted, and the exception carries what was
+    computed so far.
+
+    Attributes
+    ----------
+    op:
+        The exhausted operation class (``"expansions"``,
+        ``"distance_computations"``, ``"page_reads"``).
+    limit / spent:
+        The configured ceiling and the count that tripped it.
+    partial:
+        Best-effort partial state at abort time (e.g. the distances settled
+        by an interrupted Dijkstra); may be ``None``.
+    algorithm:
+        Set by :meth:`repro.core.NetworkClusterer.run` when the abort
+        surfaced through a clustering run.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        limit: int,
+        spent: int,
+        partial: object | None = None,
+    ) -> None:
+        super().__init__(
+            f"operation budget exhausted: {op} limit {limit} reached "
+            f"(spent {spent})"
+        )
+        self.op = op
+        self.limit = limit
+        self.spent = spent
+        self.partial = partial
+        self.algorithm: str | None = None
+
+
 class StorageError(ReproError):
     """Base class for disk-storage-layer errors."""
 
 
 class PageError(StorageError):
     """A page id is out of range or a page is corrupt."""
+
+
+class ChecksumError(StorageError):
+    """Stored data failed its integrity checksum.
+
+    Base class for corruption detected by the per-page CRC32 trailer; what
+    was read from disk does not match what was written, so the content must
+    not be trusted (torn write, bit rot, or external modification).
+    """
+
+
+class PageCorruptError(ChecksumError, PageError):
+    """A page's CRC32 trailer does not match its contents.
+
+    Carries the page id and the byte offset of the physical page in the
+    file, so corruption can be located with a hex editor or ``repro check``.
+    """
+
+    def __init__(self, page_id: int, offset: int, path: str = "", reason: str = "") -> None:
+        where = f"{path}: " if path else ""
+        detail = f" ({reason})" if reason else ""
+        super().__init__(
+            f"{where}page {page_id} at file offset {offset} is corrupt{detail}"
+        )
+        self.page_id = page_id
+        self.offset = offset
+        self.path = path
+
+
+class CorruptRecordError(StorageError):
+    """A stored record decodes to an impossible structure.
+
+    Raised when a record's own length/count fields are inconsistent (e.g. an
+    adjacency record whose neighbour count overruns the record) — logical
+    corruption that a page checksum cannot catch because the page itself was
+    written that way.
+    """
 
 
 class TreeError(StorageError):

@@ -1,0 +1,57 @@
+"""repro.faults — deterministic fault injection and operation budgets.
+
+Robustness tooling for the storage and traversal layers:
+
+* **Fault injection** (:mod:`repro.faults.core`) — named injection sites in
+  the pager, B+-tree, network store, and traversal hot paths can be armed
+  with seeded rules that raise I/O errors, simulate crashes
+  (:class:`CrashPoint`), or tear writes mid-page.  The crash-recovery test
+  suite sweeps these sites to prove the storage layer never reopens silent
+  garbage.
+* **Operation budgets** (:mod:`repro.faults.budget`) — :class:`OpBudget`
+  caps expansions / distance computations / page reads and aborts cleanly
+  with :class:`~repro.exceptions.BudgetExceededError` carrying partial
+  state, the graceful-degradation contract for oversized requests.
+
+Both are off by default and share a single ``engaged`` guard flag, so the
+un-faulted, un-budgeted hot paths run their original code.
+"""
+
+from repro.faults.budget import OpBudget, active_budget
+from repro.faults.core import (
+    CrashPoint,
+    FaultRule,
+    FaultState,
+    InjectedIOError,
+    STATE,
+    clear,
+    default_seed,
+    fire,
+    hits,
+    inject,
+    injected_counts,
+    install,
+    plan,
+    reseed,
+    tear,
+)
+
+__all__ = [
+    "CrashPoint",
+    "FaultRule",
+    "FaultState",
+    "InjectedIOError",
+    "OpBudget",
+    "STATE",
+    "active_budget",
+    "clear",
+    "default_seed",
+    "fire",
+    "hits",
+    "inject",
+    "injected_counts",
+    "install",
+    "plan",
+    "reseed",
+    "tear",
+]

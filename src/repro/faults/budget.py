@@ -1,0 +1,172 @@
+"""Operation budgets: bounded-work execution with clean aborts.
+
+An :class:`OpBudget` caps the amount of work a traversal or clustering run
+may perform — heap settles (*expansions*), *distance computations*
+(edge relaxations / Equation-1 evaluations), and physical *page reads*.
+When a cap is hit the charging site raises
+:class:`~repro.exceptions.BudgetExceededError` carrying the partial state
+computed so far, so a caller serving heavy traffic can shed an oversized
+request with a well-defined error instead of an unbounded stall.
+
+Budgets ride the same ``STATE.engaged`` guard as fault injection (see
+:mod:`repro.faults.core`): while no budget is active and no fault rules are
+installed, instrumented hot loops run their original, unguarded paths.
+
+Usage::
+
+    from repro.faults import OpBudget
+
+    budget = OpBudget(max_expansions=10_000)
+    try:
+        result = EpsLink(net, pts, eps=0.5, budget=budget).run()
+    except BudgetExceededError as exc:
+        log.warning("shed %s after %d %s", exc.algorithm, exc.spent, exc.op)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.exceptions import BudgetExceededError
+from repro.faults.core import STATE
+from repro.obs.core import add as _obs_add
+
+__all__ = ["OpBudget", "active_budget"]
+
+
+class OpBudget:
+    """A mutable budget over traversal/storage operations.
+
+    Parameters
+    ----------
+    max_expansions:
+        Cap on settled vertices across all traversals charged to this
+        budget (Dijkstra settles, query-frontier settles, cluster-expansion
+        steps).  ``None`` = unlimited.
+    max_distance_computations:
+        Cap on elementary distance evaluations (edge relaxations,
+        Equation-1 point evaluations, point-pair distances).
+    max_page_reads:
+        Cap on physical page reads by the storage layer.
+
+    A budget is reusable only after :meth:`reset`; spent counters are
+    cumulative across the operations charged to it, which is what lets one
+    budget cover a whole multi-phase clustering run.
+    """
+
+    __slots__ = (
+        "max_expansions",
+        "max_distance_computations",
+        "max_page_reads",
+        "expansions",
+        "distance_computations",
+        "page_reads",
+    )
+
+    def __init__(
+        self,
+        max_expansions: int | None = None,
+        max_distance_computations: int | None = None,
+        max_page_reads: int | None = None,
+    ) -> None:
+        for name, value in (
+            ("max_expansions", max_expansions),
+            ("max_distance_computations", max_distance_computations),
+            ("max_page_reads", max_page_reads),
+        ):
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value!r}")
+        self.max_expansions = max_expansions
+        self.max_distance_computations = max_distance_computations
+        self.max_page_reads = max_page_reads
+        self.expansions = 0
+        self.distance_computations = 0
+        self.page_reads = 0
+
+    # ------------------------------------------------------------------
+    # Charging (called from guarded hot paths)
+    # ------------------------------------------------------------------
+    def _exceeded(self, op: str, limit: int, spent: int, partial) -> None:
+        _obs_add("budget.aborts")
+        _obs_add(f"budget.aborts.{op}")
+        raise BudgetExceededError(op, limit, spent, partial=partial)
+
+    def spend_expansions(self, n: int = 1, partial=None) -> None:
+        self.expansions += n
+        limit = self.max_expansions
+        if limit is not None and self.expansions > limit:
+            self._exceeded("expansions", limit, self.expansions, partial)
+
+    def spend_distance_computations(self, n: int = 1, partial=None) -> None:
+        self.distance_computations += n
+        limit = self.max_distance_computations
+        if limit is not None and self.distance_computations > limit:
+            self._exceeded(
+                "distance_computations", limit, self.distance_computations, partial
+            )
+
+    def spend_page_reads(self, n: int = 1, partial=None) -> None:
+        self.page_reads += n
+        limit = self.max_page_reads
+        if limit is not None and self.page_reads > limit:
+            self._exceeded("page_reads", limit, self.page_reads, partial)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def spent(self) -> dict[str, int]:
+        return {
+            "expansions": self.expansions,
+            "distance_computations": self.distance_computations,
+            "page_reads": self.page_reads,
+        }
+
+    def remaining(self) -> dict[str, int | None]:
+        """Per-op remaining allowance (``None`` = unlimited)."""
+        return {
+            "expansions": None if self.max_expansions is None
+            else max(0, self.max_expansions - self.expansions),
+            "distance_computations": None if self.max_distance_computations is None
+            else max(0, self.max_distance_computations - self.distance_computations),
+            "page_reads": None if self.max_page_reads is None
+            else max(0, self.max_page_reads - self.page_reads),
+        }
+
+    def reset(self) -> None:
+        self.expansions = 0
+        self.distance_computations = 0
+        self.page_reads = 0
+
+    @contextmanager
+    def activate(self) -> Iterator["OpBudget"]:
+        """Make this the process-active budget for the ``with`` body.
+
+        Guarded sites charge the active budget; nesting restores the outer
+        budget on exit (the inner one fully replaces it meanwhile).
+        """
+        previous = STATE.budget
+        STATE.budget = self
+        STATE.refresh()
+        try:
+            yield self
+        finally:
+            STATE.budget = previous
+            STATE.refresh()
+
+    def __repr__(self) -> str:
+        caps = ", ".join(
+            f"{name}={cap}"
+            for name, cap in (
+                ("expansions", self.max_expansions),
+                ("distance_computations", self.max_distance_computations),
+                ("page_reads", self.max_page_reads),
+            )
+            if cap is not None
+        )
+        return f"OpBudget({caps or 'unlimited'})"
+
+
+def active_budget() -> OpBudget | None:
+    """The currently active budget, if any."""
+    return STATE.budget

@@ -1,0 +1,336 @@
+"""Deterministic, seedable fault injection for the repro library.
+
+The storage and traversal layers carry *injection sites* — named points
+(``"pager.write_page"``, ``"bptree.store"``, ``"dijkstra.settle"``, ...)
+where this module may be asked to misbehave on purpose.  A test installs
+:class:`FaultRule` objects describing *what* to inject (an I/O error, a
+simulated crash, a torn write) and *when* (on the N-th hit of a site, or
+with a seeded per-hit probability), runs the code under test, and asserts
+that the system either survives or fails with a typed error — never with
+silent corruption.
+
+Design constraints, mirroring :mod:`repro.obs`:
+
+* **Zero overhead while disarmed.**  Every site is guarded by a single
+  attribute check (``STATE.engaged``); with no rules installed and no
+  operation budget active, instrumented code executes its original path.
+* **Deterministic.**  Probability triggers draw from one ``random.Random``
+  seeded explicitly (or from ``REPRO_FAULT_SEED``, default 0), so a failing
+  fault run reproduces exactly from its logged seed.
+* **Observable.**  Every injected fault bumps the
+  ``faults.injected.<site>`` counter in :mod:`repro.obs`, so fault behaviour
+  shows up in the same report as the costs it perturbs.
+
+Sites call two primitives:
+
+* :func:`fire` — raise the configured fault (``InjectedIOError`` for kind
+  ``"error"``, :class:`CrashPoint` for ``"crash"``) when a rule triggers.
+* :func:`tear` — for write sites only: return the number of bytes of a
+  payload to persist before "crashing" (kind ``"torn"``), or ``None``.
+
+Usage::
+
+    from repro import faults
+
+    with faults.plan(faults.FaultRule("pager.write_page", "crash", after=3)):
+        with pytest.raises(faults.CrashPoint):
+            NetworkStore.build(path, net, pts)
+    # reopen must now either succeed or raise a typed StorageError
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import random
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs.core import add as _obs_add
+
+__all__ = [
+    "CrashPoint",
+    "InjectedIOError",
+    "FaultRule",
+    "FaultState",
+    "STATE",
+    "default_seed",
+    "install",
+    "inject",
+    "clear",
+    "reseed",
+    "plan",
+    "fire",
+    "tear",
+    "hits",
+    "injected_counts",
+]
+
+ENV_SEED = "REPRO_FAULT_SEED"
+
+
+class CrashPoint(Exception):
+    """A simulated process crash at an injection site.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: library code
+    that catches ``ReproError`` for cleanup must not swallow a simulated
+    crash, exactly as it could not catch a real ``kill -9``.  Recovery code
+    paths (e.g. the temp-file cleanup in ``NetworkStore.build``) treat it as
+    "the process died here" and leave on-disk state as-is.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated crash at injection site {site!r}")
+        self.site = site
+
+
+class InjectedIOError(OSError):
+    """A simulated I/O failure at an injection site."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected I/O error at site {site!r}")
+        self.site = site
+
+
+def default_seed() -> int:
+    """The fault seed from ``REPRO_FAULT_SEED`` (0 when unset/garbage)."""
+    try:
+        return int(os.environ.get(ENV_SEED, "0"))
+    except ValueError:
+        return 0
+
+
+class FaultRule:
+    """One injection rule: *where*, *what*, and *when*.
+
+    Parameters
+    ----------
+    site:
+        Site name to match; ``fnmatch`` patterns are allowed
+        (``"pager.*"`` matches every pager site).
+    kind:
+        ``"error"`` (raise :class:`InjectedIOError`), ``"crash"`` (raise
+        :class:`CrashPoint`), or ``"torn"`` (write sites persist a partial
+        payload, then crash).
+    after:
+        Trigger on the N-th matching hit (1-based) counted from rule
+        installation.  Mutually exclusive with ``probability``.
+    probability:
+        Trigger each hit with this probability, drawn from the plan's
+        seeded RNG.
+    times:
+        Maximum number of firings (default 1; ``None`` = unlimited).
+    tear_fraction:
+        For ``"torn"`` rules: fraction of the payload persisted before the
+        simulated crash (default 0.5).
+    """
+
+    __slots__ = ("site", "kind", "after", "probability", "times", "tear_fraction",
+                 "hits", "fired")
+
+    KINDS = ("error", "crash", "torn")
+
+    def __init__(
+        self,
+        site: str,
+        kind: str = "crash",
+        after: int | None = None,
+        probability: float | None = None,
+        times: int | None = 1,
+        tear_fraction: float = 0.5,
+    ) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
+        if (after is None) == (probability is None):
+            raise ValueError("give exactly one of after / probability")
+        if after is not None and after < 1:
+            raise ValueError(f"after must be >= 1, got {after!r}")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability!r}")
+        if not 0.0 <= tear_fraction < 1.0:
+            raise ValueError(f"tear_fraction must be in [0, 1), got {tear_fraction!r}")
+        self.site = site
+        self.kind = kind
+        self.after = after
+        self.probability = probability
+        self.times = times
+        self.tear_fraction = float(tear_fraction)
+        self.hits = 0  # matching hits seen by this rule
+        self.fired = 0  # times this rule actually injected
+
+    def matches(self, site: str) -> bool:
+        return site == self.site or fnmatch.fnmatchcase(site, self.site)
+
+    def should_fire(self, rng: random.Random) -> bool:
+        """Account one matching hit; True when the fault must inject now."""
+        if self.times is not None and self.fired >= self.times:
+            return False
+        self.hits += 1
+        if self.after is not None:
+            return self.hits == self.after
+        return rng.random() < self.probability
+
+    def __repr__(self) -> str:
+        trigger = (
+            f"after={self.after}" if self.after is not None
+            else f"p={self.probability}"
+        )
+        return f"FaultRule({self.site!r}, {self.kind!r}, {trigger})"
+
+
+class FaultState:
+    """Process-global fault-injection state (use the module-level ``STATE``).
+
+    ``engaged`` is the single flag hot paths check: true when any rule is
+    installed *or* an :class:`~repro.faults.OpBudget` is active, so a site
+    pays one attribute lookup in the common (disarmed, unbudgeted) case.
+    """
+
+    __slots__ = ("enabled", "rules", "rng", "seed", "site_hits", "budget", "engaged")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.rules: list[FaultRule] = []
+        self.seed = default_seed()
+        self.rng = random.Random(self.seed)
+        #: site -> hits observed while enabled (for sweep sizing in tests)
+        self.site_hits: dict[str, int] = {}
+        #: the active OpBudget, set by :meth:`repro.faults.OpBudget.activate`
+        self.budget = None
+        self.engaged = False
+
+    def refresh(self) -> None:
+        self.enabled = bool(self.rules)
+        self.engaged = self.enabled or self.budget is not None
+
+
+STATE = FaultState()
+
+
+# ----------------------------------------------------------------------
+# Plan management
+# ----------------------------------------------------------------------
+def reseed(seed: int | None = None) -> int:
+    """Reset the trigger RNG (``None`` = re-read ``REPRO_FAULT_SEED``)."""
+    STATE.seed = default_seed() if seed is None else int(seed)
+    STATE.rng = random.Random(STATE.seed)
+    return STATE.seed
+
+
+def install(*rules: FaultRule) -> None:
+    """Add rules to the active plan and arm the injection sites."""
+    STATE.rules.extend(rules)
+    STATE.refresh()
+
+
+def inject(
+    site: str,
+    kind: str = "crash",
+    after: int | None = None,
+    probability: float | None = None,
+    times: int | None = 1,
+    tear_fraction: float = 0.5,
+) -> FaultRule:
+    """Build and :func:`install` a single rule; returns it for inspection."""
+    rule = FaultRule(site, kind, after=after, probability=probability,
+                     times=times, tear_fraction=tear_fraction)
+    install(rule)
+    return rule
+
+
+def clear() -> None:
+    """Remove every rule and zero the per-site hit counters."""
+    STATE.rules.clear()
+    STATE.site_hits.clear()
+    STATE.refresh()
+
+
+@contextmanager
+def plan(*rules: FaultRule, seed: int | None = None) -> Iterator[FaultState]:
+    """Scoped fault plan: install ``rules``, yield, then restore.
+
+    Nesting is supported; the previous rule list and RNG are restored on
+    exit, so plans compose with surrounding plans and with active budgets.
+    """
+    saved_rules = list(STATE.rules)
+    saved_rng = STATE.rng
+    saved_seed = STATE.seed
+    saved_hits = dict(STATE.site_hits)
+    if seed is not None:
+        reseed(seed)
+    else:
+        reseed(STATE.seed)
+    STATE.rules = list(rules)
+    STATE.site_hits = {}
+    STATE.refresh()
+    try:
+        yield STATE
+    finally:
+        STATE.rules = saved_rules
+        STATE.rng = saved_rng
+        STATE.seed = saved_seed
+        STATE.site_hits = saved_hits
+        STATE.refresh()
+
+
+# ----------------------------------------------------------------------
+# Site primitives
+# ----------------------------------------------------------------------
+def _record_injection(site: str, rule: FaultRule) -> None:
+    rule.fired += 1
+    _obs_add(f"faults.injected.{site}")
+    _obs_add("faults.injected_total")
+
+
+def fire(site: str) -> None:
+    """Account a hit of ``site``; raise if an error/crash rule triggers.
+
+    Torn rules are ignored here (they only make sense where a payload is
+    being persisted; see :func:`tear`).
+    """
+    st = STATE
+    if not st.enabled:
+        return
+    st.site_hits[site] = st.site_hits.get(site, 0) + 1
+    for rule in st.rules:
+        if rule.kind == "torn" or not rule.matches(site):
+            continue
+        if rule.should_fire(st.rng):
+            _record_injection(site, rule)
+            if rule.kind == "error":
+                raise InjectedIOError(site)
+            raise CrashPoint(site)
+
+
+def tear(site: str, nbytes: int) -> int | None:
+    """Bytes of an ``nbytes`` payload to persist before a torn-write crash.
+
+    Returns ``None`` when no torn rule triggers.  When one does, the caller
+    must write exactly the returned prefix, flush it, and raise
+    :class:`CrashPoint` — simulating a sector-level partial write followed
+    by power loss.
+    """
+    st = STATE
+    if not st.enabled:
+        return None
+    for rule in st.rules:
+        if rule.kind != "torn" or not rule.matches(site):
+            continue
+        if rule.should_fire(st.rng):
+            _record_injection(site, rule)
+            return max(0, min(nbytes - 1, int(nbytes * rule.tear_fraction)))
+    return None
+
+
+def hits(site: str) -> int:
+    """Hits recorded for ``site`` since the plan was installed/cleared."""
+    return STATE.site_hits.get(site, 0)
+
+
+def injected_counts() -> dict[str, int]:
+    """site-pattern -> firings, for every installed rule that fired."""
+    out: dict[str, int] = {}
+    for rule in STATE.rules:
+        if rule.fired:
+            out[rule.site] = out.get(rule.site, 0) + rule.fired
+    return out

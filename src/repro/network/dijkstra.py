@@ -29,6 +29,17 @@ namespace: ``runs``, ``heap_pushes``, ``heap_pops``, ``nodes_settled`` and
 flag check on entry, so a disabled run executes the exact uninstrumented
 bytecode — the paper's cost curves must never be perturbed by the tooling
 that measures them.
+
+Robustness
+----------
+When :mod:`repro.faults` is engaged (fault rules installed or an
+:class:`~repro.faults.OpBudget` active), a third *guarded* twin runs
+instead: it hits the ``dijkstra.settle`` injection site on every settle and
+charges the active budget (expansions per settle, distance computations per
+edge relaxation), raising :class:`~repro.exceptions.BudgetExceededError`
+with the partially computed distance map.  Dispatch order is guarded >
+counted > plain, so fault/budget semantics hold whether or not
+observability is on.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ import math
 from collections.abc import Iterable, Mapping
 
 from repro.exceptions import UnreachableError
+from repro.faults.core import STATE as _FAULTS, fire as _fault
 from repro.obs.core import STATE as _OBS, add as _obs_add
 
 __all__ = [
@@ -73,6 +85,8 @@ def single_source(
     -------
     dict mapping node -> distance, containing every settled node.
     """
+    if _FAULTS.engaged:
+        return _single_source_guarded(network, source, targets, cutoff)
     if _OBS.enabled:
         return _single_source_counted(network, source, targets, cutoff)
     remaining = set(targets) if targets is not None else None
@@ -135,6 +149,56 @@ def _single_source_counted(
     return dist
 
 
+def _single_source_guarded(
+    network,
+    source: int,
+    targets: Iterable[int] | None,
+    cutoff: float,
+) -> dict[int, float]:
+    """Fault/budget twin of :func:`single_source` (faults engaged).
+
+    Also counts for obs when it is enabled, so engaging faults never
+    silences the cost counters.
+    """
+    budget = _FAULTS.budget
+    remaining = set(targets) if targets is not None else None
+    dist: dict[int, float] = {}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    pops = 0
+    pushes = 1
+    relaxed = 0
+    while heap:
+        d, node = heapq.heappop(heap)
+        pops += 1
+        if node in dist:
+            continue
+        _fault("dijkstra.settle")
+        if budget is not None:
+            budget.spend_expansions(1, partial=dist)
+        dist[node] = d
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for nbr, weight in network.neighbors(node):
+            relaxed += 1
+            if budget is not None:
+                budget.spend_distance_computations(1, partial=dist)
+            if nbr in dist:
+                continue
+            nd = d + weight
+            if nd <= cutoff:
+                heapq.heappush(heap, (nd, nbr))
+                pushes += 1
+    if _OBS.enabled:
+        _obs_add("dijkstra.runs")
+        _obs_add("dijkstra.heap_pops", pops)
+        _obs_add("dijkstra.heap_pushes", pushes)
+        _obs_add("dijkstra.edges_relaxed", relaxed)
+        _obs_add("dijkstra.nodes_settled", len(dist))
+    return dist
+
+
 def single_source_with_paths(
     network,
     source: int,
@@ -145,6 +209,8 @@ def single_source_with_paths(
     The predecessor map sends each settled node (except the source) to the
     previous node on one shortest path from the source.
     """
+    guard = _FAULTS.engaged
+    budget = _FAULTS.budget if guard else None
     dist: dict[int, float] = {}
     pred: dict[int, int] = {}
     heap: list[tuple[float, int, int]] = [(0.0, source, source)]
@@ -152,6 +218,10 @@ def single_source_with_paths(
         d, node, parent = heapq.heappop(heap)
         if node in dist:
             continue
+        if guard:
+            _fault("dijkstra.settle")
+            if budget is not None:
+                budget.spend_expansions(1, partial=dist)
         dist[node] = d
         if node != source:
             pred[node] = parent
@@ -209,6 +279,8 @@ def multi_source(
     else:
         entries = list(seeds)
 
+    if _FAULTS.engaged:
+        return _multi_source_guarded(network, entries, cutoff)
     if _OBS.enabled:
         return _multi_source_counted(network, entries, cutoff)
 
@@ -278,6 +350,56 @@ def _multi_source_counted(
     _obs_add("dijkstra.heap_pushes", pushes)
     _obs_add("dijkstra.edges_relaxed", relaxed)
     _obs_add("dijkstra.nodes_settled", len(dist))
+    return dist, label
+
+
+def _multi_source_guarded(
+    network,
+    entries: list[tuple[float, int, object]],
+    cutoff: float,
+) -> tuple[dict[int, float], dict[int, object]]:
+    """Fault/budget twin of :func:`multi_source` (faults engaged)."""
+    budget = _FAULTS.budget
+    dist: dict[int, float] = {}
+    label: dict[int, object] = {}
+    counter = 0
+    heap: list[tuple[float, int, int, object]] = []
+    for d0, node, lab in entries:
+        if d0 <= cutoff:
+            heap.append((d0, counter, node, lab))
+            counter += 1
+    heapq.heapify(heap)
+    pops = 0
+    pushes = len(heap)
+    relaxed = 0
+
+    while heap:
+        d, _, node, lab = heapq.heappop(heap)
+        pops += 1
+        if node in dist:
+            continue
+        _fault("dijkstra.settle")
+        if budget is not None:
+            budget.spend_expansions(1, partial=(dist, label))
+        dist[node] = d
+        label[node] = lab
+        for nbr, weight in network.neighbors(node):
+            relaxed += 1
+            if budget is not None:
+                budget.spend_distance_computations(1, partial=(dist, label))
+            if nbr in dist:
+                continue
+            nd = d + weight
+            if nd <= cutoff:
+                counter += 1
+                heapq.heappush(heap, (nd, counter, nbr, lab))
+                pushes += 1
+    if _OBS.enabled:
+        _obs_add("dijkstra.multi_source_runs")
+        _obs_add("dijkstra.heap_pops", pops)
+        _obs_add("dijkstra.heap_pushes", pushes)
+        _obs_add("dijkstra.edges_relaxed", relaxed)
+        _obs_add("dijkstra.nodes_settled", len(dist))
     return dist, label
 
 

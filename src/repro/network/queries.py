@@ -13,6 +13,7 @@ from __future__ import annotations
 import heapq
 import math
 
+from repro.faults.core import STATE as _FAULTS, fire as _fault
 from repro.network.augmented import AugmentedView, POINT, point_vertex
 from repro.network.points import NetworkPoint
 from repro.obs.core import STATE as _OBS, add as _obs_add
@@ -34,6 +35,8 @@ def range_query(
     """
     if eps < 0:
         return []
+    guard = _FAULTS.engaged
+    budget = _FAULTS.budget if guard else None
     results: list[tuple[NetworkPoint, float]] = []
     dist: dict = {}
     heap: list[tuple[float, tuple[int, int]]] = [(0.0, point_vertex(query.point_id))]
@@ -41,6 +44,10 @@ def range_query(
         d, vertex = heapq.heappop(heap)
         if vertex in dist or d > eps:
             continue
+        if guard:
+            _fault("queries.settle")
+            if budget is not None:
+                budget.spend_expansions(1, partial=results)
         dist[vertex] = d
         kind, ident = vertex
         if kind == POINT:
@@ -72,6 +79,8 @@ def knn_query(
     """
     if k <= 0:
         return []
+    guard = _FAULTS.engaged
+    budget = _FAULTS.budget if guard else None
     results: list[tuple[NetworkPoint, float]] = []
     dist: dict = {}
     heap: list[tuple[float, tuple[int, int]]] = [(0.0, point_vertex(query.point_id))]
@@ -79,6 +88,10 @@ def knn_query(
         d, vertex = heapq.heappop(heap)
         if vertex in dist:
             continue
+        if guard:
+            _fault("queries.settle")
+            if budget is not None:
+                budget.spend_expansions(1, partial=results)
         dist[vertex] = d
         kind, ident = vertex
         if kind == POINT and (include_query or ident != query.point_id):

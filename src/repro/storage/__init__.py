@@ -12,8 +12,10 @@ from repro.storage.pager import (
     BufferManager,
     DEFAULT_BUFFER_BYTES,
     DEFAULT_PAGE_SIZE,
+    FORMAT_VERSION,
     PagedFile,
 )
+from repro.storage.verify import Finding, verify_store
 
 __all__ = [
     "BPlusTree",
@@ -28,5 +30,8 @@ __all__ = [
     "BufferManager",
     "DEFAULT_BUFFER_BYTES",
     "DEFAULT_PAGE_SIZE",
+    "FORMAT_VERSION",
     "PagedFile",
+    "Finding",
+    "verify_store",
 ]

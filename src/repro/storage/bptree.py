@@ -25,6 +25,7 @@ import struct
 from collections.abc import Iterator
 
 from repro.exceptions import TreeError
+from repro.faults.core import STATE as _FAULTS, fire as _fault
 from repro.storage.pager import BufferManager
 
 __all__ = ["BPlusTree"]
@@ -69,6 +70,11 @@ class BPlusTree:
         """(is_leaf, entries, extra) where extra is next_leaf or child0."""
         raw = self.buffer.read(pid)
         is_leaf, count, extra = _NODE_HEADER.unpack_from(raw, 0)
+        if count > self._capacity:
+            raise TreeError(
+                f"node {pid}: entry count {count} exceeds page capacity "
+                f"{self._capacity} — page is not a valid tree node"
+            )
         entries = [
             _ENTRY.unpack_from(raw, _NODE_HEADER.size + i * _ENTRY.size)
             for i in range(count)
@@ -82,6 +88,8 @@ class BPlusTree:
             raise TreeError(
                 f"node {pid} overfull: {len(entries)} > {self._capacity}"
             )
+        if _FAULTS.engaged:
+            _fault("bptree.store")
         raw = bytearray(self.buffer.file.page_size)
         _NODE_HEADER.pack_into(raw, 0, int(is_leaf), len(entries), extra)
         for i, (key, value) in enumerate(entries):

@@ -22,6 +22,7 @@ from __future__ import annotations
 import struct
 
 from repro.exceptions import PageError, StorageError
+from repro.faults.core import STATE as _FAULTS, fire as _fault
 from repro.storage.pager import BufferManager
 
 __all__ = ["RecordFile", "rid_encode", "rid_decode"]
@@ -67,6 +68,8 @@ class RecordFile:
     # ------------------------------------------------------------------
     def append(self, data: bytes) -> int:
         """Store a record, returning its rid."""
+        if _FAULTS.engaged:
+            _fault("flatfile.append")
         max_inline = min(
             self.buffer.file.page_size - _PAGE_HEADER.size - _SLOT.size,
             _OVERFLOW_FLAG - 1,  # the length field's high bit is the flag

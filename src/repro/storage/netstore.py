@@ -26,16 +26,19 @@ buffer manager.
 
 from __future__ import annotations
 
+import os
 import struct
 from collections.abc import Iterator
 
 from repro.eval.metrics import NOISE
 from repro.exceptions import (
+    CorruptRecordError,
     EdgeNotFoundError,
     NodeNotFoundError,
     PointNotFoundError,
     StorageError,
 )
+from repro.faults.core import STATE as _FAULTS, CrashPoint, fire as _fault
 from repro.network.graph import normalize_edge
 from repro.network.points import NetworkPoint, PointSet
 from repro.obs.core import add as _obs_add, span as _span
@@ -76,6 +79,14 @@ class NetworkStore:
         path: str,
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
     ) -> None:
+        path = os.fspath(path)
+        if path.endswith(".tmp"):
+            raise StorageError(
+                f"{path}: refusing to open a build temp file — an unfinished "
+                "build artifact is never valid data"
+            )
+        if not os.path.exists(path):
+            raise StorageError(f"{path}: no such network store")
         self._file = PagedFile(path)
         self.buffer = BufferManager(self._file, capacity_bytes=buffer_bytes)
         meta = self._file.get_meta()
@@ -118,6 +129,11 @@ class NetworkStore:
         (connectivity-clustered, the default), ``"insertion"`` (the order
         ``network.nodes()`` yields), or an explicit node list — the ablation
         hook for the CCAM locality experiment.
+
+        The build is **atomic**: everything is written to ``path + ".tmp"``,
+        committed and fsynced, then renamed over ``path``.  A crash at any
+        point leaves either no file at ``path`` or the previous complete one,
+        never a half-built store; a non-crash failure removes the temp file.
         """
         with _span("netstore.build", path=str(path)):
             return cls._build(
@@ -134,8 +150,52 @@ class NetworkStore:
         buffer_bytes: int,
         node_order: list[int] | str,
     ) -> "NetworkStore":
-        file = PagedFile(path, page_size=page_size)
+        path = os.fspath(path)
+        tmp = path + ".tmp"
+        if os.path.exists(tmp):
+            # Leftover from a previously crashed build; it was never renamed
+            # into place, so it holds no committed data.
+            os.remove(tmp)
+        file = PagedFile(tmp, page_size=page_size)
         buffer = BufferManager(file, capacity_bytes=buffer_bytes)
+        try:
+            cls._write_contents(buffer, network, points, node_order)
+            buffer.close()  # flush + commit flag + fsync
+        except CrashPoint:
+            # Simulated process death: release the fd but leave the on-disk
+            # temp file exactly as last written, as a real crash would.
+            buffer.abort()
+            raise
+        except BaseException:
+            buffer.abort()
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        try:
+            if _FAULTS.engaged:
+                _fault("netstore.build.commit")
+            os.replace(tmp, path)
+        except CrashPoint:
+            raise
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        return cls(path, buffer_bytes=buffer_bytes)
+
+    @classmethod
+    def _write_contents(
+        cls,
+        buffer: BufferManager,
+        network,
+        points: PointSet | None,
+        node_order: list[int] | str,
+    ) -> None:
+        file = buffer.file
         adj_file = RecordFile(buffer)
         pts_file = RecordFile(buffer)
 
@@ -191,8 +251,6 @@ class NetworkStore:
             len(points),
         )
         file.set_meta(meta)
-        buffer.close()
-        return cls(path, buffer_bytes=buffer_bytes)
 
     # ------------------------------------------------------------------
     # Network backend protocol
@@ -225,7 +283,16 @@ class NetworkStore:
             raise NodeNotFoundError(node)
         _obs_add("storage.adj_record_reads")
         record = self._adj_file.read(rid)
+        if len(record) < _ADJ_HEADER.size:
+            raise CorruptRecordError(
+                f"adjacency record for node {node} is shorter than its header"
+            )
         (count,) = _ADJ_HEADER.unpack_from(record, 0)
+        if _ADJ_HEADER.size + count * _ADJ_ENTRY.size > len(record):
+            raise CorruptRecordError(
+                f"adjacency record for node {node}: neighbour count {count} "
+                f"overruns the {len(record)}-byte record"
+            )
         entries = [
             _ADJ_ENTRY.unpack_from(record, _ADJ_HEADER.size + i * _ADJ_ENTRY.size)
             for i in range(count)
@@ -283,7 +350,16 @@ class NetworkStore:
 
     @staticmethod
     def _decode_group(record: bytes) -> tuple[tuple[int, int], list[NetworkPoint]]:
+        if len(record) < _GROUP_HEADER.size:
+            raise CorruptRecordError(
+                "point-group record is shorter than its header"
+            )
         u, v, count = _GROUP_HEADER.unpack_from(record, 0)
+        if _GROUP_HEADER.size + count * _GROUP_ENTRY.size > len(record):
+            raise CorruptRecordError(
+                f"point group ({u}, {v}): point count {count} overruns the "
+                f"{len(record)}-byte record"
+            )
         pts = []
         for i in range(count):
             pid, offset, label = _GROUP_ENTRY.unpack_from(

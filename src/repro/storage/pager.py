@@ -5,93 +5,222 @@ memory buffer of 1Mb and the page size ... set to 4Kb"; this module provides
 those two layers:
 
 * :class:`PagedFile` — a file divided into fixed-size pages with a small
-  header page (magic, page size, page count, and a metadata area that higher
-  layers use to persist root pointers), counting physical reads/writes;
+  header page (magic, format version, commit flag, page size, page count,
+  and a metadata area that higher layers use to persist root pointers),
+  counting physical reads/writes;
 * :class:`BufferManager` — a fixed-capacity LRU page cache with write-back
   of dirty pages, counting hits, misses, and evictions.
 
+Crash consistency (format version 2)
+------------------------------------
+Every page — the header included — is stored as a *frame* of
+``page_size + 4`` bytes: the page payload followed by a CRC32 trailer
+computed over the payload.  :meth:`PagedFile.read_page` verifies the trailer
+and raises :class:`~repro.exceptions.PageCorruptError` (with the page id and
+file offset) on mismatch, so torn writes and bit rot surface as typed errors
+instead of silently decoded garbage.  The logical page size upper layers see
+is unchanged; only the physical stride grows by four bytes.
+
+The header carries a **commit flag**: it is clear while a file is being
+built or mutated and set (with an fsync) by a clean :meth:`PagedFile.close`
+/ :meth:`PagedFile.commit`.  Reopening a file whose flag is clear raises a
+clean :class:`~repro.exceptions.StorageError` — a half-written file from a
+crashed build can never reopen as data (pass ``allow_uncommitted=True`` for
+forensic tools like ``repro check``).
+
 The buffer statistics are the hardware-independent cost measure of the
-storage experiments: 2002 disk latencies are long gone, but the *number* of
-page faults a clustering algorithm triggers is timeless.  Both layers keep
-their per-instance counters *and* mirror every event into the unified
-:mod:`repro.obs` registry (``storage.physical_reads``,
-``storage.buffer_hits``, ...) so traversal and I/O cost land in one report.
+storage experiments: both layers keep their per-instance counters *and*
+mirror every event into the unified :mod:`repro.obs` registry
+(``storage.physical_reads``, ``storage.buffer_hits``,
+``storage.checksum_failures``, ...).  All physical I/O routes through
+:mod:`repro.faults` injection sites (``pager.read_page``,
+``pager.write_page``, ``pager.write_header``, ``pager.allocate``,
+``pager.flush``) and charges any active page-read budget.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import zlib
 from collections import OrderedDict
 
-from repro.exceptions import PageError, StorageError
+from repro.exceptions import PageCorruptError, PageError, StorageError
+from repro.faults.core import STATE as _FAULTS, CrashPoint, fire as _fault, tear as _tear
 from repro.obs.core import add as _obs_add
 
-__all__ = ["PagedFile", "BufferManager", "DEFAULT_PAGE_SIZE", "DEFAULT_BUFFER_BYTES"]
+__all__ = [
+    "PagedFile",
+    "BufferManager",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_BUFFER_BYTES",
+    "FORMAT_VERSION",
+    "CHECKSUM_BYTES",
+]
 
 DEFAULT_PAGE_SIZE = 4096  # the paper's 4 KB pages
 DEFAULT_BUFFER_BYTES = 1 << 20  # the paper's 1 MB buffer
 
+FORMAT_VERSION = 2  # version 1 had no checksums and no commit flag
+CHECKSUM_BYTES = 4  # CRC32 trailer appended to every physical page
+
 _MAGIC = b"RPRO"
-_HEADER_FMT = "<4sIQ"  # magic, page_size, num_pages
+_HEADER_FMT = "<4sHHIQ"  # magic, version, flags, page_size, num_pages
 _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 _META_CAPACITY = 256  # bytes reserved in the header page for callers
+_FLAG_COMMITTED = 0x0001
+
+
+def _crc(payload: bytes) -> bytes:
+    return struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF)
 
 
 class PagedFile:
-    """A file of fixed-size pages, page 0 being the header.
+    """A file of fixed-size checksummed pages, page 0 being the header.
 
     Parameters
     ----------
     path:
         File location; created when absent, validated when present.
     page_size:
-        Page size in bytes (only used at creation; reopening reads it back).
+        Logical page size in bytes (only used at creation; reopening reads
+        it back).  The physical on-disk stride is ``page_size + 4`` for the
+        CRC32 trailer.
+    allow_uncommitted:
+        Permit reopening a file whose commit flag is clear (a crashed
+        build).  Default ``False``: such files raise ``StorageError``.
     """
 
-    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        allow_uncommitted: bool = False,
+    ) -> None:
         self.path = os.fspath(path)
         self.reads = 0
         self.writes = 0
-        existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
-        self._fh = open(self.path, "r+b" if existing else "w+b")
-        if existing:
-            self._load_header()
-        else:
-            if page_size < _HEADER_SIZE + _META_CAPACITY:
-                raise StorageError(
-                    f"page_size must be at least {_HEADER_SIZE + _META_CAPACITY}"
-                )
-            self.page_size = int(page_size)
-            self._num_pages = 1  # the header page
-            self._meta = b""
-            self._write_header()
+        exists = os.path.exists(self.path)
+        if exists and os.path.getsize(self.path) == 0:
+            raise StorageError(
+                f"{self.path}: existing file is empty — not a paged file "
+                "(interrupted creation?)"
+            )
+        if not exists and page_size < _HEADER_SIZE + 2 + _META_CAPACITY:
+            raise StorageError(
+                f"page_size must be at least {_HEADER_SIZE + 2 + _META_CAPACITY}"
+            )
+        try:
+            self._fh = open(self.path, "r+b" if exists else "w+b")
+        except OSError as exc:
+            raise StorageError(f"{self.path}: cannot open: {exc}") from exc
+        try:
+            if exists:
+                self._load_header(allow_uncommitted)
+            else:
+                self.page_size = int(page_size)
+                self._num_pages = 1  # the header page
+                self._meta = b""
+                self.committed = False
+                self._write_header()
+        except BaseException:
+            self._fh.close()
+            raise
+
+    @property
+    def stride(self) -> int:
+        """Physical bytes per page on disk (payload + CRC trailer)."""
+        return self.page_size + CHECKSUM_BYTES
 
     # ------------------------------------------------------------------
     # Header handling
     # ------------------------------------------------------------------
-    def _load_header(self) -> None:
-        self._fh.seek(0)
-        raw = self._fh.read(_HEADER_SIZE)
-        if len(raw) < _HEADER_SIZE:
-            raise StorageError(f"{self.path}: truncated header")
-        magic, page_size, num_pages = struct.unpack(_HEADER_FMT, raw)
-        if magic != _MAGIC:
-            raise StorageError(f"{self.path}: not a repro paged file")
-        self.page_size = page_size
-        self._num_pages = num_pages
-        meta_len_raw = self._fh.read(2)
-        meta_len = struct.unpack("<H", meta_len_raw)[0]
-        if meta_len > _META_CAPACITY:
-            raise StorageError(f"{self.path}: corrupt metadata length")
-        self._meta = self._fh.read(meta_len)
+    def _load_header(self, allow_uncommitted: bool) -> None:
+        # The whole load is wrapped: a truncated or garbage header must
+        # surface as StorageError with the path and reason, never as a raw
+        # struct.error / OSError from half-parsed bytes.
+        try:
+            self._fh.seek(0)
+            raw = self._fh.read(_HEADER_SIZE)
+            if len(raw) < _HEADER_SIZE:
+                raise StorageError(f"{self.path}: truncated header")
+            magic, version, flags, page_size, num_pages = struct.unpack(
+                _HEADER_FMT, raw
+            )
+            if magic != _MAGIC:
+                raise StorageError(f"{self.path}: not a repro paged file")
+            if version != FORMAT_VERSION:
+                raise StorageError(
+                    f"{self.path}: unsupported paged-file format version "
+                    f"{version} (this build reads version {FORMAT_VERSION})"
+                )
+            if page_size < _HEADER_SIZE + 2 + _META_CAPACITY:
+                raise StorageError(
+                    f"{self.path}: implausible page size {page_size} in header"
+                )
+            # Verify the header frame's CRC before trusting anything else.
+            self._fh.seek(0)
+            frame = self._fh.read(page_size + CHECKSUM_BYTES)
+            if len(frame) < page_size + CHECKSUM_BYTES:
+                raise StorageError(f"{self.path}: truncated header page")
+            payload, trailer = frame[:page_size], frame[page_size:]
+            if _crc(payload) != trailer:
+                _obs_add("storage.checksum_failures")
+                raise PageCorruptError(
+                    0, 0, path=self.path, reason="header checksum mismatch"
+                )
+            self.page_size = page_size
+            self._num_pages = num_pages
+            self.committed = bool(flags & _FLAG_COMMITTED)
+            if not self.committed and not allow_uncommitted:
+                raise StorageError(
+                    f"{self.path}: file was never cleanly committed "
+                    "(crashed or interrupted build) — refusing to open"
+                )
+            (meta_len,) = struct.unpack_from("<H", payload, _HEADER_SIZE)
+            if meta_len > _META_CAPACITY:
+                raise StorageError(f"{self.path}: corrupt metadata length")
+            meta_off = _HEADER_SIZE + 2
+            self._meta = payload[meta_off : meta_off + meta_len]
+        except StorageError:
+            raise
+        except (struct.error, OSError, ValueError) as exc:
+            raise StorageError(
+                f"{self.path}: cannot load paged-file header: {exc}"
+            ) from exc
 
     def _write_header(self) -> None:
-        header = struct.pack(_HEADER_FMT, _MAGIC, self.page_size, self._num_pages)
-        header += struct.pack("<H", len(self._meta)) + self._meta
-        header = header.ljust(self.page_size, b"\x00")
+        if _FAULTS.engaged:
+            _fault("pager.write_header")
+        flags = _FLAG_COMMITTED if self.committed else 0
+        payload = struct.pack(
+            _HEADER_FMT, _MAGIC, FORMAT_VERSION, flags, self.page_size,
+            self._num_pages,
+        )
+        payload += struct.pack("<H", len(self._meta)) + self._meta
+        payload = payload.ljust(self.page_size, b"\x00")
+        frame = payload + _crc(payload)
         self._fh.seek(0)
-        self._fh.write(header)
+        if _FAULTS.engaged:
+            cut = _tear("pager.write_header", len(frame))
+            if cut is not None:
+                self._fh.write(frame[:cut])
+                self._fh.flush()
+                raise CrashPoint("pager.write_header")
+        self._fh.write(frame)
+
+    def _uncommit(self) -> None:
+        """Clear the commit flag *before* mutating data pages.
+
+        Only reopened-committed files pay the extra header write; files
+        under construction are already uncommitted.  The cleared flag is
+        flushed to the OS immediately so it can never be reordered after
+        the data writes it guards.
+        """
+        if self.committed:
+            self.committed = False
+            self._write_header()
+            self._fh.flush()
 
     def get_meta(self) -> bytes:
         """Caller-managed metadata persisted in the header page."""
@@ -103,6 +232,7 @@ class PagedFile:
                 f"metadata limited to {_META_CAPACITY} bytes, got {len(meta)}"
             )
         self._meta = bytes(meta)
+        self.committed = False
         self._write_header()
 
     # ------------------------------------------------------------------
@@ -115,10 +245,14 @@ class PagedFile:
 
     def allocate(self) -> int:
         """Append a zeroed page and return its id."""
+        if _FAULTS.engaged:
+            _fault("pager.allocate")
+        self._uncommit()
         pid = self._num_pages
         self._num_pages += 1
-        self._fh.seek(pid * self.page_size)
-        self._fh.write(b"\x00" * self.page_size)
+        payload = b"\x00" * self.page_size
+        self._fh.seek(pid * self.stride)
+        self._fh.write(payload + _crc(payload))
         self._write_header()
         return pid
 
@@ -130,13 +264,28 @@ class PagedFile:
 
     def read_page(self, pid: int) -> bytes:
         self._check_pid(pid)
+        if _FAULTS.engaged:
+            _fault("pager.read_page")
+            budget = _FAULTS.budget
+            if budget is not None:
+                budget.spend_page_reads(1)
         self.reads += 1
         _obs_add("storage.physical_reads")
-        self._fh.seek(pid * self.page_size)
-        data = self._fh.read(self.page_size)
-        if len(data) != self.page_size:
-            raise PageError(f"short read on page {pid}")
-        return data
+        offset = pid * self.stride
+        self._fh.seek(offset)
+        frame = self._fh.read(self.stride)
+        if len(frame) != self.stride:
+            _obs_add("storage.checksum_failures")
+            raise PageCorruptError(
+                pid, offset, path=self.path, reason="truncated page"
+            )
+        payload, trailer = frame[: self.page_size], frame[self.page_size :]
+        if _crc(payload) != trailer:
+            _obs_add("storage.checksum_failures")
+            raise PageCorruptError(
+                pid, offset, path=self.path, reason="CRC32 mismatch"
+            )
+        return payload
 
     def write_page(self, pid: int, data: bytes) -> None:
         self._check_pid(pid)
@@ -144,20 +293,53 @@ class PagedFile:
             raise PageError(
                 f"data of {len(data)} bytes exceeds page size {self.page_size}"
             )
+        if _FAULTS.engaged:
+            _fault("pager.write_page")
+        self._uncommit()
         self.writes += 1
         _obs_add("storage.physical_writes")
-        self._fh.seek(pid * self.page_size)
-        self._fh.write(bytes(data).ljust(self.page_size, b"\x00"))
+        payload = bytes(data).ljust(self.page_size, b"\x00")
+        frame = payload + _crc(payload)
+        self._fh.seek(pid * self.stride)
+        if _FAULTS.engaged:
+            cut = _tear("pager.write_page", len(frame))
+            if cut is not None:
+                # A torn write: persist a prefix of the frame, then "die".
+                # The stale/garbage trailer makes the next read fail its CRC.
+                self._fh.write(frame[:cut])
+                self._fh.flush()
+                raise CrashPoint("pager.write_page")
+        self._fh.write(frame)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def flush(self) -> None:
+        if _FAULTS.engaged:
+            _fault("pager.flush")
         self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:  # pragma: no cover - e.g. pipes in exotic setups
+            pass
+
+    def commit(self) -> None:
+        """Durably mark the file consistent (header flag + fsync)."""
+        if not self._fh.closed:
+            self.committed = True
+            self._write_header()
+            self.flush()
 
     def close(self) -> None:
+        """Commit and close: a cleanly closed file always reopens."""
         if not self._fh.closed:
-            self._write_header()
+            self.commit()
+            self._fh.close()
+
+    def abort(self) -> None:
+        """Close the file handle *without* committing (crash simulation /
+        error cleanup). On-disk state is left exactly as last written."""
+        if not self._fh.closed:
             self._fh.close()
 
     def __enter__(self) -> "PagedFile":
@@ -169,7 +351,7 @@ class PagedFile:
     def __repr__(self) -> str:
         return (
             f"PagedFile(path={self.path!r}, pages={self._num_pages}, "
-            f"page_size={self.page_size})"
+            f"page_size={self.page_size}, committed={self.committed})"
         )
 
 
@@ -250,6 +432,13 @@ class BufferManager:
     def close(self) -> None:
         self.flush()
         self.file.close()
+
+    def abort(self) -> None:
+        """Drop all cached state and close without flushing or committing
+        (crash simulation / error cleanup)."""
+        self._frames.clear()
+        self._dirty.clear()
+        self.file.abort()
 
     def reset_stats(self) -> None:
         """Zero the cache and file counters (used between experiment runs)."""

@@ -1,0 +1,268 @@
+"""Offline integrity verification for network-store files (``repro check``).
+
+:func:`verify_store` walks a paged file from the physical layer up and
+returns a list of :class:`Finding` objects instead of raising on the first
+problem, so one pass reports *all* detectable damage:
+
+1. **Header** — magic, format version, header CRC, commit flag.
+2. **Pages** — every page's CRC32 trailer (torn writes, bit rot).
+3. **Metadata** — the network-store root pointers and counts.
+4. **Indexes** — B+-tree structural invariants (sortedness, separators,
+   leaf-chain order) for the node and point trees.
+5. **Records** — every adjacency and point-group record decodes within its
+   bounds; group offsets ascend; counts in the metadata match the data.
+
+The pass is read-only.  It opens files with ``allow_uncommitted=True`` (the
+one sanctioned use of that flag) precisely so that crashed builds can be
+examined rather than merely refused.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.exceptions import CorruptRecordError, PageCorruptError, ReproError
+from repro.storage.bptree import BPlusTree
+from repro.storage.flatfile import RecordFile
+from repro.storage.pager import BufferManager, PagedFile
+
+__all__ = ["Finding", "verify_store"]
+
+
+class Finding:
+    """One verification finding.
+
+    Attributes
+    ----------
+    severity:
+        ``"error"`` (data cannot be trusted) or ``"warning"`` (suspicious
+        but survivable, e.g. an uncommitted file opened for forensics).
+    kind:
+        Machine-readable category (``"header"``, ``"page"``, ``"meta"``,
+        ``"tree"``, ``"record"``, ``"count"``).
+    message:
+        Human-readable description.
+    page_id:
+        The affected page, when the finding is page-addressable.
+    """
+
+    __slots__ = ("severity", "kind", "message", "page_id")
+
+    def __init__(
+        self, severity: str, kind: str, message: str, page_id: int | None = None
+    ) -> None:
+        self.severity = severity
+        self.kind = kind
+        self.message = message
+        self.page_id = page_id
+
+    def __repr__(self) -> str:
+        where = f" [page {self.page_id}]" if self.page_id is not None else ""
+        return f"{self.severity}:{self.kind}{where}: {self.message}"
+
+
+def verify_store(path: str) -> list[Finding]:
+    """Verify a network-store file; empty list means healthy.
+
+    Never raises for damage in the file itself — every problem becomes a
+    :class:`Finding`.  (Genuinely environmental errors, e.g. the path not
+    existing, still surface as a single ``header`` finding.)
+    """
+    findings: list[Finding] = []
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return [Finding("error", "header", f"{path}: no such file")]
+
+    try:
+        file = PagedFile(path, allow_uncommitted=True)
+    except ReproError as exc:
+        return [Finding("error", "header", str(exc))]
+
+    try:
+        if not file.committed:
+            findings.append(
+                Finding(
+                    "error",
+                    "header",
+                    f"{path}: commit flag clear — interrupted build, "
+                    "contents must not be trusted",
+                )
+            )
+
+        # ---- physical page sweep ------------------------------------
+        for pid in range(1, file.num_pages):
+            try:
+                file.read_page(pid)
+            except PageCorruptError as exc:
+                findings.append(Finding("error", "page", str(exc), page_id=pid))
+
+        # ---- metadata ------------------------------------------------
+        from repro.storage.netstore import _META
+
+        meta = file.get_meta()
+        if len(meta) < _META.size:
+            findings.append(
+                Finding(
+                    "error",
+                    "meta",
+                    f"metadata holds {len(meta)} bytes, need {_META.size} — "
+                    "not a network store or roots never written",
+                )
+            )
+            return findings
+        try:
+            (
+                node_root,
+                point_root,
+                _adj_page,
+                _pts_page,
+                num_nodes,
+                _num_edges,
+                num_points,
+            ) = _META.unpack(meta[: _META.size])
+        except struct.error as exc:  # pragma: no cover - length checked above
+            findings.append(Finding("error", "meta", f"undecodable metadata: {exc}"))
+            return findings
+        for name, root in (("node", node_root), ("point", point_root)):
+            if not 1 <= root < file.num_pages:
+                findings.append(
+                    Finding(
+                        "error",
+                        "meta",
+                        f"{name}-tree root page {root} outside file "
+                        f"(pages 1..{file.num_pages - 1})",
+                    )
+                )
+                return findings
+
+        # Logical checks read through a buffer; corrupt pages already
+        # reported above will raise again — catch and continue.
+        buffer = BufferManager(file)
+
+        # ---- index invariants ---------------------------------------
+        trees = {}
+        for name, root in (("node", node_root), ("point", point_root)):
+            try:
+                tree = BPlusTree(buffer, root_pid=root)
+                tree.check_invariants()
+                trees[name] = tree
+            except ReproError as exc:
+                findings.append(
+                    Finding("error", "tree", f"{name} tree: {exc}")
+                )
+
+        # ---- record sweep + count reconciliation --------------------
+        node_tree = trees.get("node")
+        if node_tree is not None:
+            seen_nodes = 0
+            store_view = _RecordReader(buffer)
+            for node, rid in _safe_items(node_tree, "node", findings):
+                seen_nodes += 1
+                try:
+                    store_view.check_adjacency(node, rid)
+                except ReproError as exc:
+                    findings.append(
+                        Finding("error", "record", f"node {node}: {exc}")
+                    )
+            if seen_nodes != num_nodes:
+                findings.append(
+                    Finding(
+                        "error",
+                        "count",
+                        f"metadata claims {num_nodes} nodes, node tree "
+                        f"holds {seen_nodes}",
+                    )
+                )
+
+        point_tree = trees.get("point")
+        if point_tree is not None:
+            seen_points = 0
+            store_view = _RecordReader(buffer)
+            for first, rid in _safe_items(point_tree, "point", findings):
+                try:
+                    seen_points += store_view.check_group(first, rid)
+                except ReproError as exc:
+                    findings.append(
+                        Finding("error", "record", f"point group {first}: {exc}")
+                    )
+            if seen_points != num_points:
+                findings.append(
+                    Finding(
+                        "error",
+                        "count",
+                        f"metadata claims {num_points} points, groups hold "
+                        f"{seen_points}",
+                    )
+                )
+    finally:
+        file.abort()  # read-only pass: never write, never commit
+    return findings
+
+
+def _safe_items(tree: BPlusTree, name: str, findings: list[Finding]):
+    """Iterate tree items, converting a mid-scan error into a finding."""
+    try:
+        yield from tree.items()
+    except ReproError as exc:
+        findings.append(Finding("error", "tree", f"{name} tree scan: {exc}"))
+
+
+class _RecordReader:
+    """Decode-and-check helpers over the two flat files."""
+
+    def __init__(self, buffer: BufferManager) -> None:
+        self._records = RecordFile(buffer)
+
+    def check_adjacency(self, node: int, rid: int) -> None:
+        from repro.storage.netstore import _ADJ_ENTRY, _ADJ_HEADER
+
+        record = self._records.read(rid)
+        if len(record) < _ADJ_HEADER.size:
+            raise CorruptRecordError("adjacency record shorter than its header")
+        (count,) = _ADJ_HEADER.unpack_from(record, 0)
+        if _ADJ_HEADER.size + count * _ADJ_ENTRY.size > len(record):
+            raise CorruptRecordError(
+                f"neighbour count {count} overruns {len(record)}-byte record"
+            )
+        for i in range(count):
+            _nbr, weight, _first = _ADJ_ENTRY.unpack_from(
+                record, _ADJ_HEADER.size + i * _ADJ_ENTRY.size
+            )
+            if not weight > 0:
+                raise CorruptRecordError(
+                    f"neighbour {i} has non-positive weight {weight}"
+                )
+
+    def check_group(self, first: int, rid: int) -> int:
+        """Check one point-group record; returns its point count."""
+        from repro.storage.netstore import _GROUP_ENTRY, _GROUP_HEADER
+
+        record = self._records.read(rid)
+        if len(record) < _GROUP_HEADER.size:
+            raise CorruptRecordError("point-group record shorter than its header")
+        u, v, count = _GROUP_HEADER.unpack_from(record, 0)
+        if _GROUP_HEADER.size + count * _GROUP_ENTRY.size > len(record):
+            raise CorruptRecordError(
+                f"point count {count} overruns {len(record)}-byte record"
+            )
+        if count == 0:
+            raise CorruptRecordError(f"empty point group for edge ({u}, {v})")
+        last_offset = None
+        first_pid = None
+        for i in range(count):
+            pid, offset, _label = _GROUP_ENTRY.unpack_from(
+                record, _GROUP_HEADER.size + i * _GROUP_ENTRY.size
+            )
+            if first_pid is None:
+                first_pid = pid
+            if last_offset is not None and offset < last_offset:
+                raise CorruptRecordError(
+                    f"offsets out of order in group for edge ({u}, {v})"
+                )
+            last_offset = offset
+        if first_pid != first:
+            raise CorruptRecordError(
+                f"group keyed {first} but first stored point id is {first_pid}"
+            )
+        return count

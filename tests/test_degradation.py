@@ -1,0 +1,199 @@
+"""Graceful-degradation contracts on disconnected networks.
+
+Clustering on a disconnected network must produce explicit per-component
+results with an ``unreachable_pairs`` report — never a silent flood of
+noise labels for every component the seed happened not to land in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ComponentPointSet,
+    EpsLink,
+    NetworkDBSCAN,
+    NetworkKMedoids,
+    SingleLink,
+    analyze_connectivity,
+    distribute_k,
+)
+from repro.eval.metrics import NOISE
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+
+
+def two_islands(
+    sizes: tuple[int, int] = (9, 9)
+) -> tuple[SpatialNetwork, PointSet]:
+    """Two disjoint chains; one point per edge, ids globally unique."""
+    net = SpatialNetwork()
+    pts = PointSet(net)
+    pid = 0
+    base = 0
+    for size in sizes:
+        for i in range(size + 1):
+            net.add_node(base + i)
+        for i in range(size):
+            net.add_edge(base + i, base + i + 1, 1.0)
+            pts.add(base + i, base + i + 1, 0.5, point_id=pid)
+            pid += 1
+        base += size + 1
+    return net, pts
+
+
+class TestConnectivityReport:
+    def test_connected_network(self):
+        net, pts = two_islands((5, 0))
+        report = analyze_connectivity(net, pts)
+        assert report.num_populated_components == 1
+        assert report.unreachable_pairs == 0
+
+    def test_two_components(self):
+        net, pts = two_islands((9, 9))
+        report = analyze_connectivity(net, pts)
+        assert report.num_components >= 2
+        assert report.num_populated_components == 2
+        assert report.point_counts[:2] == [9, 9]
+        # Every cross-island pair is unreachable: 9 * 9.
+        assert report.unreachable_pairs == 81
+
+    def test_summary_shape(self):
+        net, pts = two_islands((6, 3))
+        s = analyze_connectivity(net, pts).summary()
+        assert s["points_per_component"] == [6, 3]
+        assert s["unreachable_pairs"] == 18
+
+    def test_empty_component_sorted_last(self):
+        net, pts = two_islands((4, 2))
+        net.add_node(999)  # isolated, pointless node
+        report = analyze_connectivity(net, pts)
+        assert report.point_counts[-1] == 0
+
+
+class TestComponentPointSet:
+    def test_filters_to_component(self):
+        net, pts = two_islands((4, 3))
+        report = analyze_connectivity(net, pts)
+        big = ComponentPointSet(pts, report.components[0])
+        small = ComponentPointSet(pts, report.components[1])
+        assert len(big) == 4
+        assert len(small) == 3
+        assert set(big.point_ids()) | set(small.point_ids()) == set(
+            pts.point_ids()
+        )
+        assert set(big.point_ids()).isdisjoint(small.point_ids())
+
+    def test_get_refuses_foreign_point(self):
+        from repro.exceptions import PointNotFoundError
+
+        net, pts = two_islands((4, 3))
+        report = analyze_connectivity(net, pts)
+        big = ComponentPointSet(pts, report.components[0])
+        foreign = next(iter(ComponentPointSet(pts, report.components[1])))
+        with pytest.raises(PointNotFoundError):
+            big.get(foreign.point_id)
+
+    def test_network_is_the_full_backend(self):
+        net, pts = two_islands((4, 3))
+        report = analyze_connectivity(net, pts)
+        view = ComponentPointSet(pts, report.components[0])
+        assert view.network is net
+
+
+class TestDistributeK:
+    def test_proportional(self):
+        assert distribute_k(4, [9, 9]) == [2, 2]
+        assert distribute_k(3, [20, 10]) == [2, 1]
+
+    def test_every_populated_component_served_when_k_allows(self):
+        quotas = distribute_k(3, [97, 2, 1])
+        assert all(q >= 1 for q in quotas)
+
+    def test_k_smaller_than_components(self):
+        quotas = distribute_k(1, [5, 4, 3])
+        assert sum(quotas) == 1
+        assert quotas[0] == 1  # largest component wins
+
+    def test_never_exceeds_component_size(self):
+        quotas = distribute_k(10, [2, 100])
+        assert quotas[0] <= 2
+        assert sum(quotas) == 10
+
+    def test_k_at_least_total(self):
+        assert distribute_k(50, [3, 2]) == [3, 2]
+
+    def test_all_empty(self):
+        assert distribute_k(5, [0, 0]) == [0, 0]
+
+
+class TestKMedoidsDegradation:
+    def test_per_component_clustering(self):
+        net, pts = two_islands((9, 9))
+        result = NetworkKMedoids(net, pts, k=4, seed=0).run()
+        assert result.stats["unreachable_pairs"] == 81
+        assert result.stats["connectivity"]["num_populated_components"] == 2
+        per_comp = result.stats["per_component"]
+        assert [c["k"] for c in per_comp] == [2, 2]
+        # Every point is clustered; labels are medoid ids, hence unique
+        # across components.
+        labels = set(result.assignment.values())
+        assert NOISE not in labels
+        assert len(labels) == 4
+        # No cluster spans both islands.
+        side = {p.point_id: (0 if p.u < 10 else 1) for p in pts}
+        for label in labels:
+            members = [p for p, l in result.assignment.items() if l == label]
+            assert len({side[m] for m in members}) == 1
+
+    def test_k_one_marks_losing_component_unclustered(self):
+        net, pts = two_islands((9, 9))
+        result = NetworkKMedoids(net, pts, k=1, seed=0).run()
+        clustered = [p for p, l in result.assignment.items() if l != NOISE]
+        noise = [p for p, l in result.assignment.items() if l == NOISE]
+        assert len(clustered) == 9
+        assert len(noise) == 9
+        assert result.stats["unclustered_points"] == 9
+
+    def test_connected_network_unchanged(self):
+        net, pts = two_islands((12, 0))
+        checked = NetworkKMedoids(net, pts, k=3, seed=7).run()
+        unchecked = NetworkKMedoids(
+            net, pts, k=3, seed=7, check_connectivity=False
+        ).run()
+        assert checked.assignment == unchecked.assignment
+
+    def test_check_can_be_disabled(self):
+        net, pts = two_islands((9, 9))
+        result = NetworkKMedoids(
+            net, pts, k=2, seed=0, check_connectivity=False
+        ).run()
+        assert "per_component" not in result.stats
+
+
+class TestDensityDegradation:
+    def test_epslink_crosses_no_component(self):
+        net, pts = two_islands((9, 9))
+        result = EpsLink(net, pts, eps=1.5).run()
+        # Chains of 1.0-spaced points: each island is one cluster.
+        assert result.num_clusters == 2
+
+    def test_epslink_optional_report(self):
+        net, pts = two_islands((9, 9))
+        result = EpsLink(net, pts, eps=1.5, check_connectivity=True).run()
+        assert result.stats["unreachable_pairs"] == 81
+
+    def test_dbscan_handles_disconnected_natively(self):
+        net, pts = two_islands((9, 9))
+        result = NetworkDBSCAN(net, pts, eps=1.5, min_pts=2).run()
+        side = {p.point_id: (0 if p.u < 10 else 1) for p in pts}
+        for label in set(result.assignment.values()):
+            if label == NOISE:
+                continue
+            members = [p for p, l in result.assignment.items() if l == label]
+            assert len({side[m] for m in members}) == 1
+
+    def test_singlelink_handles_disconnected(self):
+        net, pts = two_islands((5, 4))
+        result = SingleLink(net, pts, stop_k=2).run()
+        assert result.num_clusters == 2

@@ -1,0 +1,365 @@
+"""Tests for repro.faults: injection rules, budgets, and their wiring."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import faults, obs
+from repro.core.dbscan import NetworkDBSCAN
+from repro.core.epslink import EpsLink
+from repro.core.kmedoids import NetworkKMedoids
+from repro.exceptions import BudgetExceededError
+from repro.faults import CrashPoint, FaultRule, InjectedIOError, OpBudget
+from repro.network.dijkstra import multi_source, single_source
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+from repro.storage.netstore import NetworkStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def line_network(n: int = 12) -> tuple[SpatialNetwork, PointSet]:
+    net = SpatialNetwork()
+    for i in range(n):
+        net.add_node(i)
+    for i in range(n - 1):
+        net.add_edge(i, i + 1, 1.0)
+    pts = PointSet(net)
+    for i in range(n - 1):
+        pts.add(i, i + 1, 0.5, point_id=i)
+    return net, pts
+
+
+# ----------------------------------------------------------------------
+# FaultRule semantics
+# ----------------------------------------------------------------------
+class TestFaultRule:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", "explode", after=1)
+
+    def test_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", "crash")
+        with pytest.raises(ValueError):
+            FaultRule("x", "crash", after=1, probability=0.5)
+
+    def test_after_validated(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", "crash", after=0)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            FaultRule("x", "crash", probability=1.5)
+
+    def test_site_patterns(self):
+        rule = FaultRule("pager.*", "crash", after=1)
+        assert rule.matches("pager.write_page")
+        assert rule.matches("pager.flush")
+        assert not rule.matches("bptree.store")
+
+    def test_after_n_fires_on_nth_hit(self):
+        with faults.plan(FaultRule("site.a", "error", after=3)):
+            faults.fire("site.a")
+            faults.fire("site.a")
+            with pytest.raises(InjectedIOError):
+                faults.fire("site.a")
+            # times=1 (default): no further firings
+            faults.fire("site.a")
+
+    def test_crash_kind_raises_crashpoint(self):
+        with faults.plan(FaultRule("site.b", "crash", after=1)):
+            with pytest.raises(CrashPoint) as exc:
+                faults.fire("site.b")
+            assert exc.value.site == "site.b"
+
+    def test_crashpoint_is_not_reproerror(self):
+        from repro.exceptions import ReproError
+
+        assert not issubclass(CrashPoint, ReproError)
+
+    def test_probability_deterministic_per_seed(self):
+        def run(seed: int) -> list[int]:
+            fired = []
+            with faults.plan(
+                FaultRule("p", "error", probability=0.5, times=None), seed=seed
+            ):
+                for i in range(40):
+                    try:
+                        faults.fire("p")
+                    except InjectedIOError:
+                        fired.append(i)
+            return fired
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_torn_rules_ignored_by_fire(self):
+        with faults.plan(FaultRule("w", "torn", after=1)):
+            faults.fire("w")  # must not raise
+
+    def test_tear_returns_prefix_length(self):
+        with faults.plan(FaultRule("w", "torn", after=1, tear_fraction=0.25)):
+            assert faults.tear("w", 100) == 25
+            assert faults.tear("w", 100) is None  # times=1 exhausted
+
+    def test_tear_never_full_payload(self):
+        with faults.plan(FaultRule("w", "torn", after=1, tear_fraction=0.99)):
+            assert faults.tear("w", 4) < 4
+
+    def test_site_hits_counted_while_armed(self):
+        never = FaultRule("no.such.site", "crash", after=10**9)
+        with faults.plan(never):
+            faults.fire("a")
+            faults.fire("a")
+            faults.fire("b")
+            assert faults.hits("a") == 2
+            assert faults.hits("b") == 1
+        assert faults.hits("a") == 0  # plan exit restores counters
+
+    def test_plan_restores_outer_rules(self):
+        outer = FaultRule("x", "error", after=10**9)
+        faults.install(outer)
+        with faults.plan(FaultRule("y", "crash", after=1)):
+            assert len(faults.STATE.rules) == 1
+            assert faults.STATE.rules[0].site == "y"
+        assert outer in faults.STATE.rules
+
+    def test_disarmed_is_disengaged(self):
+        assert not faults.STATE.enabled
+        assert not faults.STATE.engaged
+        faults.fire("anything")  # no-op
+        assert faults.tear("anything", 10) is None
+
+    def test_injected_counts_and_obs(self):
+        obs.reset()
+        obs.enable()
+        try:
+            rule = FaultRule("c", "error", after=1)
+            with faults.plan(rule):
+                with pytest.raises(InjectedIOError):
+                    faults.fire("c")
+                assert faults.injected_counts() == {"c": 1}
+            counters = obs.snapshot()["counters"]
+            assert counters.get("faults.injected.c") == 1
+            assert counters.get("faults.injected_total") == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_default_seed_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "17")
+        assert faults.default_seed() == 17
+        monkeypatch.setenv("REPRO_FAULT_SEED", "junk")
+        assert faults.default_seed() == 0
+        monkeypatch.delenv("REPRO_FAULT_SEED")
+        assert faults.default_seed() == 0
+
+
+# ----------------------------------------------------------------------
+# OpBudget
+# ----------------------------------------------------------------------
+class TestOpBudget:
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            OpBudget(max_expansions=-1)
+
+    def test_unlimited_never_raises(self):
+        budget = OpBudget()
+        for _ in range(1000):
+            budget.spend_expansions()
+        assert budget.expansions == 1000
+
+    def test_exceeded_carries_details(self):
+        budget = OpBudget(max_expansions=2)
+        budget.spend_expansions()
+        budget.spend_expansions()
+        with pytest.raises(BudgetExceededError) as exc:
+            budget.spend_expansions(partial={"got": "this far"})
+        err = exc.value
+        assert err.op == "expansions"
+        assert err.limit == 2
+        assert err.spent == 3
+        assert err.partial == {"got": "this far"}
+
+    def test_remaining_and_reset(self):
+        budget = OpBudget(max_distance_computations=10)
+        budget.spend_distance_computations(4)
+        assert budget.remaining()["distance_computations"] == 6
+        assert budget.remaining()["expansions"] is None
+        budget.reset()
+        assert budget.spent()["distance_computations"] == 0
+
+    def test_activate_engages_and_restores(self):
+        budget = OpBudget(max_expansions=5)
+        assert not faults.STATE.engaged
+        with budget.activate():
+            assert faults.STATE.engaged
+            assert faults.STATE.budget is budget
+        assert not faults.STATE.engaged
+        assert faults.STATE.budget is None
+
+    def test_activate_nests(self):
+        outer, inner = OpBudget(), OpBudget()
+        with outer.activate():
+            with inner.activate():
+                assert faults.STATE.budget is inner
+            assert faults.STATE.budget is outer
+
+    def test_abort_bumps_obs_counters(self):
+        obs.reset()
+        obs.enable()
+        try:
+            budget = OpBudget(max_page_reads=0)
+            with pytest.raises(BudgetExceededError):
+                budget.spend_page_reads()
+            counters = obs.snapshot()["counters"]
+            assert counters.get("budget.aborts") == 1
+            assert counters.get("budget.aborts.page_reads") == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Budgets wired through traversal and clustering
+# ----------------------------------------------------------------------
+class TestBudgetWiring:
+    def test_single_source_budget_abort_with_partial(self):
+        net, _ = line_network(20)
+        budget = OpBudget(max_expansions=5)
+        with budget.activate():
+            with pytest.raises(BudgetExceededError) as exc:
+                single_source(net, 0)
+        partial = exc.value.partial
+        assert isinstance(partial, dict)
+        assert 0 < len(partial) <= 5
+        # Settled prefix is correct as far as it got.
+        for node, d in partial.items():
+            assert d == pytest.approx(float(node))
+
+    def test_single_source_unbudgeted_matches_budgeted(self):
+        net, _ = line_network(15)
+        plain = single_source(net, 0)
+        with OpBudget(max_expansions=10**9).activate():
+            guarded = single_source(net, 0)
+        assert plain == guarded
+
+    def test_multi_source_budget_abort(self):
+        net, _ = line_network(20)
+        with OpBudget(max_expansions=3).activate():
+            with pytest.raises(BudgetExceededError):
+                multi_source(net, [(0.0, 0, "a"), (0.0, 19, "b")])
+
+    def test_epslink_budget_abort_tagged(self):
+        net, pts = line_network(20)
+        algo = EpsLink(net, pts, eps=3.0, budget=OpBudget(max_expansions=4))
+        with pytest.raises(BudgetExceededError) as exc:
+            algo.run()
+        assert exc.value.algorithm == "eps-link"
+
+    def test_kmedoids_budget_abort_tagged(self):
+        net, pts = line_network(20)
+        algo = NetworkKMedoids(
+            net, pts, k=2, seed=0, budget=OpBudget(max_expansions=3)
+        )
+        with pytest.raises(BudgetExceededError) as exc:
+            algo.run()
+        assert exc.value.algorithm == "k-medoids"
+
+    def test_dbscan_budget_abort(self):
+        net, pts = line_network(20)
+        algo = NetworkDBSCAN(
+            net, pts, eps=2.0, budget=OpBudget(max_expansions=2)
+        )
+        with pytest.raises(BudgetExceededError):
+            algo.run()
+
+    def test_generous_budget_identical_result(self):
+        net, pts = line_network(20)
+        base = EpsLink(net, pts, eps=1.2).run()
+        budgeted = EpsLink(
+            net, pts, eps=1.2, budget=OpBudget(max_expansions=10**9)
+        ).run()
+        assert base.assignment == budgeted.assignment
+
+    def test_budget_restored_after_run(self):
+        net, pts = line_network(8)
+        EpsLink(net, pts, eps=1.2, budget=OpBudget()).run()
+        assert faults.STATE.budget is None
+        assert not faults.STATE.engaged
+
+    def test_page_read_budget_on_store(self, tmp_path):
+        net, pts = line_network(30)
+        path = str(tmp_path / "store.db")
+        store = NetworkStore.build(path, net, pts, page_size=512)
+        store.close()
+        store = NetworkStore(path)
+        try:
+            with OpBudget(max_page_reads=1).activate():
+                with pytest.raises(BudgetExceededError) as exc:
+                    for node in store.nodes():
+                        store.degree(node)
+            assert exc.value.op == "page_reads"
+        finally:
+            store.close()
+
+
+# ----------------------------------------------------------------------
+# Error injection through the storage stack
+# ----------------------------------------------------------------------
+class TestErrorInjection:
+    def test_read_error_surfaces_from_store(self, tmp_path):
+        net, pts = line_network(20)
+        path = str(tmp_path / "store.db")
+        NetworkStore.build(path, net, pts, page_size=512).close()
+        store = NetworkStore(path)
+        try:
+            with faults.plan(FaultRule("pager.read_page", "error", after=1)):
+                with pytest.raises(InjectedIOError):
+                    for node in store.nodes():
+                        store.degree(node)
+        finally:
+            store.close()
+
+    def test_traversal_crash_site(self):
+        net, _ = line_network(10)
+        with faults.plan(FaultRule("dijkstra.settle", "crash", after=4)):
+            with pytest.raises(CrashPoint):
+                single_source(net, 0)
+
+    def test_probability_injection_seeded_from_env(self, tmp_path, monkeypatch):
+        """REPRO_FAULT_SEED reproduces a probabilistic failure run exactly."""
+        net, pts = line_network(16)
+
+        def failures(seed: int) -> int:
+            count = 0
+            with faults.plan(
+                FaultRule("dijkstra.settle", "error",
+                          probability=0.3, times=None),
+                seed=seed,
+            ):
+                for start in range(16):
+                    try:
+                        single_source(net, start)
+                    except InjectedIOError:
+                        count += 1
+            return count
+
+        assert failures(0) == failures(0)
+
+    def test_math_still_correct_after_cleared_faults(self):
+        net, _ = line_network(10)
+        with faults.plan(FaultRule("dijkstra.settle", "crash", after=2)):
+            with pytest.raises(CrashPoint):
+                single_source(net, 0)
+        dist = single_source(net, 0)
+        assert dist[9] == pytest.approx(9.0)
+        assert math.isfinite(dist[5])

@@ -3,15 +3,19 @@ ids, and undersized configurations must fail loudly, never silently."""
 
 from __future__ import annotations
 
+import shutil
 import struct
 
 import pytest
 
-from repro.exceptions import PageError, StorageError, TreeError
+from repro.exceptions import PageError, ReproError, StorageError, TreeError
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
 from repro.storage.bptree import BPlusTree
 from repro.storage.flatfile import RecordFile, rid_encode
 from repro.storage.netstore import NetworkStore
-from repro.storage.pager import BufferManager, PagedFile
+from repro.storage.pager import CHECKSUM_BYTES, BufferManager, PagedFile
+from repro.storage.verify import verify_store
 
 
 class TestCorruptPagedFiles:
@@ -105,3 +109,100 @@ class TestBPlusTreeRobustness:
         with pytest.raises(TreeError):
             tree.check_invariants()
         buf.close()
+
+
+# ----------------------------------------------------------------------
+# Exhaustive bit-flip sweep
+# ----------------------------------------------------------------------
+_FLIP_PAGE_SIZE = 512
+
+
+@pytest.fixture(scope="module")
+def pristine_store(tmp_path_factory):
+    """A committed store plus its full logical scan, shared by the sweep."""
+    net = SpatialNetwork()
+    for i in range(30):
+        net.add_node(i)
+    for i in range(29):
+        net.add_edge(i, i + 1, 1.0 + (i % 4))
+    pts = PointSet(net)
+    pid = 0
+    for i in range(29):
+        for frac in (0.3, 0.7):
+            pts.add(i, i + 1, frac * net.edge_weight(i, i + 1), point_id=pid)
+            pid += 1
+    path = str(tmp_path_factory.mktemp("bitflip") / "pristine.db")
+    store = NetworkStore.build(path, net, pts, page_size=_FLIP_PAGE_SIZE)
+    try:
+        num_pages = store._file.num_pages
+        scan = _full_scan(store)
+    finally:
+        store.close()
+    return path, num_pages, scan
+
+
+def _full_scan(store: NetworkStore) -> tuple:
+    edges = sorted(store.edges())
+    degrees = {node: store.degree(node) for node in store.nodes()}
+    pts = sorted(
+        (p.point_id, p.u, p.v, p.offset, p.label) for p in store.points()
+    )
+    return edges, degrees, pts
+
+
+class TestBitFlipSweep:
+    """Flip one byte in *every* physical page frame of a built store.
+
+    Whatever byte rots — payload, zero padding, or the CRC trailer itself —
+    reads must either raise a typed :class:`ReproError` or return data
+    identical to the pristine store (when the damaged page is simply never
+    read).  A silently wrong value is the one forbidden outcome, and
+    ``verify_store`` must locate every damaged page.
+    """
+
+    # Byte position within the physical frame: payload start, payload
+    # middle, and the last trailer byte (the checksum itself).
+    @pytest.mark.parametrize("position", ["first", "middle", "last"])
+    def test_flip_every_page(self, pristine_store, tmp_path, position):
+        path, num_pages, pristine = pristine_store
+        stride = _FLIP_PAGE_SIZE + CHECKSUM_BYTES
+        offset_in_frame = {
+            "first": 0,
+            "middle": stride // 2,
+            "last": stride - 1,
+        }[position]
+        work = str(tmp_path / "flipped.db")
+        for pid in range(num_pages):
+            shutil.copyfile(path, work)
+            with open(work, "r+b") as fh:
+                fh.seek(pid * stride + offset_in_frame)
+                byte = fh.read(1)
+                fh.seek(pid * stride + offset_in_frame)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+
+            findings = verify_store(work)
+            if pid == 0:
+                assert any(f.kind == "header" for f in findings), (
+                    f"verify_store missed the flipped header ({position})"
+                )
+            else:
+                assert any(f.page_id == pid for f in findings), (
+                    f"verify_store missed flipped page {pid} ({position})"
+                )
+
+            try:
+                store = NetworkStore(work)
+            except ReproError:
+                continue  # typed refusal at open: acceptable
+            try:
+                scan = _full_scan(store)
+            except ReproError:
+                continue  # typed error on read: acceptable
+            finally:
+                store.close()
+            # No error: only acceptable if the damaged page was never read,
+            # i.e. the scan is byte-identical to the pristine store.
+            assert scan == pristine, (
+                f"page {pid} byte {offset_in_frame}: flipped byte silently "
+                "changed scan results without a typed error"
+            )
