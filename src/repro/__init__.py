@@ -99,6 +99,13 @@ def __getattr__(name):
         "OpBudget": "repro.faults",
         "FaultRule": "repro.faults",
         "CrashPoint": "repro.faults",
+        "CheckpointManager": "repro.recovery",
+        "RetryPolicy": "repro.recovery",
+        "RepairReport": "repro.recovery",
+        "load_checkpoint": "repro.recovery",
+        "save_checkpoint": "repro.recovery",
+        "repair_store": "repro.recovery",
+        "salvage_store": "repro.recovery",
     }
     if name in lazy:
         import importlib

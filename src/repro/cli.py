@@ -11,9 +11,13 @@ A pipeline for working with spatial-network clustering from the shell::
 
 ``check`` verifies a disk network store (header, page checksums, index
 invariants, record bounds, counts) and exits non-zero when anything is
-wrong — see :mod:`repro.storage.verify`.  ``cluster`` accepts operation
-budgets (``--max-expansions``, ``--max-distance-computations``) that shed
-oversized runs with a clean report instead of an unbounded stall.
+wrong — see :mod:`repro.storage.verify`; ``repair`` salvages a store that
+``check`` condemned (:mod:`repro.recovery.repair`).  ``cluster`` accepts
+operation budgets (``--max-expansions``, ``--max-distance-computations``)
+that shed oversized runs with a clean report instead of an unbounded
+stall, and recovery flags (``--checkpoint``, ``--resume``, ``--retries``)
+that let an interrupted run restart from its last snapshot — see
+``docs/robustness.md`` for the exit-code table and checkpoint format.
 
 ``cluster`` and ``evaluate`` take ``--stats`` (print the :mod:`repro.obs`
 per-phase time + counter table) and ``--trace FILE`` (write the run's
@@ -25,7 +29,10 @@ Workloads and results travel as the JSON documents of :mod:`repro.io`.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
+import signal
 import sys
 
 from repro import obs
@@ -156,11 +163,64 @@ def _obs_end(args: argparse.Namespace) -> None:
         print(obs.format_table())
 
 
+def _checkpoint_meta(args: argparse.Namespace) -> dict:
+    """What a checkpoint must match to be resumable by this invocation."""
+    return {
+        "algorithm": args.algorithm,
+        "workload": os.path.basename(args.workload),
+        "eps": args.eps,
+        "k": args.k,
+        "min_pts": args.min_pts,
+        "delta": args.delta,
+        "stop": args.stop,
+        "restarts": args.restarts,
+        "seed": args.seed,
+    }
+
+
+class _Terminated(Exception):
+    """SIGTERM arrived; unwind to the CLI for a clean budget-style exit."""
+
+
+def _sigterm(signum, frame):
+    raise _Terminated()
+
+
+def _setup_recovery(args: argparse.Namespace, algorithm) -> str | None:
+    """Wire --checkpoint/--resume onto ``algorithm``; returns the live
+    checkpoint path (None when checkpointing is off)."""
+    from repro.recovery import CheckpointManager, load_checkpoint, validate_meta
+
+    from repro.exceptions import CheckpointError
+
+    ckpt_path = args.checkpoint
+    if args.resume:
+        if os.path.exists(args.resume):
+            try:
+                doc = load_checkpoint(args.resume)
+                validate_meta(doc["meta"], _checkpoint_meta(args))
+            except CheckpointError as exc:
+                raise SystemExit(f"cannot resume: {exc}")
+            algorithm.resume_from(doc["state"])
+            print(f"resuming from checkpoint {args.resume}")
+        else:
+            # The interrupted run died before its first snapshot.
+            print(f"no checkpoint at {args.resume}; starting fresh")
+        if ckpt_path is None:
+            ckpt_path = args.resume  # keep snapshotting the same file
+    if ckpt_path is not None:
+        algorithm.checkpoint = CheckpointManager(
+            ckpt_path, every=args.checkpoint_every, meta=_checkpoint_meta(args)
+        )
+    return ckpt_path
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     network, points = load_workload_file(args.workload)
     if len(points) == 0:
         raise SystemExit("the workload holds no points to cluster")
     algorithm = _build_algorithm(args, network, points)
+    ckpt_path = _setup_recovery(args, algorithm)
     observing = _obs_begin(args)
     if args.dendrogram:
         if args.algorithm != "single-link":
@@ -170,14 +230,38 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             json.dump(dendrogram.to_dict(), fh)
         print(f"wrote {args.dendrogram}: {dendrogram.num_leaves} leaves, "
               f"{len(dendrogram.merges)} merges")
+    old_term = None
     try:
-        result = algorithm.run()
-    except BudgetExceededError as exc:
+        if ckpt_path is not None:
+            # A polite kill leaves the latest snapshot behind for --resume.
+            with contextlib.suppress(ValueError):  # non-main thread
+                old_term = signal.signal(signal.SIGTERM, _sigterm)
+        with contextlib.ExitStack() as stack:
+            if args.retries:
+                from repro.recovery import RetryPolicy, retrying
+
+                stack.enter_context(
+                    retrying(RetryPolicy(max_attempts=args.retries))
+                )
+            result = algorithm.run()
+    except (BudgetExceededError, _Terminated) as exc:
         if observing:
             _obs_end(args)
-        print(f"aborted cleanly: {exc} (algorithm {exc.algorithm})",
-              file=sys.stderr)
+        if isinstance(exc, _Terminated):
+            reason = "terminated by SIGTERM"
+        else:
+            reason = f"aborted cleanly: {exc} (algorithm {exc.algorithm})"
+        hint = (
+            f"; resume with --resume {ckpt_path}" if ckpt_path is not None
+            else ""
+        )
+        print(reason + hint, file=sys.stderr)
         return 3
+    finally:
+        if old_term is not None:
+            signal.signal(signal.SIGTERM, old_term)
+    if ckpt_path is not None:
+        algorithm.checkpoint.remove()  # the run completed; snapshot obsolete
     save_result(args.out, result)
     print(f"{result.algorithm}: {result.num_clusters} clusters, "
           f"{len(result.outliers())} outliers "
@@ -235,16 +319,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.storage.verify import verify_store
 
     findings = verify_store(args.store)
+    code = 0 if not findings else 2
     if args.json:
-        print(json.dumps([
-            {
-                "severity": f.severity,
-                "kind": f.kind,
-                "page_id": f.page_id,
-                "message": f.message,
-            }
-            for f in findings
-        ], indent=2))
+        print(json.dumps({
+            "store": args.store,
+            "exit_code": code,
+            "findings": [
+                {
+                    "severity": f.severity,
+                    "kind": f.kind,
+                    "page_id": f.page_id,
+                    "offset": f.offset,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+        }, indent=2))
     else:
         for f in findings:
             print(f)
@@ -252,7 +342,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"{args.store}: "
             + ("OK" if not findings else f"{len(findings)} problem(s) found")
         )
-    return 0 if not findings else 2
+    return code
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.recovery import repair_store
+
+    out = args.out if args.out else args.store + ".repaired"
+    try:
+        report = repair_store(args.store, out, page_size_hint=args.page_size)
+    except OSError as exc:
+        raise SystemExit(f"cannot repair {args.store}: {exc}")
+    doc = report.summary()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        if not report.recoverable:
+            print(f"{args.store}: unrecoverable "
+                  f"({'; '.join(report.notes) or 'nothing salvageable'})")
+        else:
+            salv = ", ".join(f"{v} {k}" for k, v in report.salvaged.items())
+            print(f"{args.store}: salvaged {salv} "
+                  f"({report.lost_pages} page(s) quarantined)")
+            if report.full_recovery:
+                print(f"full recovery; clean store written to {out}")
+            else:
+                lost = report.lost
+                detail = (
+                    ", ".join(f"{v} {k}" for k, v in lost.items())
+                    if lost is not None else "unknown (metadata unreadable)"
+                )
+                print(f"partial recovery — lost: {detail}; "
+                      f"salvaged store written to {out}")
+    return 0 if report.full_recovery else 2
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -330,6 +452,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="abort cleanly after this many distance evaluations")
     clus.add_argument("--max-page-reads", type=int, default=None,
                       help="abort cleanly after this many physical page reads")
+    clus.add_argument("--checkpoint", default=None, metavar="FILE",
+                      help="periodically snapshot resumable state to FILE")
+    clus.add_argument("--checkpoint-every", type=int, default=64, metavar="N",
+                      help="snapshot every N iteration boundaries (default 64)")
+    clus.add_argument("--resume", default=None, metavar="FILE",
+                      help="resume from the checkpoint at FILE (fresh run "
+                           "when the file does not exist yet)")
+    clus.add_argument("--retries", type=int, default=0, metavar="N",
+                      help="retry transient I/O errors up to N attempts with "
+                           "exponential backoff (0 = off)")
     clus.set_defaults(func=_cmd_cluster)
 
     ev = sub.add_parser("evaluate", help="score a clustering vs ground truth")
@@ -359,6 +491,18 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument("--json", action="store_true",
                      help="emit findings as JSON instead of text")
     chk.set_defaults(func=_cmd_check)
+
+    rep = sub.add_parser(
+        "repair", help="salvage a damaged network store into a clean copy"
+    )
+    rep.add_argument("store", help="damaged network-store file")
+    rep.add_argument("--out", default=None,
+                     help="rebuilt store path (default: STORE.repaired)")
+    rep.add_argument("--page-size", type=int, default=None, metavar="N",
+                     help="page-size hint when the header is unreadable")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the repair report as JSON")
+    rep.set_defaults(func=_cmd_repair)
     return parser
 
 

@@ -37,6 +37,25 @@ class NetworkClusterer:
       component via :meth:`_cluster_components`, and every result carries an
       explicit ``unreachable_pairs`` count — the object pairs no distance-
       based method can relate.
+
+    Checkpoint contract
+    -------------------
+    * ``checkpoint`` — an optional
+      :class:`~repro.recovery.CheckpointManager`.  Checkpointable
+      subclasses call :meth:`_ckpt_tick` at each deterministic iteration
+      boundary; every ``checkpoint.every``-th tick snapshots the state
+      returned by :meth:`_checkpoint_state`.  Because snapshots are only
+      taken at such boundaries and each algorithm replays forward
+      deterministically from a restored snapshot (including restored RNG
+      state where one is used), a resumed run converges to the *same*
+      :class:`~repro.core.result.ClusteringResult` as the uninterrupted
+      run.
+    * ``resume`` — the ``state`` dict of a loaded checkpoint; consumed
+      once by ``_cluster`` via :meth:`_take_resume_state`.
+    * ``repair_report`` — assign a
+      :class:`~repro.recovery.RepairReport` (or its summary dict) before
+      :meth:`run` to record that the inputs came from a salvaged store;
+      its loss accounting lands in ``result.stats["repair"]``.
     """
 
     #: Subclasses set this to their reporting name.
@@ -53,6 +72,8 @@ class NetworkClusterer:
         points: PointSet,
         budget=None,
         check_connectivity: bool | None = None,
+        checkpoint=None,
+        resume: dict | None = None,
     ) -> None:
         if points.network is not network and not self._same_backend(network, points):
             raise ParameterError(
@@ -62,6 +83,10 @@ class NetworkClusterer:
         self.points = points
         self.budget = budget
         self.check_connectivity = check_connectivity
+        self.checkpoint = checkpoint
+        self._resume_state = resume
+        #: optional RepairReport (or summary dict) describing salvaged inputs
+        self.repair_report = None
 
     @staticmethod
     def _same_backend(network, points: PointSet) -> bool:
@@ -88,6 +113,10 @@ class NetworkClusterer:
                 exc.algorithm = self.algorithm_name
             raise
         result.stats.setdefault("wall_time_s", time.perf_counter() - start)
+        if self.repair_report is not None:
+            from repro.core.degrade import repair_summary
+
+            result.stats["repair"] = repair_summary(self.repair_report)
         return result
 
     def _run_traced(self):
@@ -113,6 +142,33 @@ class NetworkClusterer:
 
     def _cluster(self):
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing (used by checkpointable subclasses)
+    # ------------------------------------------------------------------
+    def _ckpt_tick(self) -> None:
+        """One deterministic iteration boundary passed; maybe snapshot."""
+        if self.checkpoint is not None:
+            self.checkpoint.tick(self._checkpoint_state)
+
+    def _ckpt_save(self) -> None:
+        """Force a snapshot now (phase boundaries that must be captured)."""
+        if self.checkpoint is not None:
+            self.checkpoint.save(self._checkpoint_state())
+
+    def _checkpoint_state(self) -> dict:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def resume_from(self, state: dict | None) -> None:
+        """Install a loaded checkpoint's ``state`` for the next run."""
+        self._resume_state = state
+
+    def _take_resume_state(self) -> dict | None:
+        """The resume snapshot, handed out exactly once."""
+        state, self._resume_state = self._resume_state, None
+        return state
 
     def _cluster_components(self, report):
         """Per-component orchestration on a disconnected network.

@@ -71,9 +71,12 @@ class NetworkDBSCAN(NetworkClusterer):
         min_pts: int = 2,
         budget=None,
         check_connectivity: bool | None = None,
+        checkpoint=None,
+        resume: dict | None = None,
     ) -> None:
         super().__init__(
-            network, points, budget=budget, check_connectivity=check_connectivity
+            network, points, budget=budget, check_connectivity=check_connectivity,
+            checkpoint=checkpoint, resume=resume,
         )
         if eps <= 0:
             raise ParameterError(f"eps must be positive, got {eps!r}")
@@ -83,12 +86,28 @@ class NetworkDBSCAN(NetworkClusterer):
         self.min_pts = int(min_pts)
 
     def _cluster(self) -> ClusteringResult:
+        resume = self._take_resume_state()
         aug = AugmentedView(self.network, self.points)
         assignment: dict[int, int] = {
             p.point_id: _UNVISITED for p in self.points
         }
         n_range_queries = 0
         next_label = 0
+        if resume is not None:
+            # Snapshots are taken only at seed boundaries, so the restored
+            # assignment never contains a half-grown cluster; seeds whose
+            # entries are no longer _UNVISITED are skipped and a seed whose
+            # growth was interrupted is simply regrown from scratch.
+            assignment.update(
+                (int(k), v) for k, v in resume["assignment"].items()
+            )
+            n_range_queries = resume["n_range_queries"]
+            next_label = resume["next_label"]
+        self._live = {
+            "assignment": assignment,
+            "n_range_queries": n_range_queries,
+            "next_label": next_label,
+        }
         with _span("dbscan.scan"):
             for seed in self.points:
                 if assignment[seed.point_id] != _UNVISITED:
@@ -97,6 +116,7 @@ class NetworkDBSCAN(NetworkClusterer):
                 n_range_queries += 1
                 if len(neighborhood) < self.min_pts:
                     assignment[seed.point_id] = NOISE  # may become border later
+                    self._tick(n_range_queries, next_label)
                     continue
                 # Found a new core object: grow its cluster.
                 label = next_label
@@ -121,6 +141,7 @@ class NetworkDBSCAN(NetworkClusterer):
                     if len(member_neighborhood) >= self.min_pts:
                         # pid is core: its neighbours are density-reachable.
                         queue.extend(p.point_id for p, _ in member_neighborhood)
+                self._tick(n_range_queries, next_label)
         n_noise = sum(1 for lab in assignment.values() if lab == NOISE)
         if _OBS.enabled:
             _obs_add("dbscan.range_queries", n_range_queries)
@@ -132,3 +153,17 @@ class NetworkDBSCAN(NetworkClusterer):
             params={"eps": self.eps, "min_pts": self.min_pts},
             stats={"range_queries": n_range_queries, "noise": n_noise},
         )
+
+    def _tick(self, n_range_queries: int, next_label: int) -> None:
+        if self.checkpoint is not None:
+            self._live.update(
+                n_range_queries=n_range_queries, next_label=next_label
+            )
+            self._ckpt_tick()
+
+    def _checkpoint_state(self) -> dict:
+        return {
+            "assignment": self._live["assignment"],
+            "n_range_queries": self._live["n_range_queries"],
+            "next_label": self._live["next_label"],
+        }

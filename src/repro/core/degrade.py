@@ -35,6 +35,7 @@ __all__ = [
     "ComponentPointSet",
     "analyze_connectivity",
     "distribute_k",
+    "repair_summary",
 ]
 
 
@@ -180,6 +181,26 @@ class ComponentPointSet:
             f"ComponentPointSet(points={len(self)}, "
             f"component_nodes={len(self._nodes)})"
         )
+
+
+def repair_summary(report) -> dict:
+    """Loss-accounting digest of a salvage pass for clustering stats.
+
+    Accepts a :class:`~repro.recovery.RepairReport` or its ``summary()``
+    dict.  Clustering a salvaged store degrades gracefully — the
+    algorithms simply see the surviving subnetwork (usually disconnected,
+    which the machinery above already handles) — but the degradation must
+    be *explicit*: this digest lands in ``result.stats["repair"]`` so a
+    result computed over partial data can never masquerade as complete.
+    """
+    doc = report.summary() if hasattr(report, "summary") else dict(report)
+    return {
+        "full_recovery": bool(doc.get("full_recovery", False)),
+        "lost_pages": doc.get("lost_pages", 0),
+        "lost": doc.get("lost"),
+        "salvaged": doc.get("salvaged"),
+        "conflicts": doc.get("conflicts", 0),
+    }
 
 
 def distribute_k(k: int, sizes: list[int]) -> list[int]:

@@ -81,9 +81,12 @@ class EpsLink(NetworkClusterer):
         min_sup: int = 1,
         budget=None,
         check_connectivity: bool | None = None,
+        checkpoint=None,
+        resume: dict | None = None,
     ) -> None:
         super().__init__(
-            network, points, budget=budget, check_connectivity=check_connectivity
+            network, points, budget=budget, check_connectivity=check_connectivity,
+            checkpoint=checkpoint, resume=resume,
         )
         if eps <= 0:
             raise ParameterError(f"eps must be positive, got {eps!r}")
@@ -94,10 +97,24 @@ class EpsLink(NetworkClusterer):
 
     # ------------------------------------------------------------------
     def _cluster(self) -> ClusteringResult:
+        resume = self._take_resume_state()
         aug = AugmentedView(self.network, self.points)
         assignment: dict[int, int] = {}
         vertices_visited = 0
         next_label = 0
+        if resume is not None:
+            # The seed sweep naturally skips already-clustered points, so
+            # resuming is just restoring the assignment and the counters;
+            # a cluster whose growth was interrupted mid-expansion was not
+            # yet committed to `assignment` and is simply regrown.
+            assignment = {int(k): v for k, v in resume["assignment"].items()}
+            vertices_visited = resume["vertices_visited"]
+            next_label = resume["next_label"]
+        self._live = {
+            "assignment": assignment,
+            "vertices_visited": vertices_visited,
+            "next_label": next_label,
+        }
         with _span("epslink.sweep"):
             for seed in self.points:
                 if seed.point_id in assignment:
@@ -109,6 +126,12 @@ class EpsLink(NetworkClusterer):
                 for pid in members:
                     assignment[pid] = next_label
                 next_label += 1
+                if self.checkpoint is not None:
+                    self._live.update(
+                        vertices_visited=vertices_visited,
+                        next_label=next_label,
+                    )
+                    self._ckpt_tick()
 
         n_outliers = self._apply_min_sup(assignment)
         if _OBS.enabled:
@@ -125,6 +148,13 @@ class EpsLink(NetworkClusterer):
                 "vertices_visited": vertices_visited,
             },
         )
+
+    def _checkpoint_state(self) -> dict:
+        return {
+            "assignment": self._live["assignment"],
+            "vertices_visited": self._live["vertices_visited"],
+            "next_label": self._live["next_label"],
+        }
 
     def _expand_cluster(
         self,

@@ -125,9 +125,12 @@ class NetworkKMedoids(NetworkClusterer):
         max_swaps: int = 10_000,
         budget=None,
         check_connectivity: bool | None = None,
+        checkpoint=None,
+        resume: dict | None = None,
     ) -> None:
         super().__init__(
-            network, points, budget=budget, check_connectivity=check_connectivity
+            network, points, budget=budget, check_connectivity=check_connectivity,
+            checkpoint=checkpoint, resume=resume,
         )
         if not 1 <= k <= len(points):
             raise ParameterError(
@@ -152,6 +155,8 @@ class NetworkKMedoids(NetworkClusterer):
         self.max_swaps = int(max_swaps)
         self._rng = random.Random(seed)
         self._incident_cache: dict[int, list[tuple[int, int]]] | None = None
+        #: live references for _checkpoint_state (set by _cluster/_swap_loop)
+        self._live: dict = {}
 
     # ------------------------------------------------------------------
     # Figure 4: Medoid_Dist_Find
@@ -414,6 +419,7 @@ class NetworkKMedoids(NetworkClusterer):
     # Main loop
     # ------------------------------------------------------------------
     def _cluster(self) -> ClusteringResult:
+        resume = self._take_resume_state()
         all_ids = sorted(self.points.point_ids())
         best_R = math.inf
         best_assignment: dict[int, int] | None = None
@@ -426,13 +432,35 @@ class NetworkKMedoids(NetworkClusterer):
             "incremental_iteration_time_s": 0.0,
             "incremental_iterations": 0,
         }
+        start_restart = 0
+        if resume is not None:
+            stats.update(resume["stats"])
+            best_R = resume["best_R"]
+            if resume["best_assignment"] is not None:
+                best_assignment = {
+                    int(k): v for k, v in resume["best_assignment"].items()
+                }
+            best_medoids = list(resume["best_medoids"])
+            start_restart = resume["restart"]
+            version, internal, gauss = resume["rng"]
+            self._rng.setstate((version, tuple(internal), gauss))
 
-        for restart in range(self.n_restarts):
-            if restart == 0 and self.initial_medoids is not None:
-                medoid_ids = list(self.initial_medoids)
+        for restart in range(start_restart, self.n_restarts):
+            self._live.update(
+                restart=restart, best_R=best_R, best_assignment=best_assignment,
+                best_medoids=best_medoids, stats=stats,
+            )
+            if resume is not None:
+                # Re-enter the interrupted restart mid-swap-loop; the seed
+                # and expand phases were already paid for before the crash.
+                result = self._local_optimum(None, stats, resume=resume)
+                resume = None
             else:
-                medoid_ids = self._rng.sample(all_ids, self.k)
-            result = self._local_optimum(medoid_ids, stats)
+                if restart == 0 and self.initial_medoids is not None:
+                    medoid_ids = list(self.initial_medoids)
+                else:
+                    medoid_ids = self._rng.sample(all_ids, self.k)
+                result = self._local_optimum(medoid_ids, stats)
             R, assignment, medoid_ids = result
             if R < best_R:
                 best_R = R
@@ -520,6 +548,33 @@ class NetworkKMedoids(NetworkClusterer):
             },
         )
 
+    def _checkpoint_state(self) -> dict:
+        """Swap-loop cursor snapshot (taken at iteration boundaries only).
+
+        Captures everything `_cluster` needs to re-enter the interrupted
+        restart: the best-so-far across restarts, the live medoid set and
+        node/assignment maps, the bad/swap counters, and the RNG state —
+        so the resumed run replays the remaining iterations exactly.
+        """
+        lv = self._live
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "restart": lv["restart"],
+            "best_R": lv["best_R"],
+            "best_assignment": lv["best_assignment"],
+            "best_medoids": list(lv["best_medoids"]),
+            "stats": dict(lv["stats"]),
+            "medoid_set": sorted(lv["medoid_set"]),
+            "node_dist": dict(lv["state"].node_dist),
+            "node_medoid": dict(lv["state"].node_medoid),
+            "assignment": dict(lv["assignment"]),
+            "distance": dict(lv["distance"]),
+            "R": lv["R"],
+            "bad": lv["bad"],
+            "swaps": lv["swaps"],
+            "rng": [version, list(internal), gauss],
+        }
+
     def _incident_populated_edges(self) -> dict[int, list[tuple[int, int]]]:
         """node -> populated edges touching it (built once per instance)."""
         if self._incident_cache is None:
@@ -532,30 +587,52 @@ class NetworkKMedoids(NetworkClusterer):
 
     def _local_optimum(
         self,
-        medoid_ids: list[int],
+        medoid_ids: list[int] | None,
         stats: dict,
+        resume: dict | None = None,
     ) -> tuple[float, dict[int, int], list[int]]:
-        """Iterate medoid swaps from an initial medoid set to a local optimum."""
-        medoids = [self.points.get(pid) for pid in medoid_ids]
-        medoid_set = set(medoid_ids)
+        """Iterate medoid swaps from an initial medoid set to a local optimum.
 
-        t0 = time.perf_counter()
-        # The paper's three phases, traced separately: *seed* (Figure 4's
-        # concurrent expansion from the initial medoids), *expand*
-        # (Equation 1's point assignment), *swap* (the replacement loop).
-        with _span("kmedoids.seed"):
-            state = self.medoid_dist_find(medoids)
-        with _span("kmedoids.expand"):
-            assignment, distance = self.assign_points(medoids, state)
-        stats["first_iteration_time_s"] += time.perf_counter() - t0
-        stats["iterations"] += 1
-        R = sum(distance.values())
+        With ``resume``, the seed/expand phases are skipped and the swap
+        loop restarts from the snapshotted cursor (medoid set, node maps,
+        assignment, R, bad/swap counters) — the replay is deterministic
+        because the RNG state was restored alongside.
+        """
+        if resume is None:
+            assert medoid_ids is not None
+            medoids = [self.points.get(pid) for pid in medoid_ids]
+            medoid_set = set(medoid_ids)
+
+            t0 = time.perf_counter()
+            # The paper's three phases, traced separately: *seed* (Figure
+            # 4's concurrent expansion from the initial medoids), *expand*
+            # (Equation 1's point assignment), *swap* (the replacement loop).
+            with _span("kmedoids.seed"):
+                state = self.medoid_dist_find(medoids)
+            with _span("kmedoids.expand"):
+                assignment, distance = self.assign_points(medoids, state)
+            stats["first_iteration_time_s"] += time.perf_counter() - t0
+            stats["iterations"] += 1
+            R = sum(distance.values())
+            bad = swaps = 0
+        else:
+            medoid_set = set(resume["medoid_set"])
+            state = MedoidState(
+                {int(k): v for k, v in resume["node_dist"].items()},
+                {int(k): v for k, v in resume["node_medoid"].items()},
+            )
+            assignment = {int(k): v for k, v in resume["assignment"].items()}
+            distance = {int(k): v for k, v in resume["distance"].items()}
+            R = resume["R"]
+            bad = resume["bad"]
+            swaps = resume["swaps"]
         incident = self._incident_populated_edges() if self.incremental else None
 
         all_ids = sorted(self.points.point_ids())
         with _span("kmedoids.swap"):
             medoid_set, R, assignment = self._swap_loop(
-                medoid_set, state, assignment, distance, R, all_ids, incident, stats
+                medoid_set, state, assignment, distance, R, all_ids, incident,
+                stats, bad=bad, swaps=swaps,
             )
         if _OBS.enabled:
             _obs_add("kmedoids.restarts")
@@ -571,15 +648,17 @@ class NetworkKMedoids(NetworkClusterer):
         all_ids: list[int],
         incident,
         stats: dict,
+        bad: int = 0,
+        swaps: int = 0,
     ) -> tuple[set[int], float, dict[int, int]]:
         """The medoid replacement loop (the paper's swap phase).
 
         Returns the final medoid set, evaluation value and assignment (the
         non-incremental path rebinds the maps rather than mutating them, so
-        the caller must take the returned ones).
+        the caller must take the returned ones).  ``bad``/``swaps`` start
+        non-zero when resuming from a checkpoint; each completed iteration
+        is a checkpoint tick.
         """
-        bad = 0
-        swaps = 0
         while bad < self.max_bad_swaps and swaps < self.max_swaps:
             swaps += 1
             old_id = self._rng.choice(sorted(medoid_set))
@@ -648,6 +727,14 @@ class NetworkKMedoids(NetworkClusterer):
                     _obs_add("kmedoids.committed_swaps")
             else:
                 bad += 1
+            if self.checkpoint is not None:
+                # The non-incremental path rebinds the maps on commit, so
+                # the live references are refreshed every iteration.
+                self._live.update(
+                    medoid_set=medoid_set, state=state, assignment=assignment,
+                    distance=distance, R=R, bad=bad, swaps=swaps,
+                )
+                self._ckpt_tick()
         if _OBS.enabled:
             _obs_add("kmedoids.swap_iterations", swaps)
         return medoid_set, R, assignment

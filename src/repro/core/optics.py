@@ -125,9 +125,12 @@ class NetworkOPTICS(NetworkClusterer):
         min_pts: int = 2,
         budget=None,
         check_connectivity: bool | None = None,
+        checkpoint=None,
+        resume: dict | None = None,
     ) -> None:
         super().__init__(
-            network, points, budget=budget, check_connectivity=check_connectivity
+            network, points, budget=budget, check_connectivity=check_connectivity,
+            checkpoint=checkpoint, resume=resume,
         )
         if max_eps <= 0:
             raise ParameterError(f"max_eps must be positive, got {max_eps!r}")
@@ -139,10 +142,25 @@ class NetworkOPTICS(NetworkClusterer):
     # ------------------------------------------------------------------
     def compute(self) -> OPTICSResult:
         """The full cluster ordering."""
+        resume = self._take_resume_state()
         aug = AugmentedView(self.network, self.points)
         processed: set[int] = set()
         reachability: dict[int, float] = {}
         ordering: list[OrderedPoint] = []
+        if resume is not None:
+            # Snapshots happen only between density-region expansions; every
+            # ordered point is in `processed`, so the seed sweep resumes at
+            # the first untouched region.  Reachability values seeded into
+            # neighbouring unprocessed points are part of the snapshot (a
+            # later region's first reachability may depend on them).
+            processed = set(resume["processed"])
+            reachability = {int(k): v for k, v in resume["reachability"].items()}
+            ordering = [OrderedPoint(*row) for row in resume["ordering"]]
+        self._live = {
+            "processed": processed,
+            "reachability": reachability,
+            "ordering": ordering,
+        }
 
         with _span("optics.ordering"):
             for seed in self.points:
@@ -151,6 +169,7 @@ class NetworkOPTICS(NetworkClusterer):
                 self._expand_order(
                     aug, seed.point_id, processed, reachability, ordering
                 )
+                self._ckpt_tick()
         if _OBS.enabled:
             _obs_add("optics.ordered_points", len(ordering))
         return OPTICSResult(ordering, self.max_eps, self.min_pts)
@@ -159,6 +178,16 @@ class NetworkOPTICS(NetworkClusterer):
         result = self.compute().extract_dbscan(self.max_eps)
         result.algorithm = self.algorithm_name
         return result
+
+    def _checkpoint_state(self) -> dict:
+        return {
+            "processed": sorted(self._live["processed"]),
+            "reachability": self._live["reachability"],
+            "ordering": [
+                [o.point_id, o.reachability, o.core_distance]
+                for o in self._live["ordering"]
+            ],
+        }
 
     # ------------------------------------------------------------------
     def _neighborhood(self, aug, point_id: int) -> tuple[list[tuple[int, float]], float]:

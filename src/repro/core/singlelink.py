@@ -84,9 +84,12 @@ class SingleLink(NetworkClusterer):
         stop_distance: float | None = None,
         budget=None,
         check_connectivity: bool | None = None,
+        checkpoint=None,
+        resume: dict | None = None,
     ) -> None:
         super().__init__(
-            network, points, budget=budget, check_connectivity=check_connectivity
+            network, points, budget=budget, check_connectivity=check_connectivity,
+            checkpoint=checkpoint, resume=resume,
         )
         if delta < 0:
             raise ParameterError(f"delta must be non-negative, got {delta!r}")
@@ -107,9 +110,33 @@ class SingleLink(NetworkClusterer):
 
         Traversal statistics of the run (settled vertices, candidate pairs,
         initial cluster count under δ) are kept in :attr:`last_stats`.
+
+        Checkpointing is phase-structured: a forced snapshot right after the
+        (expensive) Voronoi/bridge traversal, then a tick per examined
+        Kruskal bridge.  A crash *during* the traversal replays it whole —
+        its outputs are pure functions of the inputs — while a crash during
+        Kruskal resumes from the last snapshotted union-find state.
         """
-        bridges, stats = self._bridges()
-        return self._kruskal(bridges, stats)
+        resume = self._take_resume_state()
+        if resume is None:
+            bridges, stats = self._bridges()
+            self._live = {
+                "phase": "bridges_done",
+                "bridges": bridges,
+                "stats": stats,
+            }
+            self._ckpt_save()
+        else:
+            bridges = [
+                (w, a, b) for w, a, b in (tuple(t) for t in resume["bridges"])
+            ]
+            stats = dict(resume["stats"])
+            self._live = {
+                "phase": resume["phase"],
+                "bridges": bridges,
+                "stats": stats,
+            }
+        return self._kruskal(bridges, stats, resume)
 
     def _cluster(self) -> ClusteringResult:
         dendrogram = self.build_dendrogram()
@@ -177,61 +204,97 @@ class SingleLink(NetworkClusterer):
     # Phase 3: Kruskal with the delta heuristic
     # ------------------------------------------------------------------
     def _kruskal(
-        self, bridges: list[tuple[float, int, int]], stats: dict
+        self,
+        bridges: list[tuple[float, int, int]],
+        stats: dict,
+        resume: dict | None = None,
     ) -> Dendrogram:
         with _span("singlelink.kruskal"):
-            return self._kruskal_inner(bridges, stats)
+            return self._kruskal_inner(bridges, stats, resume)
 
     def _kruskal_inner(
-        self, bridges: list[tuple[float, int, int]], stats: dict
+        self,
+        bridges: list[tuple[float, int, int]],
+        stats: dict,
+        resume: dict | None = None,
     ) -> Dendrogram:
         point_ids = sorted(self.points.point_ids())
         uf = UnionFind(point_ids)
 
-        # Delta pre-merge phase: apply cheap merges without recording them
-        # (Section 4.4.2 -- "we immediately merge points whose distance is
-        # at most delta ... we lose the first merges of the dendrogram").
-        split = 0
-        if self.delta > 0:
-            while split < len(bridges) and bridges[split][0] <= self.delta:
-                _, a, b = bridges[split]
-                uf.union(a, b)
-                split += 1
+        if resume is not None and resume["phase"] == "kruskal":
+            uf._parent = {int(k): v for k, v in resume["uf_parent"].items()}
+            uf._size = {int(k): v for k, v in resume["uf_size"].items()}
+            uf.num_sets = resume["uf_num_sets"]
+            split = resume["split"]
+            leaf_members = [list(m) for m in resume["leaf_members"]]
+            cluster_of_root = {
+                int(k): v for k, v in resume["cluster_of_root"].items()
+            }
+            merges = [Merge(*row) for row in resume["merges"]]
+            next_id = resume["next_id"]
+            cursor = resume["cursor"]
+            stats["initial_clusters"] = len(leaf_members)
+            stats["premerged_pairs"] = split
+        else:
+            # Delta pre-merge phase: apply cheap merges without recording
+            # them (Section 4.4.2 -- "we immediately merge points whose
+            # distance is at most delta ... we lose the first merges of the
+            # dendrogram").
+            split = 0
+            if self.delta > 0:
+                while split < len(bridges) and bridges[split][0] <= self.delta:
+                    _, a, b = bridges[split]
+                    uf.union(a, b)
+                    split += 1
 
-        # Leaves: current components of the pre-merge graph.
-        leaf_of: dict[int, int] = {}
-        leaf_members: list[list[int]] = []
-        for root, members in sorted(uf.sets().items(), key=lambda kv: kv[1][0]):
-            leaf_of[root] = len(leaf_members)
-            leaf_members.append(members)
-        stats["initial_clusters"] = len(leaf_members)
-        stats["premerged_pairs"] = split
+            # Leaves: current components of the pre-merge graph.
+            leaf_of: dict[int, int] = {}
+            leaf_members = []
+            for root, members in sorted(
+                uf.sets().items(), key=lambda kv: kv[1][0]
+            ):
+                leaf_of[root] = len(leaf_members)
+                leaf_members.append(members)
+            stats["initial_clusters"] = len(leaf_members)
+            stats["premerged_pairs"] = split
 
-        # Recorded merge phase.
-        cluster_of_root: dict[int, int] = {
-            root: leaf_of[root] for root in leaf_of
-        }
-        merges: list[Merge] = []
-        next_id = len(leaf_members)
-        for weight, a, b in bridges[split:]:
-            ra, rb = uf.find(a), uf.find(b)
-            if ra == rb:
-                continue
-            left = cluster_of_root.pop(ra)
-            right = cluster_of_root.pop(rb)
-            uf.union(a, b)
-            new_root = uf.find(a)
-            cluster_of_root[new_root] = next_id
-            merges.append(
-                Merge(
-                    distance=weight,
-                    left=left,
-                    right=right,
-                    merged=next_id,
-                    size=uf.set_size(a),
-                )
+            # Recorded merge phase.
+            cluster_of_root = {root: leaf_of[root] for root in leaf_of}
+            merges = []
+            next_id = len(leaf_members)
+            cursor = split
+
+        if self.checkpoint is not None:
+            self._live.update(
+                phase="kruskal",
+                uf=uf,
+                split=split,
+                leaf_members=leaf_members,
+                cluster_of_root=cluster_of_root,
+                merges=merges,
             )
-            next_id += 1
+        for cursor in range(cursor, len(bridges)):
+            weight, a, b = bridges[cursor]
+            ra, rb = uf.find(a), uf.find(b)
+            if ra != rb:
+                left = cluster_of_root.pop(ra)
+                right = cluster_of_root.pop(rb)
+                uf.union(a, b)
+                new_root = uf.find(a)
+                cluster_of_root[new_root] = next_id
+                merges.append(
+                    Merge(
+                        distance=weight,
+                        left=left,
+                        right=right,
+                        merged=next_id,
+                        size=uf.set_size(a),
+                    )
+                )
+                next_id += 1
+            if self.checkpoint is not None:
+                self._live.update(cursor=cursor + 1, next_id=next_id)
+                self._ckpt_tick()
 
         self.last_stats = stats
         if _OBS.enabled:
@@ -239,3 +302,28 @@ class SingleLink(NetworkClusterer):
             _obs_add("singlelink.recorded_merges", len(merges))
             _obs_add("singlelink.initial_clusters", len(leaf_members))
         return Dendrogram(leaf_members, merges, premerge_distance=self.delta)
+
+    def _checkpoint_state(self) -> dict:
+        live = self._live
+        state = {
+            "phase": live["phase"],
+            "bridges": [list(b) for b in live["bridges"]],
+            "stats": live["stats"],
+        }
+        if live["phase"] == "kruskal":
+            uf = live["uf"]
+            state.update(
+                uf_parent=uf._parent,
+                uf_size=uf._size,
+                uf_num_sets=uf.num_sets,
+                split=live["split"],
+                leaf_members=live["leaf_members"],
+                cluster_of_root=live["cluster_of_root"],
+                merges=[
+                    [m.distance, m.left, m.right, m.merged, m.size]
+                    for m in live["merges"]
+                ],
+                next_id=live["next_id"],
+                cursor=live["cursor"],
+            )
+        return state

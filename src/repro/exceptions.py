@@ -27,6 +27,9 @@ __all__ = [
     "PageCorruptError",
     "CorruptRecordError",
     "TreeError",
+    "RecoveryError",
+    "CheckpointError",
+    "RepairError",
 ]
 
 
@@ -170,3 +173,21 @@ class CorruptRecordError(StorageError):
 
 class TreeError(StorageError):
     """A structural invariant of a disk-based B+-tree was violated."""
+
+
+class RecoveryError(ReproError):
+    """Base class for errors in the recovery layer (:mod:`repro.recovery`)."""
+
+
+class CheckpointError(RecoveryError):
+    """A checkpoint file is damaged, truncated, or incompatible.
+
+    Raised by :func:`repro.recovery.load_checkpoint` when the snapshot's
+    magic, version, length, or CRC32 trailer does not check out, or when a
+    resume is attempted against a workload/algorithm that does not match
+    the checkpoint's recorded metadata.
+    """
+
+
+class RepairError(RecoveryError):
+    """A store salvage pass could not produce a usable result."""

@@ -85,11 +85,20 @@ class CrashPoint(Exception):
 
 
 class InjectedIOError(OSError):
-    """A simulated I/O failure at an injection site."""
+    """A simulated I/O failure at an injection site.
 
-    def __init__(self, site: str) -> None:
-        super().__init__(f"injected I/O error at site {site!r}")
+    ``transient`` marks the failure as one that would succeed on retry (a
+    blip, not persistent damage).  The retry layer
+    (:mod:`repro.recovery.retry`) retries transient injected errors and
+    re-raises persistent ones immediately; the default ``False`` preserves
+    the pre-retry semantics where every injected error surfaces.
+    """
+
+    def __init__(self, site: str, transient: bool = False) -> None:
+        flavour = "transient " if transient else ""
+        super().__init__(f"injected {flavour}I/O error at site {site!r}")
         self.site = site
+        self.transient = transient
 
 
 def default_seed() -> int:
@@ -123,10 +132,14 @@ class FaultRule:
     tear_fraction:
         For ``"torn"`` rules: fraction of the payload persisted before the
         simulated crash (default 0.5).
+    transient:
+        For ``"error"`` rules: mark the injected :class:`InjectedIOError`
+        as transient (retryable by :mod:`repro.recovery.retry`).  Default
+        ``False`` preserves the original always-surfaces semantics.
     """
 
     __slots__ = ("site", "kind", "after", "probability", "times", "tear_fraction",
-                 "hits", "fired")
+                 "transient", "hits", "fired")
 
     KINDS = ("error", "crash", "torn")
 
@@ -138,6 +151,7 @@ class FaultRule:
         probability: float | None = None,
         times: int | None = 1,
         tear_fraction: float = 0.5,
+        transient: bool = False,
     ) -> None:
         if kind not in self.KINDS:
             raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
@@ -149,14 +163,22 @@ class FaultRule:
             raise ValueError(f"probability must be in [0, 1], got {probability!r}")
         if not 0.0 <= tear_fraction < 1.0:
             raise ValueError(f"tear_fraction must be in [0, 1), got {tear_fraction!r}")
+        if transient and kind != "error":
+            raise ValueError("transient only applies to kind='error' rules")
         self.site = site
         self.kind = kind
         self.after = after
         self.probability = probability
         self.times = times
         self.tear_fraction = float(tear_fraction)
+        self.transient = bool(transient)
         self.hits = 0  # matching hits seen by this rule
         self.fired = 0  # times this rule actually injected
+
+    def reset(self) -> None:
+        """Zero the mutable hit/fire counters so the rule can be reused."""
+        self.hits = 0
+        self.fired = 0
 
     def matches(self, site: str) -> bool:
         return site == self.site or fnmatch.fnmatchcase(site, self.site)
@@ -230,10 +252,12 @@ def inject(
     probability: float | None = None,
     times: int | None = 1,
     tear_fraction: float = 0.5,
+    transient: bool = False,
 ) -> FaultRule:
     """Build and :func:`install` a single rule; returns it for inspection."""
     rule = FaultRule(site, kind, after=after, probability=probability,
-                     times=times, tear_fraction=tear_fraction)
+                     times=times, tear_fraction=tear_fraction,
+                     transient=transient)
     install(rule)
     return rule
 
@@ -250,7 +274,11 @@ def plan(*rules: FaultRule, seed: int | None = None) -> Iterator[FaultState]:
     """Scoped fault plan: install ``rules``, yield, then restore.
 
     Nesting is supported; the previous rule list and RNG are restored on
-    exit, so plans compose with surrounding plans and with active budgets.
+    exit — including when the body raises mid-sweep — so plans compose
+    with surrounding plans and with active budgets.  Rules handed to a
+    plan have their mutable hit/fire counters reset on entry, so one
+    :class:`FaultRule` object can be reused across sweep iterations
+    without a stale ``fired`` count silently disarming it.
     """
     saved_rules = list(STATE.rules)
     saved_rng = STATE.rng
@@ -260,6 +288,8 @@ def plan(*rules: FaultRule, seed: int | None = None) -> Iterator[FaultState]:
         reseed(seed)
     else:
         reseed(STATE.seed)
+    for rule in rules:
+        rule.reset()
     STATE.rules = list(rules)
     STATE.site_hits = {}
     STATE.refresh()
@@ -298,7 +328,7 @@ def fire(site: str) -> None:
         if rule.should_fire(st.rng):
             _record_injection(site, rule)
             if rule.kind == "error":
-                raise InjectedIOError(site)
+                raise InjectedIOError(site, transient=rule.transient)
             raise CrashPoint(site)
 
 

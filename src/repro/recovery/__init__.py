@@ -1,0 +1,47 @@
+"""Recovery layer: checkpoints, store repair, and transient-I/O retry.
+
+Three facilities that turn the failure *detection* of :mod:`repro.faults`
+and the paged-file CRCs into failure *recovery*:
+
+* :mod:`repro.recovery.checkpoint` — crash-consistent snapshots of
+  long-running clustering jobs (``repro cluster --checkpoint``);
+* :mod:`repro.recovery.repair` — salvage of corrupt stores
+  (``repro repair``), rebuilding indexes from surviving records with an
+  exact loss account;
+* :mod:`repro.recovery.retry` — capped exponential backoff around the
+  physical page-read chokepoint for transient I/O errors.
+
+``repair`` is imported lazily: it depends on the storage stack, which
+itself imports the retry state from this package.
+"""
+
+from __future__ import annotations
+
+from repro.recovery.checkpoint import (
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+    validate_meta,
+)
+from repro.recovery.retry import RetryPolicy, call_with_retry, retrying
+
+__all__ = [
+    "CheckpointManager",
+    "load_checkpoint",
+    "save_checkpoint",
+    "validate_meta",
+    "RetryPolicy",
+    "call_with_retry",
+    "retrying",
+    "RepairReport",
+    "salvage_store",
+    "repair_store",
+]
+
+
+def __getattr__(name: str):
+    if name in ("RepairReport", "salvage_store", "repair_store"):
+        from repro.recovery import repair
+
+        return getattr(repair, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

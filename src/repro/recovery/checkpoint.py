@@ -1,0 +1,178 @@
+"""Crash-consistent checkpoints for long-running clustering jobs.
+
+A checkpoint is one small file holding a JSON snapshot of an algorithm's
+resumable state, written with the same durability conventions as the
+paged store (format version 2): a magic + version header, an explicit
+payload length, a CRC32 trailer over the payload, and an atomic
+tmp + flush + fsync + rename publish.  A crash at any instant therefore
+leaves either the previous complete checkpoint or the new complete
+checkpoint at ``path`` — never a torn hybrid — and any bit rot in the
+file surfaces as a typed :class:`~repro.exceptions.CheckpointError`
+instead of silently resuming from garbage.
+
+On-disk layout (little-endian)::
+
+    offset  size  field
+    0       4     magic  b"RPCK"
+    4       2     format version (currently 1)
+    6       4     payload length in bytes
+    10      n     payload: UTF-8 JSON {"meta": {...}, "state": {...}}
+    10+n    4     CRC32 of the payload
+
+``meta`` records what the snapshot belongs to (algorithm name, workload
+fingerprint, parameters) and is validated on resume; ``state`` is the
+algorithm-specific resumable state (see the ``_checkpoint_state`` /
+``_restore_state`` hooks on each clusterer).
+
+Checkpoints are only ever taken at deterministic iteration boundaries,
+so "resume from last snapshot, replay forward" reproduces the fault-free
+run exactly (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Any, Callable
+
+from repro.exceptions import CheckpointError
+from repro.obs.core import add as _obs_add
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointManager",
+    "validate_meta",
+]
+
+CHECKPOINT_MAGIC = b"RPCK"
+CHECKPOINT_VERSION = 1
+_HEADER = struct.Struct("<4sHI")  # magic, version, payload length
+_TRAILER = struct.Struct("<I")  # CRC32 of the payload
+
+
+def save_checkpoint(path: str | os.PathLike, meta: dict, state: dict) -> None:
+    """Atomically write a snapshot of ``state`` (tagged ``meta``) to ``path``.
+
+    The snapshot is staged at ``path + ".tmp"``, flushed and fsynced, then
+    renamed over ``path`` — mirroring ``NetworkStore.build``.  Either the
+    old or the new checkpoint survives a crash, never a partial file.
+    """
+    path = os.fspath(path)
+    payload = json.dumps({"meta": meta, "state": state}).encode("utf-8")
+    blob = (
+        _HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION, len(payload))
+        + payload
+        + _TRAILER.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+    )
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _obs_add("checkpoint.saves")
+
+
+def load_checkpoint(path: str | os.PathLike) -> dict:
+    """Read and validate a checkpoint; returns ``{"meta": ..., "state": ...}``.
+
+    Raises :class:`CheckpointError` on any damage: missing file, bad magic,
+    unknown version, truncation, length mismatch, CRC mismatch, or a payload
+    that is not the expected JSON object.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if len(raw) < _HEADER.size + _TRAILER.size:
+        raise CheckpointError(f"{path}: checkpoint truncated ({len(raw)} bytes)")
+    magic, version, length = _HEADER.unpack_from(raw, 0)
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path}: not a checkpoint file (bad magic {magic!r})")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version {version} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    if len(raw) != _HEADER.size + length + _TRAILER.size:
+        raise CheckpointError(
+            f"{path}: checkpoint length mismatch (header says {length} payload "
+            f"bytes, file has {len(raw) - _HEADER.size - _TRAILER.size})"
+        )
+    payload = raw[_HEADER.size : _HEADER.size + length]
+    (crc,) = _TRAILER.unpack_from(raw, _HEADER.size + length)
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CheckpointError(f"{path}: checkpoint CRC32 mismatch")
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: checkpoint payload is not JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "meta" not in doc or "state" not in doc:
+        raise CheckpointError(f"{path}: checkpoint payload missing meta/state")
+    return doc
+
+
+class CheckpointManager:
+    """Periodic checkpoint writer handed to a clusterer.
+
+    ``tick(state_fn)`` is called by the algorithm at each deterministic
+    iteration boundary; every ``every``-th tick materialises the state
+    (``state_fn()``) and saves it.  Phase boundaries that must always be
+    captured call :meth:`save` directly.  ``state_fn`` is only invoked on
+    ticks that actually save, so the snapshot cost is paid once per
+    ``every`` iterations.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        every: int = 1,
+        meta: dict | None = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every!r}")
+        self.path = os.fspath(path)
+        self.every = int(every)
+        self.meta: dict = dict(meta or {})
+        self.ticks = 0
+        self.saves = 0
+
+    def tick(self, state_fn: Callable[[], dict]) -> None:
+        self.ticks += 1
+        if self.ticks % self.every == 0:
+            self.save(state_fn())
+
+    def save(self, state: dict) -> None:
+        save_checkpoint(self.path, self.meta, state)
+        self.saves += 1
+
+    def remove(self) -> None:
+        """Delete the checkpoint (called after a successful run)."""
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def validate_meta(meta: dict, expected: dict[str, Any]) -> None:
+    """Check a loaded checkpoint's meta against the resuming run.
+
+    ``expected`` maps field name to the value the resuming run computed
+    (algorithm name, workload fingerprint, parameters).  Any mismatch
+    raises :class:`CheckpointError` — resuming a run against the wrong
+    workload would silently produce garbage.
+    """
+    for key, want in expected.items():
+        got = meta.get(key)
+        if got != want:
+            raise CheckpointError(
+                f"checkpoint does not match this run: {key} is {got!r} in the "
+                f"snapshot but {want!r} here"
+            )

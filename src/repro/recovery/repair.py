@@ -1,0 +1,616 @@
+"""Salvage pass for damaged network stores (``repro repair``).
+
+``verify_store`` tells an operator *that* a store is damaged; this module
+is what they run next.  It never trusts the normal read stack — the pager
+refuses uncommitted files and raises on the first bad CRC — and instead
+raw-scans the file with its own handle:
+
+1. **Lenient header parse.**  The paged-file header is decoded field by
+   field; a flipped magic byte or a failed header CRC downgrades to a
+   warning as long as the remaining fields are plausible and consistent
+   with the file size.  When the header is beyond trust, the page size
+   can be supplied (``--page-size``) or is inferred by trying candidate
+   strides and keeping the one under which the most page CRCs validate.
+2. **Quarantine.**  Every physical frame's CRC32 trailer is checked;
+   failing pages are quarantined (their ids become ``lost_pages``) and
+   their bytes are never interpreted.
+3. **Structural page identification.**  Surviving pages are parsed as
+   B+-tree leaves (``is_leaf`` byte, plausible entry count, strictly
+   ascending keys) and as slotted record pages (validated slot
+   directory and record bounds).  Overflow stubs are resolved by
+   following their chain pages.
+4. **Record classification.**  The two record kinds are shape-
+   distinguishable: an adjacency record is ``4 + 24·n`` bytes, a point
+   group ``20 + 24·m`` bytes, and ``4 + 24n = 20 + 24m`` has no
+   solution — so a record's length mod 24 identifies it unambiguously.
+   Semantic checks (count field matches the length, weights positive
+   and finite, group offsets non-decreasing, the tree key equal to the
+   group's first point id) reject garbage that happens to have a valid
+   CRC.
+5. **Assembly.**  Adjacency records do not contain their own node id —
+   that mapping lives only in node-tree leaves — but every edge
+   ``(u, v, w)`` is stored in *both* endpoints' records, so losing one
+   node's identity usually loses nothing: the edge survives via the
+   other endpoint and the node id itself reappears as a neighbour
+   reference.  Point groups are fully self-describing, so groups whose
+   tree leaf died are salvaged as *orphan records* straight from the
+   slotted pages.  Conflicting duplicates (same edge, different weight)
+   are dropped and counted rather than guessed at.
+6. **Accounting + rebuild.**  Salvaged counts are compared against the
+   header metadata (when readable) for an exact ``lost_nodes`` /
+   ``lost_edges`` / ``lost_points`` account, and the salvaged
+   subnetwork is rebuilt into a fresh, fully indexed, ``verify_store``-
+   clean store with ``NetworkStore.build``.
+
+The pass never raises on damaged input: any corruption short of an
+unreadable file yields a :class:`RepairReport` with ``recoverable`` and
+loss accounting; :func:`repair_store` only raises for operator errors
+(missing source file, unwritable destination).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.network.graph import SpatialNetwork, normalize_edge
+from repro.network.points import PointSet
+from repro.obs.core import add as _obs_add
+
+__all__ = ["RepairReport", "salvage_store", "repair_store"]
+
+# The on-disk formats repair understands, duplicated deliberately from
+# the writer modules: repair must parse raw bytes even when the reader
+# stack refuses the file, and must keep working against exactly this
+# format version.
+_FORMAT_VERSION = 2
+_CHECKSUM_BYTES = 4
+_MAGIC = b"RPRO"
+_HEADER_FMT = struct.Struct("<4sHHIQ")  # magic, version, flags, page_size, num_pages
+_META_CAPACITY = 256
+_MIN_PAGE_SIZE = _HEADER_FMT.size + 2 + _META_CAPACITY
+_META = struct.Struct("<QQQQQQQ")  # roots, fill pages, then the three counts
+
+_NODE_HEADER = struct.Struct("<BHQ")  # is_leaf, count, next_leaf/child0
+_TREE_ENTRY = struct.Struct("<qq")  # key, value
+
+_PAGE_HEADER = struct.Struct("<HH")  # n_slots, free_end
+_SLOT = struct.Struct("<HH")  # offset, length (high bit: overflow stub)
+_OVERFLOW_STUB = struct.Struct("<IQ")  # total_len, first_pid
+_OVERFLOW_FLAG = 0x8000
+_CHAIN_HEADER = struct.Struct("<Q")  # next page id (0 = end)
+
+_ADJ_HEADER = struct.Struct("<I")
+_ADJ_ENTRY = struct.Struct("<qdq")  # neighbour, weight, first point id
+_GROUP_HEADER = struct.Struct("<qqI")  # u, v, count
+_GROUP_ENTRY = struct.Struct("<qdq")  # point id, offset, label
+_NO_LABEL = -2  # netstore's "no label" sentinel (NOISE - 1, NOISE == -1)
+
+_PAGE_SIZE_CANDIDATES = (4096, 512, 1024, 2048, 8192, 16384, 32768)
+
+
+@dataclass
+class RepairReport:
+    """Outcome of a salvage pass; :meth:`summary` is its JSON shape."""
+
+    source: str
+    recoverable: bool = True
+    output: str | None = None
+    page_size: int | None = None
+    total_pages: int | None = None
+    quarantined_pages: list[int] = field(default_factory=list)
+    expected: dict[str, int] | None = None  # nodes/edges/points from metadata
+    salvaged: dict[str, int] = field(default_factory=dict)
+    conflicts: int = 0  # contradicting survivors dropped, never guessed at
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def lost_pages(self) -> int:
+        return len(self.quarantined_pages)
+
+    @property
+    def lost(self) -> dict[str, int] | None:
+        """Exact per-kind losses, when the metadata counts were readable."""
+        if self.expected is None or not self.salvaged:
+            return None
+        return {
+            kind: max(0, self.expected[kind] - self.salvaged.get(kind, 0))
+            for kind in ("nodes", "edges", "points")
+        }
+
+    @property
+    def full_recovery(self) -> bool:
+        """Every object accounted for and nothing quarantined or dropped."""
+        lost = self.lost
+        return (
+            self.recoverable
+            and self.conflicts == 0
+            and lost is not None
+            and all(v == 0 for v in lost.values())
+        )
+
+    def summary(self) -> dict:
+        return {
+            "source": self.source,
+            "output": self.output,
+            "recoverable": self.recoverable,
+            "full_recovery": self.full_recovery,
+            "page_size": self.page_size,
+            "total_pages": self.total_pages,
+            "quarantined_pages": list(self.quarantined_pages),
+            "lost_pages": self.lost_pages,
+            "expected": self.expected,
+            "salvaged": dict(self.salvaged),
+            "lost": self.lost,
+            "conflicts": self.conflicts,
+            "notes": list(self.notes),
+        }
+
+
+# ----------------------------------------------------------------------
+# Raw parsing helpers
+# ----------------------------------------------------------------------
+def _crc_ok(payload: bytes, trailer: bytes) -> bool:
+    return struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF) == trailer
+
+
+def _split_frames(raw: bytes, page_size: int) -> tuple[dict[int, bytes], list[int]]:
+    """CRC-check every frame: (good pid -> payload, quarantined pids)."""
+    stride = page_size + _CHECKSUM_BYTES
+    good: dict[int, bytes] = {}
+    bad: list[int] = []
+    num_pages = len(raw) // stride
+    for pid in range(num_pages):
+        frame = raw[pid * stride : (pid + 1) * stride]
+        if len(frame) == stride and _crc_ok(frame[:page_size], frame[page_size:]):
+            good[pid] = frame[:page_size]
+        else:
+            bad.append(pid)
+    return good, bad
+
+
+def _plausible_page_size(page_size: int) -> bool:
+    return _MIN_PAGE_SIZE <= page_size <= (1 << 24)
+
+
+def _infer_page_size(raw: bytes, report: RepairReport) -> int | None:
+    """Pick the candidate stride under which the most page CRCs validate."""
+    best_size, best_good = None, 0
+    for size in _PAGE_SIZE_CANDIDATES:
+        stride = size + _CHECKSUM_BYTES
+        # No modulo check: a truncated file rarely ends on a frame
+        # boundary, and the CRC score alone picks the right stride.
+        if len(raw) < stride:
+            continue
+        good, _ = _split_frames(raw, size)
+        if len(good) > best_good:
+            best_size, best_good = size, len(good)
+    if best_size is not None:
+        report.notes.append(
+            f"header unusable; inferred page size {best_size} "
+            f"({best_good} CRC-valid pages)"
+        )
+    return best_size
+
+
+def _parse_header(raw: bytes, report: RepairReport, page_size_hint: int | None) -> int | None:
+    """Best-effort header decode; returns the page size or None."""
+    if len(raw) < _HEADER_FMT.size:
+        report.notes.append("file shorter than a paged-file header")
+        return page_size_hint if page_size_hint else None
+    magic, version, _flags, page_size, num_pages = _HEADER_FMT.unpack_from(raw, 0)
+    issues = []
+    if magic != _MAGIC:
+        issues.append(f"bad magic {magic!r}")
+    if version != _FORMAT_VERSION:
+        issues.append(f"unsupported format version {version}")
+    stride = page_size + _CHECKSUM_BYTES
+    consistent = (
+        _plausible_page_size(page_size)
+        and num_pages >= 1
+        and num_pages * stride == len(raw)
+    )
+    truncated = (
+        not consistent
+        and _plausible_page_size(page_size)
+        and num_pages >= 1
+        and num_pages * stride > len(raw) >= stride
+    )
+    if not consistent and not truncated:
+        issues.append(
+            f"header fields inconsistent with file size "
+            f"(page_size={page_size}, num_pages={num_pages}, bytes={len(raw)})"
+        )
+    header_frame_ok = (
+        _plausible_page_size(page_size)
+        and len(raw) >= stride
+        and _crc_ok(raw[:page_size], raw[page_size:stride])
+    )
+    if not header_frame_ok:
+        issues.append("header page checksum mismatch")
+    for issue in issues:
+        report.notes.append(f"header: {issue}")
+    if consistent and version == _FORMAT_VERSION:
+        # Fields hang together even if the magic or CRC is damaged; the
+        # strong size consistency check is what we actually trust.
+        _read_meta(raw, page_size, header_frame_ok, report)
+        return page_size
+    if truncated and header_frame_ok and version == _FORMAT_VERSION:
+        # The file is shorter than the header declares but the header page
+        # checksum validates: trust its page size and salvage the surviving
+        # prefix.  The missing tail pages are quarantined by the salvager
+        # (``total_pages`` carries the declared count down to it).
+        report.notes.append(
+            f"file truncated: header declares {num_pages} pages, "
+            f"{len(raw) // stride} full frames survive"
+        )
+        report.total_pages = num_pages
+        _read_meta(raw, page_size, header_frame_ok, report)
+        return page_size
+    if page_size_hint and _plausible_page_size(page_size_hint):
+        report.notes.append(f"using supplied page size {page_size_hint}")
+        return page_size_hint
+    return _infer_page_size(raw, report)
+
+
+def _read_meta(raw: bytes, page_size: int, frame_ok: bool, report: RepairReport) -> None:
+    """Expected object counts from the header metadata area, if readable."""
+    try:
+        (meta_len,) = struct.unpack_from("<H", raw, _HEADER_FMT.size)
+    except struct.error:
+        return
+    if meta_len != _META.size:
+        report.notes.append(f"metadata unreadable (length {meta_len})")
+        return
+    meta = raw[_HEADER_FMT.size + 2 : _HEADER_FMT.size + 2 + meta_len]
+    if len(meta) < _META.size:
+        return
+    (_nr, _pr, _ap, _pp, num_nodes, num_edges, num_points) = _META.unpack(meta)
+    if max(num_nodes, num_edges, num_points) > (1 << 40):
+        report.notes.append("metadata counts implausible; ignoring them")
+        return
+    if not frame_ok:
+        report.notes.append(
+            "header checksum failed; metadata counts taken on faith"
+        )
+    report.expected = {
+        "nodes": num_nodes,
+        "edges": num_edges,
+        "points": num_points,
+    }
+
+
+def _parse_slotted(payload: bytes) -> dict[int, tuple[bytes, bool]] | None:
+    """slot -> (record bytes, is_overflow_stub), or None when not slotted."""
+    n_slots, free_end = _PAGE_HEADER.unpack_from(payload, 0)
+    if n_slots == 0:
+        return {}
+    if free_end == 0:  # fresh-page sentinel: a populated page never has it
+        return None
+    slot_dir_end = _PAGE_HEADER.size + n_slots * _SLOT.size
+    if slot_dir_end > free_end or free_end > len(payload):
+        return None
+    out: dict[int, tuple[bytes, bool]] = {}
+    for slot in range(n_slots):
+        offset, length = _SLOT.unpack_from(
+            payload, _PAGE_HEADER.size + slot * _SLOT.size
+        )
+        is_overflow = bool(length & _OVERFLOW_FLAG)
+        length &= ~_OVERFLOW_FLAG
+        if offset < slot_dir_end or offset + length > len(payload):
+            return None
+        if is_overflow and length != _OVERFLOW_STUB.size:
+            return None
+        out[slot] = (payload[offset : offset + length], is_overflow)
+    return out
+
+
+def _parse_leaf(payload: bytes) -> list[tuple[int, int]] | None:
+    """(key, value) entries of a plausible B+-tree leaf, else None."""
+    is_leaf, count, _next = _NODE_HEADER.unpack_from(payload, 0)
+    if is_leaf != 1 or count == 0:
+        return None
+    if _NODE_HEADER.size + count * _TREE_ENTRY.size > len(payload):
+        return None
+    entries = []
+    last_key = None
+    for i in range(count):
+        key, value = _TREE_ENTRY.unpack_from(
+            payload, _NODE_HEADER.size + i * _TREE_ENTRY.size
+        )
+        if last_key is not None and key <= last_key:
+            return None
+        last_key = key
+        entries.append((key, value))
+    return entries
+
+
+def _decode_adjacency(record: bytes) -> list[tuple[int, float, int]] | None:
+    if len(record) < _ADJ_HEADER.size:
+        return None
+    if (len(record) - _ADJ_HEADER.size) % _ADJ_ENTRY.size:
+        return None
+    (count,) = _ADJ_HEADER.unpack_from(record, 0)
+    if count != (len(record) - _ADJ_HEADER.size) // _ADJ_ENTRY.size:
+        return None
+    entries = []
+    for i in range(count):
+        nbr, weight, first = _ADJ_ENTRY.unpack_from(
+            record, _ADJ_HEADER.size + i * _ADJ_ENTRY.size
+        )
+        if not (math.isfinite(weight) and weight > 0) or first < -1:
+            return None
+        entries.append((nbr, weight, first))
+    return entries
+
+
+def _decode_group(record: bytes) -> tuple[int, int, list[tuple[int, float, int]]] | None:
+    if len(record) < _GROUP_HEADER.size + _GROUP_ENTRY.size:
+        return None
+    if (len(record) - _GROUP_HEADER.size) % _GROUP_ENTRY.size:
+        return None
+    u, v, count = _GROUP_HEADER.unpack_from(record, 0)
+    if u == v or count != (len(record) - _GROUP_HEADER.size) // _GROUP_ENTRY.size:
+        return None
+    members = []
+    last_offset = None
+    for i in range(count):
+        pid, offset, label = _GROUP_ENTRY.unpack_from(
+            record, _GROUP_HEADER.size + i * _GROUP_ENTRY.size
+        )
+        if not math.isfinite(offset) or offset < 0:
+            return None
+        if last_offset is not None and offset < last_offset:
+            return None
+        last_offset = offset
+        members.append((pid, offset, label))
+    return u, v, members
+
+
+class _Salvager:
+    """One salvage pass over a raw file image."""
+
+    def __init__(self, raw: bytes, page_size: int, report: RepairReport) -> None:
+        self.report = report
+        self.page_size = page_size
+        self.good, bad = _split_frames(raw, page_size)
+        report.page_size = page_size
+        stride = page_size + _CHECKSUM_BYTES
+        present = len(raw) // stride
+        # A truncated file loses its tail: every declared-but-absent page
+        # (header set ``total_pages`` above the frame count) plus a torn
+        # trailing partial frame counts as quarantined, so ``lost_pages``
+        # stays exact.
+        declared = max(present, report.total_pages or 0)
+        if len(raw) % stride and declared == present:
+            declared = present + 1
+        bad.extend(range(present, declared))
+        report.total_pages = declared
+        report.quarantined_pages = bad
+        # Header page damage is reported via notes; it is not a data page.
+        self.records: dict[tuple[int, int], tuple[bytes, bool]] = {}
+        self.chain_pids: set[int] = set()
+
+    # -- phase: record pages ------------------------------------------
+    def collect_records(self) -> None:
+        for pid, payload in self.good.items():
+            if pid == 0:
+                continue
+            slots = _parse_slotted(payload)
+            if not slots:
+                continue
+            for slot, (data, is_overflow) in slots.items():
+                self.records[(pid, slot)] = (data, is_overflow)
+
+    def resolve(self, pid: int, slot: int) -> bytes | None:
+        """Record bytes for a (page, slot), following overflow chains."""
+        entry = self.records.get((pid, slot))
+        if entry is None:
+            return None
+        data, is_overflow = entry
+        if not is_overflow:
+            return data
+        try:
+            total_len, first_pid = _OVERFLOW_STUB.unpack(data)
+        except struct.error:
+            return None
+        out = bytearray()
+        seen: set[int] = set()
+        chunk_capacity = self.page_size - _CHAIN_HEADER.size
+        cur = first_pid
+        while cur != 0 and len(out) < total_len:
+            if cur in seen:  # a damaged pointer made a cycle
+                return None
+            seen.add(cur)
+            payload = self.good.get(cur)
+            if payload is None:  # chain page quarantined
+                return None
+            (next_pid,) = _CHAIN_HEADER.unpack_from(payload, 0)
+            need = min(chunk_capacity, total_len - len(out))
+            out += payload[_CHAIN_HEADER.size : _CHAIN_HEADER.size + need]
+            cur = next_pid
+        if len(out) != total_len:
+            return None
+        self.chain_pids.update(seen)
+        return bytes(out)
+
+    # -- phase: index leaves ------------------------------------------
+    def collect_mappings(self) -> tuple[dict, dict, set]:
+        """(node -> adjacency entries, first_pid -> group, consumed rids)."""
+        adjacency: dict[int, list[tuple[int, float, int]]] = {}
+        groups: dict[int, tuple[int, int, list[tuple[int, float, int]]]] = {}
+        consumed: set[tuple[int, int]] = set()
+        total = self.report.total_pages or 0
+        for pid in sorted(self.good):
+            if pid == 0 or pid in self.chain_pids:
+                continue
+            entries = _parse_leaf(self.good[pid])
+            if entries is None:
+                continue
+            # A real leaf's rids always point inside the file.
+            if any(not (1 <= value >> 16 < total) for _, value in entries):
+                continue
+            for key, rid in entries:
+                rpid, slot = rid >> 16, rid & 0xFFFF
+                record = self.resolve(rpid, slot)
+                if record is None:
+                    continue
+                group = _decode_group(record)
+                if group is not None and group[2][0][0] == key:
+                    if key not in groups:
+                        groups[key] = group
+                    elif groups[key] != group:
+                        self.report.conflicts += 1
+                    consumed.add((rpid, slot))
+                    continue
+                adj = _decode_adjacency(record)
+                if adj is not None:
+                    if key not in adjacency:
+                        adjacency[key] = adj
+                    elif adjacency[key] != adj:
+                        self.report.conflicts += 1
+                    consumed.add((rpid, slot))
+        return adjacency, groups, consumed
+
+    # -- phase: orphan groups -----------------------------------------
+    def collect_orphan_groups(self, groups: dict, consumed: set) -> None:
+        """Point groups whose index leaf died are still self-describing."""
+        for (pid, slot), (_data, _ovf) in sorted(self.records.items()):
+            if (pid, slot) in consumed or pid in self.chain_pids:
+                continue
+            record = self.resolve(pid, slot)
+            if record is None:
+                continue
+            group = _decode_group(record)
+            if group is None:
+                continue
+            key = group[2][0][0]
+            if key not in groups:
+                groups[key] = group
+                self.report.notes.append(
+                    f"salvaged orphan point group ({group[0]}, {group[1]}) "
+                    f"from page {pid} (index entry lost)"
+                )
+            elif groups[key] != group:
+                self.report.conflicts += 1
+
+    # -- phase: assembly ----------------------------------------------
+    def assemble(
+        self, adjacency: dict, groups: dict
+    ) -> tuple[SpatialNetwork, PointSet]:
+        report = self.report
+        net = SpatialNetwork()
+        weights: dict[tuple[int, int], float | None] = {}
+        for node, entries in adjacency.items():
+            net.add_node(node)
+            for nbr, weight, _first in entries:
+                edge = normalize_edge(node, nbr)
+                known = weights.get(edge)
+                if known is None:
+                    weights[edge] = weight
+                elif known != weight:
+                    weights[edge] = None  # contradictory copies: drop it
+        for (u, v), weight in sorted(weights.items()):
+            if weight is None:
+                report.conflicts += 1
+                report.notes.append(
+                    f"edge ({u}, {v}): surviving copies disagree on the "
+                    "weight; dropped"
+                )
+                continue
+            net.add_node(u)
+            net.add_node(v)
+            net.add_edge(u, v, weight)
+
+        points = PointSet(net)
+        seen_pids: set[int] = set()
+        for key in sorted(groups):
+            u, v, members = groups[key]
+            if not net.has_edge(u, v):
+                report.notes.append(
+                    f"point group ({u}, {v}): its edge did not survive; "
+                    f"{len(members)} point(s) lost"
+                )
+                continue
+            weight = net.edge_weight(u, v)
+            for pid, offset, label in members:
+                if offset > weight or pid in seen_pids:
+                    report.conflicts += 1
+                    continue
+                seen_pids.add(pid)
+                points.add(
+                    u, v, offset, point_id=pid,
+                    label=None if label == _NO_LABEL else label,
+                )
+        report.salvaged = {
+            "nodes": net.num_nodes,
+            "edges": net.num_edges,
+            "points": len(points),
+        }
+        return net, points
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def salvage_store(
+    path: str | os.PathLike,
+    page_size_hint: int | None = None,
+) -> tuple[SpatialNetwork | None, PointSet | None, RepairReport]:
+    """Raw-scan a (possibly corrupt) store and reconstruct what survives.
+
+    Returns ``(network, points, report)``; the first two are ``None``
+    when ``report.recoverable`` is false.  Damaged input never raises —
+    only an unreadable *file* (missing, permission) does, as ``OSError``.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    report = RepairReport(source=path)
+    _obs_add("repair.salvage_runs")
+    if not raw:
+        report.recoverable = False
+        report.notes.append("file is empty")
+        return None, None, report
+    page_size = _parse_header(raw, report, page_size_hint)
+    if page_size is None:
+        report.recoverable = False
+        report.notes.append("could not determine the page size; giving up")
+        return None, None, report
+    salvager = _Salvager(raw, page_size, report)
+    salvager.collect_records()
+    adjacency, groups, consumed = salvager.collect_mappings()
+    salvager.collect_orphan_groups(groups, consumed)
+    net, points = salvager.assemble(adjacency, groups)
+    for pid in report.quarantined_pages:
+        _obs_add("repair.quarantined_pages")
+    return net, points, report
+
+
+def repair_store(
+    src: str | os.PathLike,
+    dst: str | os.PathLike | None = None,
+    page_size_hint: int | None = None,
+) -> RepairReport:
+    """Salvage ``src`` and, when recoverable, rebuild a clean store at ``dst``.
+
+    The rebuilt store gets fresh B+-tree indexes over the surviving
+    records (``NetworkStore.build``), so it always reopens cleanly and
+    passes ``verify_store``.  The returned report carries the exact
+    ``lost_pages`` / ``lost`` accounting; ``dst`` is left untouched when
+    nothing was recoverable.
+    """
+    from repro.storage.netstore import NetworkStore
+
+    net, points, report = salvage_store(src, page_size_hint=page_size_hint)
+    if net is None:
+        return report
+    if dst is not None:
+        dst = os.fspath(dst)
+        page_size = report.page_size or 4096
+        NetworkStore.build(dst, net, points, page_size=page_size).close()
+        report.output = dst
+    return report

@@ -1,0 +1,173 @@
+"""Retry-with-backoff for transient I/O on the storage read paths.
+
+Real disks and network filesystems produce *transient* read failures —
+an ``EINTR``, a momentary NFS blip — that succeed on retry, alongside
+*persistent* failures (bit rot caught by a CRC, a missing file) that
+never will.  This module wraps the single physical-read chokepoint
+(``PagedFile.read_page``, through which every flat-file, B+-tree, and
+network-store read flows) in a retry policy with capped exponential
+backoff and deterministic jitter.
+
+What is retried:
+
+* plain :class:`OSError` — the real-world transient class;
+* :class:`~repro.faults.InjectedIOError` with ``transient=True`` — the
+  fault harness's deterministic stand-in for a blip.
+
+What is **not** retried:
+
+* :class:`~repro.faults.InjectedIOError` with ``transient=False`` —
+  the harness says this failure is persistent; it surfaces immediately,
+  preserving the pre-retry semantics for every existing fault test;
+* :class:`~repro.exceptions.StorageError` and subclasses (including
+  ``PageCorruptError``) — corruption does not heal on retry;
+* :class:`~repro.faults.CrashPoint` — a simulated process death.
+
+Zero overhead while disarmed: with no policy active, the chokepoint pays
+one attribute check (``STATE.policy is None``).  Activate a policy with
+the :func:`retrying` context manager or pass ``--retries`` to
+``repro cluster``.  Every retry bumps ``retry.attempts`` (and
+``retry.attempts.<site>``) in :mod:`repro.obs`; a call that ultimately
+succeeds after retrying bumps ``retry.recovered``; one that exhausts its
+attempt cap bumps ``retry.giveups`` — all visible in ``--stats`` output.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Callable, TypeVar
+
+from repro.faults.core import InjectedIOError
+from repro.obs.core import add as _obs_add
+
+__all__ = [
+    "RetryPolicy",
+    "RetryState",
+    "STATE",
+    "retrying",
+    "call_with_retry",
+]
+
+T = TypeVar("T")
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether the retry layer may re-attempt after ``exc``."""
+    if isinstance(exc, InjectedIOError):
+        return bool(getattr(exc, "transient", False))
+    return isinstance(exc, OSError)
+
+
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per call (first try included).  Default 3.
+    base_delay:
+        Delay before the first retry, in seconds; doubles per retry.
+    max_delay:
+        Ceiling on any single delay.
+    jitter:
+        Fraction of the computed delay added as seeded pseudo-random
+        jitter (0 disables).  The jitter RNG is seeded per policy, so a
+        run's sleep schedule is reproducible.
+    site_caps:
+        Optional per-site attempt caps overriding ``max_attempts``
+        (e.g. ``{"pager.read_page": 5}``).
+    sleep:
+        Injectable sleep function (tests pass a no-op).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.01,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        site_caps: dict[str, int] | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts!r}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter!r}")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.site_caps = dict(site_caps or {})
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._rng = random.Random(seed)
+
+    def attempts_for(self, site: str) -> int:
+        return self.site_caps.get(site, self.max_attempts)
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (1-based)."""
+        base = min(self.max_delay, self.base_delay * (2 ** (retry_index - 1)))
+        if self.jitter:
+            base += base * self.jitter * self._rng.random()
+        return min(self.max_delay, base)
+
+    def run(self, site: str, fn: Callable[[], T]) -> T:
+        """Call ``fn`` with retries; counters keyed by ``site``."""
+        cap = self.attempts_for(site)
+        failures = 0
+        while True:
+            try:
+                result = fn()
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                failures += 1
+                if failures >= cap:
+                    _obs_add("retry.giveups")
+                    _obs_add(f"retry.giveups.{site}")
+                    raise
+                _obs_add("retry.attempts")
+                _obs_add(f"retry.attempts.{site}")
+                self._sleep(self.delay(failures))
+            else:
+                if failures:
+                    _obs_add("retry.recovered")
+                    _obs_add(f"retry.recovered.{site}")
+                return result
+
+
+class RetryState:
+    """Process-global retry state; ``policy is None`` means disarmed."""
+
+    __slots__ = ("policy",)
+
+    def __init__(self) -> None:
+        self.policy: RetryPolicy | None = None
+
+
+STATE = RetryState()
+
+
+@contextmanager
+def retrying(policy: RetryPolicy) -> Iterator[RetryPolicy]:
+    """Scoped activation: install ``policy``, yield, restore the previous."""
+    saved = STATE.policy
+    STATE.policy = policy
+    try:
+        yield policy
+    finally:
+        STATE.policy = saved
+
+
+def call_with_retry(site: str, fn: Callable[[], T]) -> T:
+    """Run ``fn`` under the active policy, or directly when disarmed."""
+    policy = STATE.policy
+    if policy is None:
+        return fn()
+    return policy.run(site, fn)

@@ -48,6 +48,7 @@ from collections import OrderedDict
 from repro.exceptions import PageCorruptError, PageError, StorageError
 from repro.faults.core import STATE as _FAULTS, CrashPoint, fire as _fault, tear as _tear
 from repro.obs.core import add as _obs_add
+from repro.recovery.retry import STATE as _RETRY
 
 __all__ = [
     "PagedFile",
@@ -263,7 +264,24 @@ class PagedFile:
             )
 
     def read_page(self, pid: int) -> bytes:
+        """One logical page read; the single physical-read chokepoint.
+
+        Every flat-file, B+-tree, and network-store read funnels through
+        here, so this is also where the retry layer
+        (:mod:`repro.recovery.retry`) wraps transient I/O failures: each
+        attempt re-enters ``_read_page_attempt`` (re-firing the fault site
+        and re-charging any page-read budget), so injected transient
+        errors and retries compose deterministically.
+        """
         self._check_pid(pid)
+        policy = _RETRY.policy
+        if policy is None:
+            return self._read_page_attempt(pid)
+        return policy.run(
+            "pager.read_page", lambda: self._read_page_attempt(pid)
+        )
+
+    def _read_page_attempt(self, pid: int) -> bytes:
         if _FAULTS.engaged:
             _fault("pager.read_page")
             budget = _FAULTS.budget

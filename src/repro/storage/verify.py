@@ -45,17 +45,26 @@ class Finding:
         Human-readable description.
     page_id:
         The affected page, when the finding is page-addressable.
+    offset:
+        Byte offset of the damage in the file, when known (page findings),
+        so the damage can be located with a hex editor or ``dd``.
     """
 
-    __slots__ = ("severity", "kind", "message", "page_id")
+    __slots__ = ("severity", "kind", "message", "page_id", "offset")
 
     def __init__(
-        self, severity: str, kind: str, message: str, page_id: int | None = None
+        self,
+        severity: str,
+        kind: str,
+        message: str,
+        page_id: int | None = None,
+        offset: int | None = None,
     ) -> None:
         self.severity = severity
         self.kind = kind
         self.message = message
         self.page_id = page_id
+        self.offset = offset
 
     def __repr__(self) -> str:
         where = f" [page {self.page_id}]" if self.page_id is not None else ""
@@ -95,7 +104,12 @@ def verify_store(path: str) -> list[Finding]:
             try:
                 file.read_page(pid)
             except PageCorruptError as exc:
-                findings.append(Finding("error", "page", str(exc), page_id=pid))
+                findings.append(
+                    Finding(
+                        "error", "page", str(exc), page_id=pid,
+                        offset=exc.offset,
+                    )
+                )
 
         # ---- metadata ------------------------------------------------
         from repro.storage.netstore import _META

@@ -363,3 +363,85 @@ class TestErrorInjection:
         dist = single_source(net, 0)
         assert dist[9] == pytest.approx(9.0)
         assert math.isfinite(dist[5])
+
+
+# ----------------------------------------------------------------------
+# Transient errors and plan lifecycle (recovery-layer contract)
+# ----------------------------------------------------------------------
+class TestTransientFlag:
+    def test_injected_error_defaults_persistent(self):
+        err = InjectedIOError("s")
+        assert err.transient is False
+        assert "transient" not in str(err)
+
+    def test_rule_transient_propagates_to_error(self):
+        with faults.plan(FaultRule("t", "error", after=1, transient=True)):
+            with pytest.raises(InjectedIOError) as exc:
+                faults.fire("t")
+        assert exc.value.transient is True
+        assert "transient" in str(exc.value)
+
+    def test_rule_default_is_persistent(self):
+        with faults.plan(FaultRule("t", "error", after=1)):
+            with pytest.raises(InjectedIOError) as exc:
+                faults.fire("t")
+        assert exc.value.transient is False
+
+    def test_transient_requires_error_kind(self):
+        with pytest.raises(ValueError, match="transient"):
+            FaultRule("t", "crash", after=1, transient=True)
+        with pytest.raises(ValueError, match="transient"):
+            FaultRule("t", "torn", after=1, transient=True)
+
+    def test_transient_is_still_an_oserror(self):
+        # The retry layer catches OSError; injected blips must be in that
+        # hierarchy so one except clause handles real and simulated faults.
+        assert issubclass(InjectedIOError, OSError)
+
+
+class TestPlanLifecycle:
+    def test_plan_restores_rules_when_body_raises(self):
+        """A crash mid-sweep must not leak the plan's rules into the next
+        iteration — the historical bug this guards against."""
+        outer = FaultRule("outer.site", "error", after=10**9)
+        faults.install(outer)
+        with pytest.raises(RuntimeError):
+            with faults.plan(FaultRule("inner.site", "crash", after=1)):
+                raise RuntimeError("sweep body blew up")
+        assert faults.STATE.rules == [outer]
+        with pytest.raises(RuntimeError):
+            with faults.plan(FaultRule("i2", "crash", after=1)):
+                faults.fire("whatever.site")
+                raise RuntimeError
+        assert faults.STATE.rules == [outer]
+        assert faults.hits("whatever.site") == 0  # counters restored too
+
+    def test_rule_reusable_across_plans(self):
+        """plan() resets hit/fire counters so one rule drives a sweep."""
+        rule = FaultRule("r", "error", after=2)
+        for _ in range(3):  # same object, three sweep iterations
+            with faults.plan(rule):
+                faults.fire("r")
+                with pytest.raises(InjectedIOError):
+                    faults.fire("r")
+        assert rule.fired == 1  # last plan's firing only, not accumulated
+
+    def test_reseed_determinism_of_should_fire(self):
+        import random as _random
+
+        def draw(seed: int) -> list[bool]:
+            faults.reseed(seed)
+            rule = FaultRule("p", "error", probability=0.4, times=None)
+            return [rule.should_fire(faults.STATE.rng) for _ in range(64)]
+
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)
+        # reseed() returns the seed it installed and honours explicit values
+        assert faults.reseed(123) == 123
+        assert isinstance(faults.STATE.rng, _random.Random)
+
+    def test_reseed_none_rereads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "42")
+        assert faults.reseed(None) == 42
+        monkeypatch.delenv("REPRO_FAULT_SEED")
+        assert faults.reseed(None) == 0

@@ -1,0 +1,408 @@
+"""Unit tests for the recovery layer: checkpoint format, retry policy, salvage."""
+
+from __future__ import annotations
+
+import math
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro import obs
+from repro.exceptions import CheckpointError
+from repro.faults import FaultRule, InjectedIOError, plan
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+from repro.recovery import (
+    CheckpointManager,
+    RetryPolicy,
+    call_with_retry,
+    load_checkpoint,
+    repair_store,
+    retrying,
+    salvage_store,
+    save_checkpoint,
+    validate_meta,
+)
+from repro.recovery.checkpoint import _HEADER, _TRAILER, CHECKPOINT_MAGIC
+from repro.recovery.retry import STATE as RETRY_STATE
+from repro.storage.netstore import NetworkStore
+from repro.storage.verify import verify_store
+
+
+def small_store(path, page_size=512):
+    net = SpatialNetwork.from_edge_list(
+        [(1, 2, 2.0), (2, 3, 3.0), (1, 4, 4.0), (3, 5, 1.0), (4, 5, 2.0)]
+    )
+    pts = PointSet(net)
+    pts.add(1, 2, 0.5, point_id=0, label=0)
+    pts.add(1, 2, 1.5, point_id=1, label=0)
+    pts.add(2, 3, 1.0, point_id=2, label=1)
+    pts.add(4, 5, 1.0, point_id=3, label=None)
+    NetworkStore.build(path, net, pts, page_size=page_size).close()
+    return net, pts
+
+
+def scan(store):
+    edges = sorted(
+        (n, nbr, w) for n in store.nodes() for nbr, w in store.neighbors(n)
+    )
+    points = sorted(
+        (p.point_id, p.u, p.v, p.offset, p.label) for p in store.points()
+    )
+    return edges, points
+
+
+class TestCheckpointFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        meta = {"algorithm": "eps-link", "eps": 0.5}
+        state = {"assignment": {"1": 0, "2": 1}, "cursor": 7,
+                 "reach": [1.5, math.inf]}
+        save_checkpoint(path, meta, state)
+        doc = load_checkpoint(path)
+        assert doc["meta"] == meta
+        assert doc["state"]["assignment"] == {"1": 0, "2": 1}
+        assert doc["state"]["reach"][1] == math.inf  # Infinity survives JSON
+
+    def test_no_tmp_residue(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(path, {}, {"x": 1})
+        assert not os.path.exists(str(path) + ".tmp")
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(path, {}, {"gen": 1})
+        save_checkpoint(path, {}, {"gen": 2})
+        assert load_checkpoint(path)["state"]["gen"] == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(path, {}, {"x": 1})
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(path, {}, {"x": 1})
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+
+    def test_unknown_version(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(path, {}, {"x": 1})
+        raw = bytearray(path.read_bytes())
+        struct.pack_into("<H", raw, 4, 99)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_payload_bit_rot_caught_by_crc(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(path, {}, {"x": 1})
+        raw = bytearray(path.read_bytes())
+        raw[_HEADER.size + 2] ^= 0x10
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC32"):
+            load_checkpoint(path)
+
+    def test_length_mismatch(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(path, {}, {"x": 1})
+        path.write_bytes(path.read_bytes() + b"extra")
+        with pytest.raises(CheckpointError, match="length"):
+            load_checkpoint(path)
+
+    def test_payload_must_hold_meta_and_state(self, tmp_path):
+        payload = b'{"only": 1}'
+        blob = (
+            _HEADER.pack(CHECKPOINT_MAGIC, 1, len(payload))
+            + payload
+            + _TRAILER.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+        )
+        path = tmp_path / "c.ckpt"
+        path.write_bytes(blob)
+        with pytest.raises(CheckpointError, match="meta/state"):
+            load_checkpoint(path)
+
+
+class TestCheckpointManager:
+    def test_saves_every_nth_tick(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        mgr = CheckpointManager(path, every=3)
+        materialised = []
+
+        def state_fn():
+            materialised.append(mgr.ticks)
+            return {"tick": mgr.ticks}
+
+        for _ in range(7):
+            mgr.tick(state_fn)
+        # state_fn only runs on saving ticks — snapshot cost paid 1/every.
+        assert materialised == [3, 6]
+        assert mgr.saves == 2
+        assert load_checkpoint(path)["state"]["tick"] == 6
+
+    def test_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path / "c.ckpt", every=0)
+
+    def test_remove_idempotent(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        mgr = CheckpointManager(path)
+        mgr.save({"x": 1})
+        mgr.remove()
+        assert not path.exists()
+        mgr.remove()  # no error on double remove
+
+    def test_meta_travels_with_snapshot(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        mgr = CheckpointManager(path, meta={"algorithm": "dbscan", "eps": 2.0})
+        mgr.save({"x": 1})
+        doc = load_checkpoint(path)
+        validate_meta(doc["meta"], {"algorithm": "dbscan", "eps": 2.0})
+        with pytest.raises(CheckpointError, match="algorithm"):
+            validate_meta(doc["meta"], {"algorithm": "optics"})
+
+
+class TestRetryPolicy:
+    def test_transient_injected_error_recovered(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise InjectedIOError("s", transient=True)
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _d: None)
+        assert policy.run("s", flaky) == "ok"
+        assert calls["n"] == 3
+
+    def test_persistent_injected_error_not_retried(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise InjectedIOError("s", transient=False)
+
+        policy = RetryPolicy(max_attempts=5, sleep=lambda _d: None)
+        with pytest.raises(InjectedIOError):
+            policy.run("s", broken)
+        assert calls["n"] == 1  # surfaced immediately
+
+    def test_oserror_gives_up_after_cap(self):
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("blip")
+
+        policy = RetryPolicy(max_attempts=4, sleep=lambda _d: None)
+        with pytest.raises(OSError):
+            policy.run("s", always_fails)
+        assert calls["n"] == 4
+
+    def test_site_caps_override(self):
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("blip")
+
+        policy = RetryPolicy(
+            max_attempts=10, site_caps={"special": 2}, sleep=lambda _d: None
+        )
+        with pytest.raises(OSError):
+            policy.run("special", always_fails)
+        assert calls["n"] == 2
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+        assert policy.delay(10) == pytest.approx(0.5)
+
+    def test_jitter_bounded_and_seeded(self):
+        a = [RetryPolicy(base_delay=0.1, jitter=0.5, seed=7).delay(1)
+             for _ in range(1)]
+        b = [RetryPolicy(base_delay=0.1, jitter=0.5, seed=7).delay(1)
+             for _ in range(1)]
+        assert a == b  # same seed, same schedule
+        assert 0.1 <= a[0] <= 0.15
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+    def test_retrying_scopes_the_policy(self):
+        assert RETRY_STATE.policy is None
+        policy = RetryPolicy(sleep=lambda _d: None)
+        with retrying(policy):
+            assert RETRY_STATE.policy is policy
+        assert RETRY_STATE.policy is None
+
+    def test_retrying_restores_on_raise(self):
+        with pytest.raises(RuntimeError):
+            with retrying(RetryPolicy(sleep=lambda _d: None)):
+                raise RuntimeError("boom")
+        assert RETRY_STATE.policy is None
+
+    def test_call_with_retry_passthrough_when_disarmed(self):
+        assert call_with_retry("s", lambda: 42) == 42
+
+    def test_counters_reported(self):
+        obs.enable()
+        try:
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] < 2:
+                    raise OSError("blip")
+                return 1
+
+            RetryPolicy(sleep=lambda _d: None).run("x", flaky)
+            counters = obs.snapshot()["counters"]
+            assert counters["retry.attempts"] == 1
+            assert counters["retry.attempts.x"] == 1
+            assert counters["retry.recovered"] == 1
+        finally:
+            obs.disable()
+
+
+class TestRetryOnStore:
+    def test_transient_read_blip_recovered_end_to_end(self, tmp_path):
+        path = tmp_path / "store.db"
+        small_store(path)
+        store = NetworkStore(path)
+        try:
+            clean = scan(store)
+        finally:
+            store.close()
+        store = NetworkStore(path)
+        try:
+            with plan(
+                FaultRule("pager.read_page", "error", after=3,
+                          transient=True, times=2)
+            ):
+                with retrying(RetryPolicy(sleep=lambda _d: None)):
+                    assert scan(store) == clean
+        finally:
+            store.close()
+
+    def test_persistent_error_still_surfaces_under_retry(self, tmp_path):
+        path = tmp_path / "store.db"
+        small_store(path)
+        store = NetworkStore(path)
+        try:
+            with plan(FaultRule("pager.read_page", "error", after=3)):
+                with retrying(RetryPolicy(sleep=lambda _d: None)):
+                    with pytest.raises(InjectedIOError):
+                        scan(store)
+        finally:
+            store.close()
+
+    def test_no_retry_by_default(self, tmp_path):
+        path = tmp_path / "store.db"
+        small_store(path)
+        store = NetworkStore(path)
+        try:
+            with plan(
+                FaultRule("pager.read_page", "error", after=3, transient=True)
+            ):
+                with pytest.raises(InjectedIOError):
+                    scan(store)
+        finally:
+            store.close()
+
+
+class TestSalvage:
+    def test_clean_store_full_recovery(self, tmp_path):
+        src = tmp_path / "store.db"
+        net, pts = small_store(src)
+        network, points, report = salvage_store(src)
+        assert report.recoverable and report.full_recovery
+        assert report.lost_pages == 0
+        assert report.salvaged == {"nodes": 5, "edges": 5, "points": 4}
+        got = sorted((p.point_id, p.u, p.v, p.offset, p.label) for p in points)
+        want = sorted((p.point_id, p.u, p.v, p.offset, p.label) for p in pts)
+        assert got == want
+
+    def test_repair_rebuilds_verify_clean_store(self, tmp_path):
+        src = tmp_path / "store.db"
+        small_store(src)
+        dst = tmp_path / "fixed.db"
+        report = repair_store(src, dst)
+        assert report.full_recovery
+        assert report.output == str(dst)
+        assert verify_store(dst) == []
+        a, b = NetworkStore(src), NetworkStore(dst)
+        try:
+            assert scan(a) == scan(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_empty_file_unrecoverable(self, tmp_path):
+        src = tmp_path / "empty.db"
+        src.write_bytes(b"")
+        network, points, report = salvage_store(src)
+        assert network is None and points is None
+        assert not report.recoverable
+        assert not report.full_recovery
+
+    def test_page_size_inferred_from_wrecked_header(self, tmp_path):
+        src = tmp_path / "store.db"
+        small_store(src, page_size=1024)
+        raw = bytearray(src.read_bytes())
+        raw[0:20] = os.urandom(20)  # obliterate the entire header struct
+        src.write_bytes(bytes(raw))
+        network, points, report = salvage_store(src)
+        assert report.page_size == 1024
+        assert network is not None
+        # Header page is quarantined, but record/index pages all survive.
+        assert sorted(p.point_id for p in points) == [0, 1, 2, 3]
+
+    def test_missing_source_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            salvage_store(tmp_path / "nope.db")
+
+    def test_dead_index_leaf_recovered_via_orphan_groups(self, tmp_path):
+        # Point groups are self-describing: killing the point-tree pages
+        # must not lose any points — they come back as orphan records.
+        src = tmp_path / "store.db"
+        small_store(src)
+        from repro.storage.pager import PagedFile
+
+        f = PagedFile(src)
+        stride = f.page_size + 4
+        meta = f.get_meta()
+        f.abort()
+        from repro.storage.netstore import _META
+
+        point_root = _META.unpack(meta[: _META.size])[1]
+        raw = bytearray(src.read_bytes())
+        raw[point_root * stride + 10] ^= 0xFF
+        src.write_bytes(bytes(raw))
+        network, points, report = salvage_store(src)
+        assert report.quarantined_pages == [point_root]
+        assert report.salvaged["points"] == 4
+        assert report.lost == {"nodes": 0, "edges": 0, "points": 0}
+        assert report.full_recovery
