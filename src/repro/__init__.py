@@ -32,8 +32,13 @@ Quickstart
 
 from repro.exceptions import (
     BudgetExceededError,
+    Cancelled,
     ChecksumError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    Interrupted,
     NetworkError,
+    Overloaded,
     PageCorruptError,
     ParameterError,
     PointError,
@@ -66,6 +71,11 @@ __all__ = [
     "ChecksumError",
     "PageCorruptError",
     "BudgetExceededError",
+    "Interrupted",
+    "DeadlineExceeded",
+    "Cancelled",
+    "Overloaded",
+    "CircuitOpenError",
     # Network substrate
     "SpatialNetwork",
     "PointSet",
@@ -106,6 +116,12 @@ def __getattr__(name):
         "save_checkpoint": "repro.recovery",
         "repair_store": "repro.recovery",
         "salvage_store": "repro.recovery",
+        "Deadline": "repro.resilience",
+        "CancelToken": "repro.resilience",
+        "CircuitBreaker": "repro.resilience",
+        "VirtualClock": "repro.resilience",
+        "TickingClock": "repro.resilience",
+        "QueryService": "repro.serve",
     }
     if name in lazy:
         import importlib

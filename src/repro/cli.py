@@ -8,6 +8,7 @@ A pipeline for working with spatial-network clustering from the shell::
     python -m repro render city.json --result clusters.json --out map.svg
     python -m repro info city.json
     python -m repro check store.db
+    python -m repro serve city.json --workers 4 < requests.ldjson
 
 ``check`` verifies a disk network store (header, page checksums, index
 invariants, record bounds, counts) and exits non-zero when anything is
@@ -18,6 +19,9 @@ that shed oversized runs with a clean report instead of an unbounded
 stall, and recovery flags (``--checkpoint``, ``--resume``, ``--retries``)
 that let an interrupted run restart from its last snapshot — see
 ``docs/robustness.md`` for the exit-code table and checkpoint format.
+``cluster --timeout-ms`` bounds a run by wall clock (exit 3, resumable),
+and ``serve`` answers line-delimited JSON queries concurrently with
+bounded admission and per-request deadlines — see ``docs/resilience.md``.
 
 ``cluster`` and ``evaluate`` take ``--stats`` (print the :mod:`repro.obs`
 per-phase time + counter table) and ``--trace FILE`` (write the run's
@@ -53,7 +57,7 @@ from repro.datagen import (
 )
 from repro.datagen.clusters import well_separated_seed_edges
 from repro.eval import adjusted_rand_index, normalized_mutual_information, purity
-from repro.exceptions import BudgetExceededError
+from repro.exceptions import Cancelled, Interrupted, Overloaded
 from repro.io import (
     load_result_file,
     load_workload_file,
@@ -178,12 +182,19 @@ def _checkpoint_meta(args: argparse.Namespace) -> dict:
     }
 
 
-class _Terminated(Exception):
-    """SIGTERM arrived; unwind to the CLI for a clean budget-style exit."""
-
-
 def _sigterm(signum, frame):
-    raise _Terminated()
+    # SIGTERM unwinds through the same typed-interrupt path as a deadline
+    # expiry or budget abort: Cancelled -> checkpoint intact -> exit 3.
+    raise Cancelled("SIGTERM")
+
+
+def _interrupt_reason(exc: Interrupted) -> str:
+    """One stderr line describing a typed interrupt."""
+    if isinstance(exc, Cancelled):
+        if exc.reason == "SIGTERM":
+            return "terminated by SIGTERM"
+        return f"cancelled: {exc.reason}"
+    return f"aborted cleanly: {exc} (algorithm {exc.algorithm})"
 
 
 def _setup_recovery(args: argparse.Namespace, algorithm) -> str | None:
@@ -230,6 +241,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             json.dump(dendrogram.to_dict(), fh)
         print(f"wrote {args.dendrogram}: {dendrogram.num_leaves} leaves, "
               f"{len(dendrogram.merges)} merges")
+    if args.timeout_ms is not None:
+        from repro.resilience import Deadline
+
+        algorithm.deadline = Deadline(args.timeout_ms / 1000.0)
     old_term = None
     try:
         if ckpt_path is not None:
@@ -244,18 +259,19 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                     retrying(RetryPolicy(max_attempts=args.retries))
                 )
             result = algorithm.run()
-    except (BudgetExceededError, _Terminated) as exc:
+    except Interrupted as exc:
+        # One path for budget aborts, deadline expiry, and SIGTERM: any
+        # snapshot taken before the interrupt is left for --resume, and
+        # the exit code is 3.
         if observing:
             _obs_end(args)
-        if isinstance(exc, _Terminated):
-            reason = "terminated by SIGTERM"
-        else:
-            reason = f"aborted cleanly: {exc} (algorithm {exc.algorithm})"
+        if isinstance(exc, Cancelled) and exc.algorithm is None:
+            exc.algorithm = args.algorithm  # SIGTERM outside algorithm.run()
         hint = (
             f"; resume with --resume {ckpt_path}" if ckpt_path is not None
             else ""
         )
-        print(reason + hint, file=sys.stderr)
+        print(_interrupt_reason(exc) + hint, file=sys.stderr)
         return 3
     finally:
         if old_term is not None:
@@ -396,6 +412,105 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Answer line-delimited JSON queries over one workload.
+
+    Reads requests from ``--input`` (or stdin) until EOF, submits them all
+    to a :class:`~repro.serve.QueryService` — so a fast request stream
+    exercises admission control for real: requests beyond the queue bound
+    are shed with ``Overloaded`` responses — and writes one JSON response
+    per request, in input order, to ``--output`` (or stdout).
+    """
+    from repro.serve import (
+        QueryService,
+        error_response,
+        parse_request,
+        result_response,
+    )
+
+    network, points = load_workload_file(args.workload)
+    if len(points) == 0:
+        raise SystemExit("the workload holds no points to serve")
+    observing = _obs_begin(args)
+    default_timeout_s = (
+        args.default_timeout_ms / 1000.0
+        if args.default_timeout_ms is not None else None
+    )
+    with contextlib.ExitStack() as stack:
+        if args.retries:
+            from repro.recovery import RetryPolicy, retrying
+
+            stack.enter_context(retrying(RetryPolicy(max_attempts=args.retries)))
+        if args.breaker_threshold:
+            from repro.resilience import CircuitBreaker, breaking
+
+            stack.enter_context(breaking(CircuitBreaker(
+                failure_threshold=args.breaker_threshold,
+                reset_timeout_s=args.breaker_reset_ms / 1000.0,
+            )))
+        in_fh = (
+            stack.enter_context(open(args.input, encoding="utf-8"))
+            if args.input else sys.stdin
+        )
+        out_fh = (
+            stack.enter_context(open(args.output, "w", encoding="utf-8"))
+            if args.output else sys.stdout
+        )
+        service = QueryService(
+            network, points,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            default_timeout_s=default_timeout_s,
+        )
+        pending: list[tuple[dict, object]] = []  # (request, future-or-error)
+        served = 0
+        try:
+            for lineno, line in enumerate(in_fh, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    request = parse_request(line, lineno)
+                except Exception as exc:
+                    rid = _line_id(line)
+                    pending.append(({"id": rid} if rid is not None else {}, exc))
+                    continue
+                try:
+                    pending.append((request, service.submit(request)))
+                except Overloaded as exc:
+                    pending.append((request, exc))
+            for request, outcome in pending:
+                if isinstance(outcome, BaseException):
+                    doc = error_response(request, outcome)
+                else:
+                    try:
+                        doc = result_response(request, outcome.result())
+                    except Exception as exc:
+                        doc = error_response(request, exc)
+                served += doc["ok"]
+                print(json.dumps(doc), file=out_fh)
+        finally:
+            service.close()
+    print(
+        f"served {served}/{len(pending)} request(s) "
+        f"({args.workers} worker(s), queue depth {args.queue_depth})",
+        file=sys.stderr,
+    )
+    if observing:
+        _obs_end(args)
+    return 0
+
+
+def _line_id(line: str) -> object:
+    """Best-effort request id from a line that failed parsing/admission."""
+    try:
+        doc = json.loads(line)
+        if isinstance(doc, dict) and "id" in doc:
+            return doc["id"]
+    except json.JSONDecodeError:
+        pass
+    return None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -462,7 +577,42 @@ def build_parser() -> argparse.ArgumentParser:
     clus.add_argument("--retries", type=int, default=0, metavar="N",
                       help="retry transient I/O errors up to N attempts with "
                            "exponential backoff (0 = off)")
+    clus.add_argument("--timeout-ms", type=float, default=None, metavar="T",
+                      help="abort cleanly (exit 3, checkpoint kept) once the "
+                           "run exceeds this wall-clock budget")
     clus.set_defaults(func=_cmd_cluster)
+
+    srv = sub.add_parser(
+        "serve", help="answer line-delimited JSON queries over a workload"
+    )
+    srv.add_argument("workload", help="workload JSON from `generate`")
+    srv.add_argument("--input", default=None, metavar="FILE",
+                     help="read requests from FILE instead of stdin")
+    srv.add_argument("--output", default=None, metavar="FILE",
+                     help="write responses to FILE instead of stdout")
+    srv.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="worker threads (default 2)")
+    srv.add_argument("--queue-depth", type=int, default=8, metavar="M",
+                     help="admission queue bound; beyond it requests are "
+                          "shed with Overloaded (default 8)")
+    srv.add_argument("--default-timeout-ms", type=float, default=None,
+                     metavar="T",
+                     help="per-request deadline for requests that do not "
+                          "carry their own timeout_ms (default: none)")
+    srv.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="retry transient I/O errors up to N attempts")
+    srv.add_argument("--breaker-threshold", type=int, default=0, metavar="F",
+                     help="open a circuit breaker on the storage read path "
+                          "after F consecutive failures (0 = off)")
+    srv.add_argument("--breaker-reset-ms", type=float, default=1000.0,
+                     metavar="MS",
+                     help="breaker cool-down before half-open probes "
+                          "(default 1000)")
+    srv.add_argument("--stats", action="store_true",
+                     help="print the repro.obs per-phase time/counter table")
+    srv.add_argument("--trace", default=None, metavar="FILE",
+                     help="write hierarchical timing spans as JSONL to FILE")
+    srv.set_defaults(func=_cmd_serve)
 
     ev = sub.add_parser("evaluate", help="score a clustering vs ground truth")
     ev.add_argument("workload")

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 
 from repro.core.degrade import analyze_connectivity
-from repro.exceptions import BudgetExceededError, ParameterError
+from repro.exceptions import Interrupted, ParameterError
 from repro.network.points import PointSet
 from repro.obs.core import STATE as _OBS, span as _span
 
@@ -29,6 +30,17 @@ class NetworkClusterer:
       page read is charged against it.  Exhaustion raises
       :class:`~repro.exceptions.BudgetExceededError` (tagged with the
       algorithm name) and leaves no shared state corrupted.
+    * ``deadline`` — an optional :class:`~repro.resilience.Deadline`,
+      assigned like ``checkpoint`` after construction.  While the run
+      executes it is the context-active deadline, observed by the
+      cooperative checkpoints in every traversal loop; expiry or external
+      cancellation raises :class:`~repro.exceptions.DeadlineExceeded` /
+      :class:`~repro.exceptions.Cancelled` with the same clean-abort
+      guarantees as a budget exhaustion.  All of these are
+      :class:`~repro.exceptions.Interrupted` subtypes and compose with the
+      checkpoint contract below: the periodic snapshots a run took before
+      the interrupt stay valid, so a ``--resume`` completes it with a
+      result identical to an uninterrupted run.
     * ``check_connectivity`` — ``None`` (default) analyses the network's
       components only for algorithms that declare
       ``handles_disconnected = False``; ``True`` forces the analysis (its
@@ -84,6 +96,8 @@ class NetworkClusterer:
         self.budget = budget
         self.check_connectivity = check_connectivity
         self.checkpoint = checkpoint
+        #: optional repro.resilience.Deadline, active for the whole run
+        self.deadline = None
         self._resume_state = resume
         #: optional RepairReport (or summary dict) describing salvaged inputs
         self.repair_report = None
@@ -103,12 +117,13 @@ class NetworkClusterer:
         """
         start = time.perf_counter()
         try:
-            if self.budget is not None:
-                with self.budget.activate():
-                    result = self._run_traced()
-            else:
+            with ExitStack() as stack:
+                if self.budget is not None:
+                    stack.enter_context(self.budget.activate())
+                if self.deadline is not None:
+                    stack.enter_context(self.deadline.activate())
                 result = self._run_traced()
-        except BudgetExceededError as exc:
+        except Interrupted as exc:
             if exc.algorithm is None:
                 exc.algorithm = self.algorithm_name
             raise

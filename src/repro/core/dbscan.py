@@ -31,6 +31,7 @@ from repro.network.augmented import AugmentedView
 from repro.network.points import PointSet
 from repro.network.queries import range_query
 from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
+from repro.resilience.deadline import STATE as _RES, check as _res_check
 
 __all__ = ["NetworkDBSCAN"]
 
@@ -110,6 +111,8 @@ class NetworkDBSCAN(NetworkClusterer):
         }
         with _span("dbscan.scan"):
             for seed in self.points:
+                if _RES.engaged:
+                    _res_check("dbscan.seed", partial=assignment)
                 if assignment[seed.point_id] != _UNVISITED:
                     continue
                 neighborhood = range_query(aug, seed, self.eps)

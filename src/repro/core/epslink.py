@@ -36,6 +36,7 @@ from repro.core.result import ClusteringResult
 from repro.eval.metrics import NOISE
 from repro.exceptions import ParameterError
 from repro.faults.core import STATE as _FAULTS, fire as _fault
+from repro.resilience.deadline import STATE as _RES, check as _res_check
 from repro.network.augmented import AugmentedView, POINT, point_vertex
 from repro.network.points import PointSet
 from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
@@ -174,14 +175,17 @@ class EpsLink(NetworkClusterer):
         best[seed_vertex] = 0.0
         heap: list[tuple[float, tuple[int, int]]] = [(0.0, seed_vertex)]
         visited = 0
-        guard = _FAULTS.engaged
+        guard = _FAULTS.engaged or _RES.engaged
         budget = _FAULTS.budget if guard else None
         while heap:
             d, vertex = heapq.heappop(heap)
             if d > best.get(vertex, float("inf")):
                 continue  # stale entry superseded by a closer source
             if guard:
-                _fault("epslink.expand")
+                if _FAULTS.engaged:
+                    _fault("epslink.expand")
+                if _RES.engaged:
+                    _res_check("epslink.expand", partial=assignment)
                 if budget is not None:
                     budget.spend_expansions(1, partial=assignment)
             visited += 1
@@ -292,14 +296,17 @@ class EpsLinkEdgewise(EpsLink):
                 heapq.heappush(heap, (d, node))
 
         # Expansion (paper lines 12-37).
-        guard = _FAULTS.engaged
+        guard = _FAULTS.engaged or _RES.engaged
         budget = _FAULTS.budget if guard else None
         while heap:
             d, node = heapq.heappop(heap)
             if d > nn_dist.get(node, math.inf):
                 continue  # stale entry (paper line 14's freshness check)
             if guard:
-                _fault("epslink.expand")
+                if _FAULTS.engaged:
+                    _fault("epslink.expand")
+                if _RES.engaged:
+                    _res_check("epslink.expand", partial=assignment)
                 if budget is not None:
                     budget.spend_expansions(1, partial=assignment)
             for nbr, _ in network.neighbors(node):

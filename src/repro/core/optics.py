@@ -31,6 +31,7 @@ from repro.network.augmented import AugmentedView
 from repro.network.points import PointSet
 from repro.network.queries import range_query
 from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
+from repro.resilience.deadline import STATE as _RES, check as _res_check
 
 __all__ = ["NetworkOPTICS", "OPTICSResult", "OrderedPoint"]
 
@@ -218,6 +219,8 @@ class NetworkOPTICS(NetworkClusterer):
         heap: list[tuple[float, int]] = []
         self._update_seeds(neighbors, core, processed, reachability, heap)
         while heap:
+            if _RES.engaged:
+                _res_check("optics.order", partial=ordering)
             r, pid = heapq.heappop(heap)
             if pid in processed or r > reachability.get(pid, math.inf):
                 continue

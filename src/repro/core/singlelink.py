@@ -45,6 +45,7 @@ from repro.network.augmented import AugmentedView, node_vertex, point_vertex
 from repro.network.dijkstra import multi_source
 from repro.network.points import PointSet
 from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
+from repro.resilience.deadline import STATE as _RES, check as _res_check
 
 __all__ = ["SingleLink"]
 
@@ -274,6 +275,8 @@ class SingleLink(NetworkClusterer):
                 merges=merges,
             )
         for cursor in range(cursor, len(bridges)):
+            if _RES.engaged:
+                _res_check("singlelink.kruskal", partial=merges)
             weight, a, b = bridges[cursor]
             ra, rb = uf.find(a), uf.find(b)
             if ra != rb:

@@ -20,7 +20,12 @@ __all__ = [
     "InvalidPositionError",
     "UnreachableError",
     "ParameterError",
+    "Interrupted",
     "BudgetExceededError",
+    "DeadlineExceeded",
+    "Cancelled",
+    "Overloaded",
+    "CircuitOpenError",
     "StorageError",
     "PageError",
     "ChecksumError",
@@ -85,7 +90,35 @@ class ParameterError(ReproError, ValueError):
     """An algorithm parameter is invalid (e.g. k < 1, eps <= 0)."""
 
 
-class BudgetExceededError(ReproError):
+class Interrupted(ReproError):
+    """Base class for *clean typed interrupts* of a long-running computation.
+
+    An interrupt is not a failure: the run was stopped on purpose — by an
+    operation budget (:class:`BudgetExceededError`), a wall-clock deadline
+    (:class:`DeadlineExceeded`), or an external cancellation such as SIGTERM
+    (:class:`Cancelled`).  All three share one contract:
+
+    * no shared state is corrupted — the abort happens at a cooperative
+      checkpoint, between mutations;
+    * any periodic checkpoint snapshot taken so far remains valid, so the
+      run can be resumed with ``--resume`` to an identical result;
+    * the CLI maps every :class:`Interrupted` to exit code 3.
+
+    Attributes
+    ----------
+    partial:
+        Best-effort partial progress at interrupt time (e.g. the distances
+        settled by an interrupted Dijkstra); may be ``None``.
+    algorithm:
+        Set by :meth:`repro.core.NetworkClusterer.run` when the interrupt
+        surfaced through a clustering run.
+    """
+
+    partial: object | None = None
+    algorithm: str | None = None
+
+
+class BudgetExceededError(Interrupted):
     """An operation budget (:class:`repro.faults.OpBudget`) was exhausted.
 
     Raised by traversal and clustering code when a caller-imposed limit on
@@ -124,6 +157,104 @@ class BudgetExceededError(ReproError):
         self.spent = spent
         self.partial = partial
         self.algorithm: str | None = None
+
+
+class DeadlineExceeded(Interrupted):
+    """A wall-clock deadline (:class:`repro.resilience.Deadline`) expired.
+
+    Raised at a cooperative checkpoint inside a traversal or clustering
+    loop once the deadline's monotonic-clock budget is spent.
+
+    Attributes
+    ----------
+    site:
+        The cooperative checkpoint that observed the expiry (same naming
+        scheme as fault-injection sites, e.g. ``"dijkstra.settle"``).
+    timeout_s / elapsed_s:
+        The configured budget and the time actually consumed.
+    checks:
+        Number of cooperative checks the deadline performed before expiry —
+        a cheap progress measure that is deterministic across runs.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        timeout_s: float,
+        elapsed_s: float,
+        checks: int = 0,
+        partial: object | None = None,
+    ) -> None:
+        super().__init__(
+            f"deadline exceeded at {site}: {elapsed_s:.3f}s elapsed of "
+            f"{timeout_s:.3f}s budget ({checks} cooperative checks)"
+        )
+        self.site = site
+        self.timeout_s = timeout_s
+        self.elapsed_s = elapsed_s
+        self.checks = checks
+        self.partial = partial
+        self.algorithm: str | None = None
+
+
+class Cancelled(Interrupted):
+    """The run was cancelled externally (CancelToken, SIGTERM, shutdown).
+
+    Attributes
+    ----------
+    reason:
+        Why the token was cancelled (e.g. ``"SIGTERM"``, ``"shutdown"``).
+    site:
+        The cooperative checkpoint that observed the cancellation, or ``""``
+        when the cancellation was raised outside a traversal loop.
+    """
+
+    def __init__(
+        self,
+        reason: str = "cancelled",
+        site: str = "",
+        partial: object | None = None,
+    ) -> None:
+        where = f" at {site}" if site else ""
+        super().__init__(f"cancelled{where}: {reason}")
+        self.reason = reason
+        self.site = site
+        self.partial = partial
+        self.algorithm: str | None = None
+
+
+class Overloaded(ReproError):
+    """A request was shed because the service admission queue is full.
+
+    Load-shedding rejection from :class:`repro.serve.QueryService`: the
+    bounded queue already holds ``queue_depth`` requests, so admitting more
+    would only grow latency unboundedly.  The caller should back off and
+    retry; nothing was executed.
+    """
+
+    def __init__(self, queue_depth: int) -> None:
+        super().__init__(
+            f"service overloaded: admission queue full ({queue_depth} pending)"
+        )
+        self.queue_depth = queue_depth
+
+
+class CircuitOpenError(ReproError):
+    """A call was rejected because a circuit breaker is open.
+
+    The protected dependency (e.g. the pager read path) failed persistently,
+    so the breaker fails fast instead of retrying every call.  Carries how
+    long until the breaker will allow a probe again.
+    """
+
+    def __init__(self, name: str, site: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit breaker {name!r} is open at {site}: "
+            f"failing fast (probe allowed in {max(retry_after_s, 0.0):.3f}s)"
+        )
+        self.name = name
+        self.site = site
+        self.retry_after_s = retry_after_s
 
 
 class StorageError(ReproError):

@@ -24,7 +24,12 @@ Design constraints, mirroring :mod:`repro.obs`:
 Sites call two primitives:
 
 * :func:`fire` — raise the configured fault (``InjectedIOError`` for kind
-  ``"error"``, :class:`CrashPoint` for ``"crash"``) when a rule triggers.
+  ``"error"``, :class:`CrashPoint` for ``"crash"``) when a rule triggers,
+  or stall for ``delay_s`` seconds (kind ``"delay"``) and carry on — the
+  lever that lets chaos tests exercise deadlines and breaker timeouts.
+  Delays sleep through ``STATE.sleep``, which tests point at a
+  :class:`~repro.resilience.VirtualClock` so injected latency costs no
+  wall-clock time.
 * :func:`tear` — for write sites only: return the number of bytes of a
   payload to persist before "crashing" (kind ``"torn"``), or ``None``.
 
@@ -43,6 +48,7 @@ from __future__ import annotations
 import fnmatch
 import os
 import random
+import time
 from collections.abc import Iterator
 from contextlib import contextmanager
 
@@ -119,8 +125,9 @@ class FaultRule:
         (``"pager.*"`` matches every pager site).
     kind:
         ``"error"`` (raise :class:`InjectedIOError`), ``"crash"`` (raise
-        :class:`CrashPoint`), or ``"torn"`` (write sites persist a partial
-        payload, then crash).
+        :class:`CrashPoint`), ``"torn"`` (write sites persist a partial
+        payload, then crash), or ``"delay"`` (stall ``delay_s`` seconds via
+        the plan's sleep function, then continue normally).
     after:
         Trigger on the N-th matching hit (1-based) counted from rule
         installation.  Mutually exclusive with ``probability``.
@@ -136,12 +143,14 @@ class FaultRule:
         For ``"error"`` rules: mark the injected :class:`InjectedIOError`
         as transient (retryable by :mod:`repro.recovery.retry`).  Default
         ``False`` preserves the original always-surfaces semantics.
+    delay_s:
+        For ``"delay"`` rules: seconds of latency to inject per firing.
     """
 
     __slots__ = ("site", "kind", "after", "probability", "times", "tear_fraction",
-                 "transient", "hits", "fired")
+                 "transient", "delay_s", "hits", "fired")
 
-    KINDS = ("error", "crash", "torn")
+    KINDS = ("error", "crash", "torn", "delay")
 
     def __init__(
         self,
@@ -152,6 +161,7 @@ class FaultRule:
         times: int | None = 1,
         tear_fraction: float = 0.5,
         transient: bool = False,
+        delay_s: float = 0.0,
     ) -> None:
         if kind not in self.KINDS:
             raise ValueError(f"kind must be one of {self.KINDS}, got {kind!r}")
@@ -165,6 +175,10 @@ class FaultRule:
             raise ValueError(f"tear_fraction must be in [0, 1), got {tear_fraction!r}")
         if transient and kind != "error":
             raise ValueError("transient only applies to kind='error' rules")
+        if kind == "delay" and delay_s <= 0:
+            raise ValueError(f"delay rules need delay_s > 0, got {delay_s!r}")
+        if kind != "delay" and delay_s:
+            raise ValueError("delay_s only applies to kind='delay' rules")
         self.site = site
         self.kind = kind
         self.after = after
@@ -172,6 +186,7 @@ class FaultRule:
         self.times = times
         self.tear_fraction = float(tear_fraction)
         self.transient = bool(transient)
+        self.delay_s = float(delay_s)
         self.hits = 0  # matching hits seen by this rule
         self.fired = 0  # times this rule actually injected
 
@@ -208,7 +223,8 @@ class FaultState:
     pays one attribute lookup in the common (disarmed, unbudgeted) case.
     """
 
-    __slots__ = ("enabled", "rules", "rng", "seed", "site_hits", "budget", "engaged")
+    __slots__ = ("enabled", "rules", "rng", "seed", "site_hits", "budget",
+                 "engaged", "sleep")
 
     def __init__(self) -> None:
         self.enabled = False
@@ -220,6 +236,9 @@ class FaultState:
         #: the active OpBudget, set by :meth:`repro.faults.OpBudget.activate`
         self.budget = None
         self.engaged = False
+        #: how ``"delay"`` rules sleep; tests install a virtual clock's
+        #: ``sleep`` so injected latency is deterministic and instant
+        self.sleep = time.sleep
 
     def refresh(self) -> None:
         self.enabled = bool(self.rules)
@@ -253,11 +272,12 @@ def inject(
     times: int | None = 1,
     tear_fraction: float = 0.5,
     transient: bool = False,
+    delay_s: float = 0.0,
 ) -> FaultRule:
     """Build and :func:`install` a single rule; returns it for inspection."""
     rule = FaultRule(site, kind, after=after, probability=probability,
                      times=times, tear_fraction=tear_fraction,
-                     transient=transient)
+                     transient=transient, delay_s=delay_s)
     install(rule)
     return rule
 
@@ -270,7 +290,11 @@ def clear() -> None:
 
 
 @contextmanager
-def plan(*rules: FaultRule, seed: int | None = None) -> Iterator[FaultState]:
+def plan(
+    *rules: FaultRule,
+    seed: int | None = None,
+    sleep=None,
+) -> Iterator[FaultState]:
     """Scoped fault plan: install ``rules``, yield, then restore.
 
     Nesting is supported; the previous rule list and RNG are restored on
@@ -279,11 +303,16 @@ def plan(*rules: FaultRule, seed: int | None = None) -> Iterator[FaultState]:
     plan have their mutable hit/fire counters reset on entry, so one
     :class:`FaultRule` object can be reused across sweep iterations
     without a stale ``fired`` count silently disarming it.
+
+    ``sleep`` overrides how ``"delay"`` rules stall for the plan's scope
+    (pass a :class:`~repro.resilience.VirtualClock`'s ``sleep`` for
+    instant, deterministic latency).
     """
     saved_rules = list(STATE.rules)
     saved_rng = STATE.rng
     saved_seed = STATE.seed
     saved_hits = dict(STATE.site_hits)
+    saved_sleep = STATE.sleep
     if seed is not None:
         reseed(seed)
     else:
@@ -292,6 +321,8 @@ def plan(*rules: FaultRule, seed: int | None = None) -> Iterator[FaultState]:
         rule.reset()
     STATE.rules = list(rules)
     STATE.site_hits = {}
+    if sleep is not None:
+        STATE.sleep = sleep
     STATE.refresh()
     try:
         yield STATE
@@ -300,6 +331,7 @@ def plan(*rules: FaultRule, seed: int | None = None) -> Iterator[FaultState]:
         STATE.rng = saved_rng
         STATE.seed = saved_seed
         STATE.site_hits = saved_hits
+        STATE.sleep = saved_sleep
         STATE.refresh()
 
 
@@ -313,10 +345,13 @@ def _record_injection(site: str, rule: FaultRule) -> None:
 
 
 def fire(site: str) -> None:
-    """Account a hit of ``site``; raise if an error/crash rule triggers.
+    """Account a hit of ``site``; raise or stall if a rule triggers.
 
-    Torn rules are ignored here (they only make sense where a payload is
-    being persisted; see :func:`tear`).
+    Error/crash rules raise; delay rules sleep ``delay_s`` seconds via
+    ``STATE.sleep`` and fall through to the remaining rules, so a plan can
+    combine latency with errors at one site.  Torn rules are ignored here
+    (they only make sense where a payload is being persisted; see
+    :func:`tear`).
     """
     st = STATE
     if not st.enabled:
@@ -327,6 +362,9 @@ def fire(site: str) -> None:
             continue
         if rule.should_fire(st.rng):
             _record_injection(site, rule)
+            if rule.kind == "delay":
+                st.sleep(rule.delay_s)
+                continue
             if rule.kind == "error":
                 raise InjectedIOError(site, transient=rule.transient)
             raise CrashPoint(site)

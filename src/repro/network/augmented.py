@@ -22,6 +22,7 @@ from collections.abc import Iterator
 
 from repro.network.points import NetworkPoint, PointSet
 from repro.obs.core import STATE as _OBS
+from repro.resilience.deadline import STATE as _RES, check as _res_check
 
 __all__ = ["AugmentedView", "NODE", "POINT", "node_vertex", "point_vertex"]
 
@@ -92,6 +93,11 @@ class AugmentedView:
     def neighbors(self, vertex: Vertex) -> Iterator[tuple[Vertex, float]]:
         """Iterate ``(neighbor_vertex, segment_length)`` pairs of ``vertex``."""
         kind, ident = vertex
+        if _RES.engaged:
+            # Cooperative deadline/cancel checkpoint: every traversal over
+            # this view funnels through here, so even loops without their
+            # own per-settle guard stay responsive.
+            _res_check("augmented.neighbors")
         if _OBS.enabled:
             c = _OBS.counters
             key = (

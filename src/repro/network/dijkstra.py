@@ -33,13 +33,17 @@ that measures them.
 Robustness
 ----------
 When :mod:`repro.faults` is engaged (fault rules installed or an
-:class:`~repro.faults.OpBudget` active), a third *guarded* twin runs
-instead: it hits the ``dijkstra.settle`` injection site on every settle and
-charges the active budget (expansions per settle, distance computations per
-edge relaxation), raising :class:`~repro.exceptions.BudgetExceededError`
-with the partially computed distance map.  Dispatch order is guarded >
-counted > plain, so fault/budget semantics hold whether or not
-observability is on.
+:class:`~repro.faults.OpBudget` active) or a :mod:`repro.resilience`
+deadline is active, a third *guarded* twin runs instead: it hits the
+``dijkstra.settle`` injection site on every settle, charges the active
+budget (expansions per settle, distance computations per edge relaxation),
+and runs the cooperative deadline/cancellation checkpoint — raising the
+typed :class:`~repro.exceptions.Interrupted` subclasses
+(:class:`~repro.exceptions.BudgetExceededError`,
+:class:`~repro.exceptions.DeadlineExceeded`,
+:class:`~repro.exceptions.Cancelled`) with the partially computed distance
+map.  Dispatch order is guarded > counted > plain, so fault/budget/deadline
+semantics hold whether or not observability is on.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ from collections.abc import Iterable, Mapping
 from repro.exceptions import UnreachableError
 from repro.faults.core import STATE as _FAULTS, fire as _fault
 from repro.obs.core import STATE as _OBS, add as _obs_add
+from repro.resilience.deadline import STATE as _RES, check as _res_check
 
 __all__ = [
     "single_source",
@@ -85,7 +90,7 @@ def single_source(
     -------
     dict mapping node -> distance, containing every settled node.
     """
-    if _FAULTS.engaged:
+    if _FAULTS.engaged or _RES.engaged:
         return _single_source_guarded(network, source, targets, cutoff)
     if _OBS.enabled:
         return _single_source_counted(network, source, targets, cutoff)
@@ -155,7 +160,7 @@ def _single_source_guarded(
     targets: Iterable[int] | None,
     cutoff: float,
 ) -> dict[int, float]:
-    """Fault/budget twin of :func:`single_source` (faults engaged).
+    """Fault/budget/deadline twin of :func:`single_source`.
 
     Also counts for obs when it is enabled, so engaging faults never
     silences the cost counters.
@@ -173,6 +178,8 @@ def _single_source_guarded(
         if node in dist:
             continue
         _fault("dijkstra.settle")
+        if _RES.engaged:
+            _res_check("dijkstra.settle", partial=dist)
         if budget is not None:
             budget.spend_expansions(1, partial=dist)
         dist[node] = d
@@ -209,7 +216,7 @@ def single_source_with_paths(
     The predecessor map sends each settled node (except the source) to the
     previous node on one shortest path from the source.
     """
-    guard = _FAULTS.engaged
+    guard = _FAULTS.engaged or _RES.engaged
     budget = _FAULTS.budget if guard else None
     dist: dict[int, float] = {}
     pred: dict[int, int] = {}
@@ -219,7 +226,10 @@ def single_source_with_paths(
         if node in dist:
             continue
         if guard:
-            _fault("dijkstra.settle")
+            if _FAULTS.engaged:
+                _fault("dijkstra.settle")
+            if _RES.engaged:
+                _res_check("dijkstra.settle", partial=dist)
             if budget is not None:
                 budget.spend_expansions(1, partial=dist)
         dist[node] = d
@@ -279,7 +289,7 @@ def multi_source(
     else:
         entries = list(seeds)
 
-    if _FAULTS.engaged:
+    if _FAULTS.engaged or _RES.engaged:
         return _multi_source_guarded(network, entries, cutoff)
     if _OBS.enabled:
         return _multi_source_counted(network, entries, cutoff)
@@ -358,7 +368,7 @@ def _multi_source_guarded(
     entries: list[tuple[float, int, object]],
     cutoff: float,
 ) -> tuple[dict[int, float], dict[int, object]]:
-    """Fault/budget twin of :func:`multi_source` (faults engaged)."""
+    """Fault/budget/deadline twin of :func:`multi_source`."""
     budget = _FAULTS.budget
     dist: dict[int, float] = {}
     label: dict[int, object] = {}
@@ -379,6 +389,8 @@ def _multi_source_guarded(
         if node in dist:
             continue
         _fault("dijkstra.settle")
+        if _RES.engaged:
+            _res_check("dijkstra.settle", partial=(dist, label))
         if budget is not None:
             budget.spend_expansions(1, partial=(dist, label))
         dist[node] = d

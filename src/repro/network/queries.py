@@ -17,6 +17,7 @@ from repro.faults.core import STATE as _FAULTS, fire as _fault
 from repro.network.augmented import AugmentedView, POINT, point_vertex
 from repro.network.points import NetworkPoint
 from repro.obs.core import STATE as _OBS, add as _obs_add
+from repro.resilience.deadline import STATE as _RES, check as _res_check
 
 __all__ = ["range_query", "knn_query", "nearest_point"]
 
@@ -35,7 +36,7 @@ def range_query(
     """
     if eps < 0:
         return []
-    guard = _FAULTS.engaged
+    guard = _FAULTS.engaged or _RES.engaged
     budget = _FAULTS.budget if guard else None
     results: list[tuple[NetworkPoint, float]] = []
     dist: dict = {}
@@ -45,7 +46,10 @@ def range_query(
         if vertex in dist or d > eps:
             continue
         if guard:
-            _fault("queries.settle")
+            if _FAULTS.engaged:
+                _fault("queries.settle")
+            if _RES.engaged:
+                _res_check("queries.settle", partial=results)
             if budget is not None:
                 budget.spend_expansions(1, partial=results)
         dist[vertex] = d
@@ -79,7 +83,7 @@ def knn_query(
     """
     if k <= 0:
         return []
-    guard = _FAULTS.engaged
+    guard = _FAULTS.engaged or _RES.engaged
     budget = _FAULTS.budget if guard else None
     results: list[tuple[NetworkPoint, float]] = []
     dist: dict = {}
@@ -89,7 +93,10 @@ def knn_query(
         if vertex in dist:
             continue
         if guard:
-            _fault("queries.settle")
+            if _FAULTS.engaged:
+                _fault("queries.settle")
+            if _RES.engaged:
+                _res_check("queries.settle", partial=results)
             if budget is not None:
                 budget.spend_expansions(1, partial=results)
         dist[vertex] = d

@@ -1,0 +1,51 @@
+"""Runtime resilience: deadlines, cancellation, and circuit breaking.
+
+This package hardens the *runtime* the way :mod:`repro.recovery` hardened
+the *storage* layer.  Three primitives:
+
+* :class:`Deadline` / :class:`CancelToken` — wall-clock budgets and
+  external cancellation, propagated by contextvar and observed at cheap
+  cooperative checkpoints inside every traversal and clustering hot loop.
+  Expiry raises the typed interrupts
+  :class:`~repro.exceptions.DeadlineExceeded` /
+  :class:`~repro.exceptions.Cancelled`, which compose with
+  checkpoint/resume (a timed-out run resumes like a crashed one).
+* :class:`CircuitBreaker` — closed/open/half-open protection for the pager
+  read path, failing persistently-broken stores fast with
+  :class:`~repro.exceptions.CircuitOpenError` instead of grinding through
+  the retry schedule on every page.  Installed with :func:`breaking`.
+* Deterministic clocks (:class:`VirtualClock`, :class:`TickingClock`) so
+  every time-dependent behaviour above is testable without sleeping.
+
+See ``docs/resilience.md`` for the full model, and :mod:`repro.serve` for
+the admission-controlled query service built on these pieces.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    breaking,
+)
+from repro.resilience.clock import TickingClock, VirtualClock
+from repro.resilience.deadline import (
+    CancelToken,
+    Deadline,
+    check,
+    current,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CancelToken",
+    "CircuitBreaker",
+    "Deadline",
+    "TickingClock",
+    "VirtualClock",
+    "breaking",
+    "check",
+    "current",
+]

@@ -1,0 +1,236 @@
+"""Circuit breaker for the storage read path.
+
+:class:`repro.recovery.RetryPolicy` absorbs *transient* I/O blips, but when
+a store fails *persistently* (dying disk, truncated file, flapping mount)
+retrying every page read multiplies latency: each of thousands of
+``read_page`` calls grinds through its full backoff schedule before
+surfacing the same error.  A :class:`CircuitBreaker` bounds that: after
+``failure_threshold`` consecutive failures it *opens* and fails every call
+fast with a typed :class:`~repro.exceptions.CircuitOpenError` until a
+``reset_timeout_s`` cool-down has passed, then *half-opens* to let a
+bounded number of probes test whether the dependency recovered.
+
+Placement: the breaker guards each *attempt* inside the retry loop (see
+``PagedFile._read_page_attempt``), so a persistent fault trips the breaker
+mid-retry and the remaining backoff attempts are skipped — the very call
+that trips the circuit already fails fast, as does every page read after
+it.  :class:`~repro.exceptions.CircuitOpenError` is not retryable, so the
+retry layer surfaces it immediately.
+
+Classification: only dependency failures count — ``OSError`` (including
+injected transient errors) and :class:`~repro.exceptions.StorageError`
+(CRC mismatches, corrupt records).  Everything else — crash-injection
+:class:`~repro.faults.CrashPoint`, typed interrupts, programming errors —
+passes through uncounted.
+
+Determinism: the clock is injectable, so tests age the breaker with a
+:class:`~repro.resilience.clock.VirtualClock` instead of sleeping.  All
+transitions bump ``breaker.*`` obs counters and emit a zero-duration
+``breaker.transition`` trace event when tracing is on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Callable, TypeVar
+
+from repro.exceptions import CircuitOpenError, ParameterError, StorageError
+from repro.obs.core import add as _obs_add
+from repro.obs.core import span as _obs_span
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerInstall",
+    "CircuitBreaker",
+    "STATE",
+    "breaking",
+]
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker with an injectable clock.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive counted failures that trip the breaker open.
+    reset_timeout_s:
+        Cool-down after opening before probes are allowed.
+    half_open_probes:
+        Concurrent probe calls admitted while half-open; the first probe
+        success closes the breaker, any probe failure re-opens it.
+    clock:
+        Monotonic clock in seconds; tests inject a deterministic one.
+    name:
+        Identifies the breaker in errors, counters, and trace events.
+    failure_types:
+        Exception types counted as dependency failures.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 1.0,
+        *,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "pager",
+        failure_types: tuple[type[BaseException], ...] = (OSError, StorageError),
+    ) -> None:
+        if failure_threshold < 1:
+            raise ParameterError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ParameterError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
+            )
+        if half_open_probes < 1:
+            raise ParameterError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self.name = name
+        self.failure_types = failure_types
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        # Lifetime tallies, kept even when obs is disabled (cheap ints).
+        self.trips = 0
+        self.rejections = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open if the cool-down passed."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    # -- state machine (all under self._lock) ----------------------------
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        _obs_add(f"breaker.transitions.{new_state}")
+        with _obs_span(
+            "breaker.transition",
+            **{"breaker": self.name, "from": old_state, "to": new_state},
+        ):
+            pass  # zero-duration event: the transition is instantaneous
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._probes_in_flight = 0
+            _obs_add("breaker.half_opens")
+            self._transition(HALF_OPEN)
+
+    def _trip(self) -> None:
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self.trips += 1
+        _obs_add("breaker.trips")
+        self._transition(OPEN)
+
+    # -- protocol --------------------------------------------------------
+
+    def allow(self, site: str) -> None:
+        """Admit one call, or raise :class:`CircuitOpenError` immediately."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == OPEN:
+                self.rejections += 1
+                _obs_add("breaker.rejections")
+                retry_after = (
+                    self._opened_at + self.reset_timeout_s - self._clock()
+                )
+                raise CircuitOpenError(self.name, site, retry_after)
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight >= self.half_open_probes:
+                    self.rejections += 1
+                    _obs_add("breaker.rejections")
+                    raise CircuitOpenError(self.name, site, 0.0)
+                self._probes_in_flight += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = 0
+                _obs_add("breaker.closes")
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            _obs_add("breaker.failures")
+            if self._state == HALF_OPEN:
+                self._trip()  # the probe failed: straight back to open
+                return
+            if self._state == CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._trip()
+
+    def call(self, site: str, fn: Callable[[], T]) -> T:
+        """Run ``fn`` under the breaker, counting dependency failures."""
+        self.allow(site)
+        try:
+            result = fn()
+        except self.failure_types:
+            self.record_failure()
+            raise
+        except BaseException:
+            # Not a dependency failure (crash injection, interrupts, bugs):
+            # neither counted nor allowed to wedge a half-open probe slot.
+            with self._lock:
+                if self._state == HALF_OPEN and self._probes_in_flight > 0:
+                    self._probes_in_flight -= 1
+            raise
+        self.record_success()
+        return result
+
+
+class BreakerInstall:
+    """Process-global breaker installation point (mirrors ``retry.STATE``).
+
+    ``breaker`` is ``None`` when disarmed; the pager read path checks that
+    single attribute and runs its pre-breaker bytecode unchanged.
+    """
+
+    __slots__ = ("breaker",)
+
+    def __init__(self) -> None:
+        self.breaker: CircuitBreaker | None = None
+
+
+STATE = BreakerInstall()
+
+
+@contextmanager
+def breaking(breaker: CircuitBreaker | None) -> Iterator[CircuitBreaker | None]:
+    """Install ``breaker`` on the storage read path for the ``with`` body."""
+    saved = STATE.breaker
+    STATE.breaker = breaker
+    try:
+        yield breaker
+    finally:
+        STATE.breaker = saved

@@ -1,0 +1,75 @@
+"""Deterministic clocks for testing time-dependent resilience machinery.
+
+Every component in :mod:`repro.resilience` (deadlines, circuit breakers)
+and the ``delay`` fault kind takes an injectable clock so tests can drive
+time deterministically instead of sleeping.  Two fakes cover the needs:
+
+* :class:`VirtualClock` — a monotonic clock whose ``sleep`` advances time
+  instantly.  Install its ``monotonic`` as a deadline/breaker clock and its
+  ``sleep`` as the fault-injection sleep, and injected delays expire
+  deadlines and age breakers with zero wall-clock cost, fully
+  deterministically.
+* :class:`TickingClock` — advances by a fixed step on *every read*.  A
+  :class:`~repro.resilience.Deadline` built on it expires at exactly the
+  N-th cooperative check, which is how the cancel-anywhere property tests
+  pick an arbitrary checkpoint deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["TickingClock", "VirtualClock"]
+
+
+class VirtualClock:
+    """A thread-safe monotonic clock where ``sleep`` advances virtual time.
+
+    >>> vc = VirtualClock()
+    >>> vc.monotonic()
+    0.0
+    >>> vc.sleep(2.5)
+    >>> vc.monotonic()
+    2.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot move a monotonic clock backwards")
+        with self._lock:
+            self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+
+class TickingClock:
+    """A clock that advances ``step`` seconds every time it is read.
+
+    Reads are counted, so ``Deadline(timeout_s=N, clock=TickingClock())``
+    expires on its N-th cooperative check — the deterministic lever used by
+    the cancel-at-arbitrary-checkpoint property tests.
+    """
+
+    def __init__(self, step: float = 1.0, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._step = float(step)
+        self._lock = threading.Lock()
+        self.reads = 0
+
+    def monotonic(self) -> float:
+        with self._lock:
+            self.reads += 1
+            self._now += self._step
+            return self._now
+
+    def __call__(self) -> float:
+        return self.monotonic()

@@ -1,0 +1,31 @@
+"""Admission-controlled concurrent query service (``repro serve``).
+
+The production shape of the ROADMAP's north star: a threaded
+:class:`QueryService` answering network ε-range / kNN / clustering
+requests over one workload, with a bounded admission queue (typed
+:class:`~repro.exceptions.Overloaded` load-shedding), per-request
+deadlines observed by the cooperative checkpoints of
+:mod:`repro.resilience`, per-request failure isolation, and graceful
+drain.  The line-delimited JSON wire format and the exception → error-name
+taxonomy live in :mod:`repro.serve.protocol`; the ``repro serve``
+subcommand (see ``docs/resilience.md``) wraps it all for the shell.
+"""
+
+from repro.serve.protocol import (
+    OPS,
+    error_name,
+    error_response,
+    parse_request,
+    result_response,
+)
+from repro.serve.service import QueryService, build_algorithm
+
+__all__ = [
+    "OPS",
+    "QueryService",
+    "build_algorithm",
+    "error_name",
+    "error_response",
+    "parse_request",
+    "result_response",
+]

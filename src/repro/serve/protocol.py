@@ -1,0 +1,104 @@
+"""Line-delimited JSON request/response protocol for the query service.
+
+One request per line, one response per line, matched by the caller-chosen
+``id``.  Requests are plain JSON objects::
+
+    {"id": "r1", "op": "range", "point_id": 3, "eps": 2.0, "timeout_ms": 50}
+    {"id": "r2", "op": "knn", "point_id": 3, "k": 5}
+    {"id": "r3", "op": "cluster", "algorithm": "eps-link", "eps": 1.0}
+
+``op`` selects the work: ``range`` / ``knn`` anchor at an existing object
+(``point_id``) of the served workload; ``cluster`` runs one of the paper's
+algorithms over the whole workload (same parameter names as the CLI:
+``eps``, ``k``, ``min_pts``, ``delta``, ``seed``, ``restarts``).
+``timeout_ms`` overrides the service's default per-request deadline
+(measured from *admission*, so queue wait counts against it).
+
+Responses carry either a result or a typed error from the taxonomy in
+``docs/resilience.md``::
+
+    {"id": "r1", "ok": true, "result": [[7, 0.4], [2, 1.1]]}
+    {"id": "r3", "ok": false, "error": "DeadlineExceeded", "message": "..."}
+
+:func:`error_name` is the single mapping from Python exceptions to wire
+error names, so the chaos tests and the CLI agree on the taxonomy.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.exceptions import (
+    BudgetExceededError,
+    Cancelled,
+    CircuitOpenError,
+    DeadlineExceeded,
+    Overloaded,
+    ParameterError,
+    ReproError,
+    StorageError,
+)
+
+__all__ = [
+    "OPS",
+    "error_name",
+    "error_response",
+    "parse_request",
+    "result_response",
+]
+
+OPS = ("range", "knn", "cluster")
+
+
+def parse_request(line: str, lineno: int = 0) -> dict:
+    """Decode one request line, raising :class:`ParameterError` on garbage."""
+    where = f"request line {lineno}" if lineno else "request"
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(f"{where}: invalid JSON ({exc})") from None
+    if not isinstance(doc, dict):
+        raise ParameterError(f"{where}: expected a JSON object")
+    op = doc.get("op")
+    if op not in OPS:
+        raise ParameterError(
+            f"{where}: op must be one of {list(OPS)}, got {op!r}"
+        )
+    return doc
+
+
+def error_name(exc: BaseException) -> str:
+    """Wire name of an exception: the service's error taxonomy."""
+    if isinstance(exc, DeadlineExceeded):
+        return "DeadlineExceeded"
+    if isinstance(exc, Cancelled):
+        return "Cancelled"
+    if isinstance(exc, Overloaded):
+        return "Overloaded"
+    if isinstance(exc, CircuitOpenError):
+        return "CircuitOpen"
+    if isinstance(exc, BudgetExceededError):
+        return "BudgetExceeded"
+    if isinstance(exc, (ParameterError, KeyError, TypeError, ValueError)):
+        return "BadRequest"
+    if isinstance(exc, StorageError):
+        return "StorageError"
+    if isinstance(exc, OSError):
+        return "IOError"
+    if isinstance(exc, ReproError):
+        return type(exc).__name__
+    return "InternalError"
+
+
+def result_response(request: dict, result: object) -> dict:
+    out = {"ok": True, "result": result}
+    if "id" in request:
+        out["id"] = request["id"]
+    return out
+
+
+def error_response(request: dict, exc: BaseException) -> dict:
+    out = {"ok": False, "error": error_name(exc), "message": str(exc)}
+    if isinstance(request, dict) and "id" in request:
+        out["id"] = request["id"]
+    return out

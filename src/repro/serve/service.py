@@ -1,0 +1,268 @@
+"""Threaded query executor with admission control and per-request deadlines.
+
+:class:`QueryService` is the runtime the resilience layer exists for: a
+worker pool answering ε-range / kNN / clustering requests over one served
+workload, engineered so that load and failure stay bounded:
+
+* **Bounded admission.**  Requests wait in a ``queue.Queue(queue_depth)``;
+  when it is full, :meth:`submit` *sheds* the request with a typed
+  :class:`~repro.exceptions.Overloaded` instead of queueing unboundedly —
+  the caller learns immediately and can back off.
+* **Per-request deadlines.**  Every request gets a
+  :class:`~repro.resilience.Deadline` stamped at *admission*, so time spent
+  queued counts against it; a worker activates it for the request's scope
+  and the cooperative checkpoints inside the traversals enforce it.
+  Requests whose deadline expired while queued are dropped at dequeue
+  without doing any work.
+* **Per-request isolation.**  Workers catch every ``Exception`` a request
+  raises and deliver it through the request's future; a poisoned request
+  (corrupt store page, injected crash, bad parameters) fails alone and the
+  worker lives on.
+* **Graceful drain.**  :meth:`close` stops admissions, lets queued work
+  finish (or cancels it with ``drain=False``), and joins the workers.
+
+The service composes with the rest of the robustness stack without special
+cases: an installed :class:`~repro.recovery.RetryPolicy` absorbs transient
+I/O blips inside requests, an installed
+:class:`~repro.resilience.CircuitBreaker` converts persistent store
+failures into fast :class:`~repro.exceptions.CircuitOpenError` rejections,
+and ``serve.*`` obs counters expose the flow.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable
+
+from repro.exceptions import Cancelled, Overloaded, ParameterError
+from repro.network.augmented import AugmentedView
+from repro.network.queries import knn_query, range_query
+from repro.obs.core import add as _obs_add
+from repro.resilience.deadline import Deadline
+from repro.serve.protocol import OPS
+
+__all__ = ["QueryService", "build_algorithm"]
+
+_STOP = object()
+_UNSET = object()
+
+
+def build_algorithm(spec: dict, network, points):
+    """A clustering algorithm from a ``cluster`` request's parameters.
+
+    Mirrors the CLI's ``--algorithm`` flags with the same defaults; raises
+    :class:`ParameterError` (wire name ``BadRequest``) on unknown names or
+    missing required parameters.
+    """
+    from repro.core import (
+        EpsLink,
+        NetworkDBSCAN,
+        NetworkKMedoids,
+        NetworkOPTICS,
+        SingleLink,
+    )
+
+    name = spec.get("algorithm")
+    if name in ("eps-link", "dbscan", "optics") and spec.get("eps") is None:
+        raise ParameterError(f"algorithm {name!r} requires eps")
+    if name == "k-medoids":
+        return NetworkKMedoids(
+            network, points, k=int(spec.get("k", 10)),
+            seed=int(spec.get("seed", 0)),
+            n_restarts=int(spec.get("restarts", 1)),
+        )
+    if name == "eps-link":
+        return EpsLink(network, points, eps=float(spec["eps"]),
+                       min_sup=int(spec.get("min_pts", 2)))
+    if name == "dbscan":
+        return NetworkDBSCAN(network, points, eps=float(spec["eps"]),
+                             min_pts=int(spec.get("min_pts", 2)))
+    if name == "optics":
+        return NetworkOPTICS(network, points, max_eps=float(spec["eps"]),
+                             min_pts=int(spec.get("min_pts", 2)))
+    if name == "single-link":
+        stop_k = spec.get("k")
+        return SingleLink(network, points,
+                          delta=float(spec.get("delta", 0.0)),
+                          stop_k=int(stop_k) if stop_k is not None else None,
+                          stop_distance=spec.get("stop_distance"))
+    raise ParameterError(f"unknown algorithm {name!r}")
+
+
+class QueryService:
+    """A bounded worker pool answering queries over one workload.
+
+    Parameters
+    ----------
+    network / points:
+        The served workload; any traversal-protocol backend works, so a
+        disk-backed :class:`~repro.storage.NetworkStore` with its
+        :class:`~repro.storage.StoredPointSet` serves as well as the
+        in-memory pair.
+    workers:
+        Worker threads; each holds its own :class:`AugmentedView` so the
+        lazily built edge indexes are never shared hot.
+    queue_depth:
+        Admission-queue bound; a full queue sheds with
+        :class:`~repro.exceptions.Overloaded`.
+    default_timeout_s:
+        Per-request deadline applied when a request does not carry its own
+        (``None`` disables).
+    clock:
+        Monotonic clock used for every request deadline; tests inject a
+        :class:`~repro.resilience.VirtualClock` for determinism.
+    """
+
+    def __init__(
+        self,
+        network,
+        points,
+        *,
+        workers: int = 2,
+        queue_depth: int = 8,
+        default_timeout_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ParameterError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.network = network
+        self.points = points
+        self.default_timeout_s = default_timeout_s
+        self._clock = clock
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- client side -----------------------------------------------------
+
+    def submit(self, request: dict, timeout_s: object = _UNSET) -> Future:
+        """Admit a request; returns its future or raises ``Overloaded``.
+
+        The request's deadline starts *now*: queue wait is part of the
+        budget the caller granted.
+        """
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        if timeout_s is _UNSET:
+            timeout_s = request.get("timeout_ms")
+            timeout_s = (
+                self.default_timeout_s if timeout_s is None
+                else float(timeout_s) / 1000.0
+            )
+        deadline = Deadline(timeout_s, clock=self._clock)
+        future: Future = Future()
+        try:
+            self._queue.put_nowait((request, deadline, future))
+        except queue.Full:
+            _obs_add("serve.shed")
+            raise Overloaded(self._queue.maxsize) from None
+        _obs_add("serve.submitted")
+        return future
+
+    def call(self, request: dict, timeout_s: object = _UNSET) -> object:
+        """Blocking convenience wrapper: submit and wait for the result."""
+        return self.submit(request, timeout_s).result()
+
+    # -- worker side -----------------------------------------------------
+
+    def _worker(self) -> None:
+        aug = AugmentedView(self.network, self.points)
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            request, deadline, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                with deadline.activate():
+                    # Sheds requests that aged out while queued before any
+                    # work happens on their behalf.
+                    deadline.check("serve.dequeue")
+                    result = self._execute(request, aug)
+            except Exception as exc:
+                # Per-request isolation: whatever a request raises —
+                # injected crash, corrupt page, bad parameters — is its
+                # own failure; the worker and its siblings live on.
+                _obs_add("serve.errors")
+                future.set_exception(exc)
+            else:
+                _obs_add("serve.completed")
+                future.set_result(result)
+
+    def _execute(self, request: dict, aug: AugmentedView) -> object:
+        op = request.get("op")
+        if op == "range":
+            hits = range_query(
+                aug, self._query_point(request), float(request["eps"])
+            )
+            return [[p.point_id, d] for p, d in hits]
+        if op == "knn":
+            hits = knn_query(aug, self._query_point(request), int(request["k"]))
+            return [[p.point_id, d] for p, d in hits]
+        if op == "cluster":
+            result = build_algorithm(request, self.network, self.points).run()
+            return {
+                "algorithm": result.algorithm,
+                "num_clusters": result.num_clusters,
+                "outliers": len(result.outliers()),
+                "assignment": {str(k): v for k, v in result.assignment.items()},
+            }
+        raise ParameterError(f"op must be one of {list(OPS)}, got {op!r}")
+
+    def _query_point(self, request: dict):
+        return self.points.get(int(request["point_id"]))
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
+        """Stop admissions and shut the pool down.
+
+        ``drain=True`` (graceful) lets already-admitted requests run to
+        completion; ``drain=False`` fails queued requests with
+        :class:`~repro.exceptions.Cancelled` (in-flight requests still
+        finish — preemption happens only at their own cooperative
+        checkpoints).  Returns True when every worker exited within
+        ``timeout_s``.
+        """
+        with self._close_lock:
+            if self._closed:
+                return self._joined()
+            self._closed = True
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    _request, _deadline, future = item
+                    if future.set_running_or_notify_cancel():
+                        future.set_exception(Cancelled("service shutdown"))
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout_s)
+        return self._joined()
+
+    def _joined(self) -> bool:
+        return all(not t.is_alive() for t in self._threads)
+
+    def __enter__(self) -> QueryService:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

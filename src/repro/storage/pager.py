@@ -49,6 +49,7 @@ from repro.exceptions import PageCorruptError, PageError, StorageError
 from repro.faults.core import STATE as _FAULTS, CrashPoint, fire as _fault, tear as _tear
 from repro.obs.core import add as _obs_add
 from repro.recovery.retry import STATE as _RETRY
+from repro.resilience.breaker import STATE as _BREAKER
 
 __all__ = [
     "PagedFile",
@@ -272,6 +273,12 @@ class PagedFile:
         attempt re-enters ``_read_page_attempt`` (re-firing the fault site
         and re-charging any page-read budget), so injected transient
         errors and retries compose deterministically.
+
+        An installed :class:`~repro.resilience.CircuitBreaker` guards each
+        *attempt* (see ``_read_page_attempt``), i.e. it sits inside the
+        retry loop: persistent faults trip it mid-backoff and the
+        non-retryable :class:`~repro.exceptions.CircuitOpenError` then
+        fails this and every following read fast.
         """
         self._check_pid(pid)
         policy = _RETRY.policy
@@ -282,6 +289,12 @@ class PagedFile:
         )
 
     def _read_page_attempt(self, pid: int) -> bytes:
+        breaker = _BREAKER.breaker
+        if breaker is None:
+            return self._read_page_raw(pid)
+        return breaker.call("pager.read_page", lambda: self._read_page_raw(pid))
+
+    def _read_page_raw(self, pid: int) -> bytes:
         if _FAULTS.engaged:
             _fault("pager.read_page")
             budget = _FAULTS.budget

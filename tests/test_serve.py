@@ -1,0 +1,523 @@
+"""Tests for repro.serve: service semantics, chaos sweeps, and the CLI.
+
+The service-level contract (see ``docs/resilience.md``): every admitted
+request resolves to exactly one outcome — a result or a typed error from
+{DeadlineExceeded, Overloaded, CircuitOpen, ...} — workers survive poisoned
+requests, shutdown drains cleanly, and under a seeded fault plan the whole
+request/outcome history is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+
+import pytest
+
+from repro import faults, obs
+from repro.cli import main
+from repro.exceptions import (
+    Cancelled,
+    DeadlineExceeded,
+    Overloaded,
+    ParameterError,
+)
+from repro.faults import CrashPoint, FaultRule
+from repro.network.augmented import AugmentedView
+from repro.network.queries import knn_query, range_query
+from repro.recovery import RetryPolicy, retrying
+from repro.resilience import CircuitBreaker, VirtualClock, breaking
+from repro.serve import (
+    OPS,
+    QueryService,
+    error_name,
+    error_response,
+    parse_request,
+    result_response,
+)
+from repro.storage.netstore import NetworkStore
+from tests.conftest import make_random_connected_network, scatter_points
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(23)
+    net = make_random_connected_network(rng, 30, extra_edges=10)
+    pts = scatter_points(rng, net, 40)
+    return net, pts
+
+
+def _drain_into_worker(service, timeout=5.0):
+    """Wait until the admission queue is empty (the worker took the item)."""
+    t0 = time.monotonic()
+    while not service._queue.empty():
+        if time.monotonic() - t0 > timeout:
+            raise AssertionError("worker never dequeued")
+        time.sleep(0.001)
+
+
+def _gate(service):
+    """Block every execution behind an event; returns the release handle."""
+    gate = threading.Event()
+    orig = service._execute
+
+    def gated(request, aug):
+        gate.wait(30)
+        return orig(request, aug)
+
+    service._execute = gated
+    return gate
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_parse_request(self):
+        doc = parse_request('{"op": "range", "point_id": 1, "eps": 2.0}')
+        assert doc["op"] == "range"
+        with pytest.raises(ParameterError):
+            parse_request("not json", lineno=3)
+        with pytest.raises(ParameterError):
+            parse_request("[1, 2]")
+        with pytest.raises(ParameterError):
+            parse_request('{"op": "explode"}')
+
+    def test_error_taxonomy(self):
+        assert error_name(DeadlineExceeded("s", 1.0, 2.0)) == "DeadlineExceeded"
+        assert error_name(Cancelled("x")) == "Cancelled"
+        assert error_name(Overloaded(4)) == "Overloaded"
+        from repro.exceptions import (
+            BudgetExceededError,
+            CircuitOpenError,
+            StorageError,
+        )
+        assert error_name(CircuitOpenError("pager", "s", 1.0)) == "CircuitOpen"
+        assert error_name(BudgetExceededError("op", 1, 2)) == "BudgetExceeded"
+        assert error_name(ParameterError("bad")) == "BadRequest"
+        assert error_name(KeyError("eps")) == "BadRequest"
+        assert error_name(StorageError("hm")) == "StorageError"
+        assert error_name(OSError("disk")) == "IOError"
+        assert error_name(RuntimeError("?")) == "InternalError"
+
+    def test_responses_carry_request_id(self):
+        assert result_response({"id": 7}, [1]) == {
+            "ok": True, "result": [1], "id": 7,
+        }
+        assert "id" not in result_response({}, [1])
+        doc = error_response({"id": "a"}, Overloaded(2))
+        assert doc["ok"] is False and doc["error"] == "Overloaded"
+        assert doc["id"] == "a"
+
+
+# ----------------------------------------------------------------------
+# QueryService semantics
+# ----------------------------------------------------------------------
+class TestQueryService:
+    def test_parameters_validated(self, workload):
+        net, pts = workload
+        with pytest.raises(ParameterError):
+            QueryService(net, pts, workers=0)
+        with pytest.raises(ParameterError):
+            QueryService(net, pts, queue_depth=0)
+
+    def test_results_match_direct_queries(self, workload):
+        net, pts = workload
+        aug = AugmentedView(net, pts)
+        anchor = pts.get(0)
+        with QueryService(net, pts, workers=2) as svc:
+            got = svc.call({"op": "range", "point_id": 0, "eps": 3.0})
+            want = [
+                [p.point_id, d] for p, d in range_query(aug, anchor, 3.0)
+            ]
+            assert got == want
+            got = svc.call({"op": "knn", "point_id": 0, "k": 5})
+            want = [[p.point_id, d] for p, d in knn_query(aug, anchor, 5)]
+            assert got == want
+
+    def test_cluster_request(self, workload):
+        net, pts = workload
+        from repro.core import EpsLink
+
+        baseline = EpsLink(net, pts, eps=3.0, min_sup=2).run()
+        with QueryService(net, pts) as svc:
+            got = svc.call({
+                "op": "cluster", "algorithm": "eps-link", "eps": 3.0,
+                "min_pts": 2,
+            })
+        assert got["num_clusters"] == baseline.num_clusters
+        assert got["assignment"] == {
+            str(k): v for k, v in baseline.assignment.items()
+        }
+
+    def test_bad_requests_fail_alone(self, workload):
+        net, pts = workload
+        with QueryService(net, pts, workers=1) as svc:
+            bad = svc.submit({"op": "range", "point_id": 0})  # missing eps
+            worse = svc.submit({"op": "cluster", "algorithm": "nope"})
+            good = svc.submit({"op": "knn", "point_id": 0, "k": 1})
+            with pytest.raises(KeyError):
+                bad.result(10)
+            with pytest.raises(ParameterError):
+                worse.result(10)
+            assert len(good.result(10)) == 1  # the worker survived both
+
+    def test_injected_crash_fails_alone(self, workload):
+        net, pts = workload
+        with QueryService(net, pts, workers=1) as svc:
+            with faults.plan(FaultRule("queries.settle", "crash", after=1)):
+                poisoned = svc.submit({"op": "range", "point_id": 0, "eps": 2.0})
+                with pytest.raises(CrashPoint):
+                    poisoned.result(10)
+            healthy = svc.submit({"op": "range", "point_id": 0, "eps": 2.0})
+            assert healthy.result(10)  # same worker, still serving
+
+    def test_overload_sheds_typed(self, workload):
+        net, pts = workload
+        svc = QueryService(net, pts, workers=1, queue_depth=2)
+        gate = _gate(svc)
+        try:
+            req = {"op": "range", "point_id": 0, "eps": 1.0}
+            running = svc.submit(dict(req))
+            _drain_into_worker(svc)  # the worker holds it at the gate
+            queued = [svc.submit(dict(req)) for _ in range(2)]
+            with pytest.raises(Overloaded) as exc:
+                svc.submit(dict(req))
+            assert "2" in str(exc.value)
+            gate.set()
+            for future in [running, *queued]:
+                assert future.result(10) is not None
+        finally:
+            gate.set()
+            assert svc.close()
+
+    def test_request_aged_out_in_queue_is_shed(self, workload):
+        net, pts = workload
+        vc = VirtualClock()
+        svc = QueryService(net, pts, workers=1, clock=vc.monotonic)
+        gate = _gate(svc)
+        try:
+            blocker = svc.submit({"op": "range", "point_id": 0, "eps": 1.0})
+            _drain_into_worker(svc)
+            aged = svc.submit(
+                {"op": "range", "point_id": 0, "eps": 1.0, "timeout_ms": 100}
+            )
+            vc.advance(0.2)  # its whole budget burns in the queue
+            gate.set()
+            assert blocker.result(10) is not None
+            with pytest.raises(DeadlineExceeded) as exc:
+                aged.result(10)
+            assert exc.value.site == "serve.dequeue"
+        finally:
+            gate.set()
+            assert svc.close()
+
+    def test_default_timeout_applies(self, workload):
+        net, pts = workload
+        vc = VirtualClock()
+        svc = QueryService(
+            net, pts, workers=1, default_timeout_s=0.5, clock=vc.monotonic
+        )
+        gate = _gate(svc)
+        try:
+            first = svc.submit(
+                {"op": "range", "point_id": 0, "eps": 1.0}, timeout_s=None
+            )
+            _drain_into_worker(svc)
+            doomed = svc.submit({"op": "range", "point_id": 0, "eps": 1.0})
+            vc.advance(1.0)
+            gate.set()
+            assert first.result(10) is not None
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(10)
+        finally:
+            gate.set()
+            assert svc.close()
+
+    def test_submit_after_close_rejected(self, workload):
+        net, pts = workload
+        svc = QueryService(net, pts, workers=1)
+        assert svc.close()
+        with pytest.raises(RuntimeError):
+            svc.submit({"op": "range", "point_id": 0, "eps": 1.0})
+
+    def test_graceful_drain_finishes_queued_work(self, workload):
+        net, pts = workload
+        svc = QueryService(net, pts, workers=2, queue_depth=8)
+        futures = [
+            svc.submit({"op": "knn", "point_id": i, "k": 3}) for i in range(6)
+        ]
+        assert svc.close(drain=True)
+        for future in futures:
+            assert len(future.result(0)) == 3  # already resolved
+
+    def test_hard_close_cancels_queued_work(self, workload):
+        net, pts = workload
+        svc = QueryService(net, pts, workers=1, queue_depth=4)
+        gate = _gate(svc)
+        running = svc.submit({"op": "range", "point_id": 0, "eps": 1.0})
+        _drain_into_worker(svc)
+        queued = svc.submit({"op": "range", "point_id": 0, "eps": 1.0})
+        closer = threading.Thread(
+            target=lambda: svc.close(drain=False), daemon=True
+        )
+        closer.start()
+        with pytest.raises(Cancelled):
+            queued.result(10)
+        gate.set()  # release the in-flight request; close can now join
+        closer.join(10)
+        assert svc._joined()
+        assert running.result(10) is not None  # in-flight work still finished
+
+    def test_obs_counters(self, workload):
+        net, pts = workload
+        obs.reset()
+        obs.enable()
+        try:
+            with QueryService(net, pts, workers=1) as svc:
+                good = svc.submit({"op": "range", "point_id": 0, "eps": 1.0})
+                bad = svc.submit({"op": "range", "point_id": 0})
+                good.result(10)
+                with pytest.raises(KeyError):
+                    bad.result(10)
+            counters = obs.snapshot()["counters"]
+            assert counters.get("serve.submitted") == 2
+            assert counters.get("serve.completed") == 1
+            assert counters.get("serve.errors") == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Deterministic chaos sweep (single worker + virtual time)
+# ----------------------------------------------------------------------
+ALLOWED_OUTCOMES = {"DeadlineExceeded", "Overloaded", "CircuitOpen"}
+
+
+def _outcome(future_or_exc):
+    """Collapse a request's fate to ('ok', result) or an error name."""
+    if isinstance(future_or_exc, BaseException):
+        return error_name(future_or_exc)
+    try:
+        return ("ok", future_or_exc.result(30))
+    except Exception as exc:
+        return error_name(exc)
+
+
+def _chaos_run(seed: int, store_path) -> dict:
+    """One full chaos scenario; returns its complete outcome history.
+
+    Deterministic by construction: one worker, a virtual clock driving both
+    the request deadlines and every injected delay / retry backoff, and a
+    seeded fault plan — thread scheduling can reorder nothing observable.
+    """
+    vc = VirtualClock()
+    store = NetworkStore(store_path)
+    spts = store.points()
+    history = []
+    breaker = CircuitBreaker(
+        failure_threshold=3, reset_timeout_s=1e9, clock=vc.monotonic,
+    )
+    policy = RetryPolicy(max_attempts=50, base_delay=0.0, sleep=vc.sleep)
+    svc = QueryService(
+        store, spts, workers=1, queue_depth=4, clock=vc.monotonic
+    )
+    gate = _gate(svc)
+    try:
+        with retrying(policy):
+            # Phase 1: injected latency + transient I/O faults.  Retry
+            # absorbs the faults; the delays burn request budgets.
+            with faults.plan(
+                FaultRule("queries.settle", "delay", probability=0.3,
+                          times=None, delay_s=0.05),
+                FaultRule("pager.read_page", "error", probability=0.2,
+                          times=None, transient=True),
+                seed=seed,
+                sleep=vc.sleep,
+            ):
+                batch = []
+                blocker = svc.submit(
+                    {"id": "p1-0", "op": "range", "point_id": 0, "eps": 2.0}
+                )
+                batch.append(("p1-0", blocker))
+                _drain_into_worker(svc)
+                plan = [
+                    ("p1-1", {"op": "range", "point_id": 1, "eps": 2.0,
+                              "timeout_ms": 100}),
+                    ("p1-2", {"op": "knn", "point_id": 2, "k": 4}),
+                    ("p1-3", {"op": "range", "point_id": 3, "eps": 3.0,
+                              "timeout_ms": 2000}),
+                    ("p1-4", {"op": "knn", "point_id": 4, "k": 3,
+                              "timeout_ms": 60000}),
+                    ("p1-5", {"op": "range", "point_id": 5, "eps": 2.0}),
+                    ("p1-6", {"op": "knn", "point_id": 6, "k": 2}),
+                    ("p1-7", {"op": "range", "point_id": 7, "eps": 1.0}),
+                ]
+                for rid, req in plan:  # queue depth 4: the tail is shed
+                    req = {"id": rid, **req}
+                    try:
+                        batch.append((rid, svc.submit(req)))
+                    except Overloaded as exc:
+                        batch.append((rid, exc))
+                vc.advance(0.2)  # ages out the 100 ms request in the queue
+                gate.set()
+                for rid, fate in batch:
+                    history.append((rid, _outcome(fate)))
+            # Phase 2: the store fails persistently; the breaker must trip
+            # and convert the grind into fast CircuitOpen rejections.
+            store.drop_caches()
+            with faults.plan(
+                FaultRule("pager.read_page", "error", probability=1.0,
+                          times=None, transient=True),
+                seed=seed,
+                sleep=vc.sleep,
+            ), breaking(breaker):
+                for i in range(4):
+                    rid = f"p2-{i}"
+                    future = svc.submit(
+                        {"id": rid, "op": "range", "point_id": i, "eps": 2.0}
+                    )
+                    history.append((rid, _outcome(future)))
+        closed = svc.close()
+    finally:
+        gate.set()
+        svc.close()
+        store.close()
+    return {
+        "history": history,
+        "closed": closed,
+        "trips": breaker.trips,
+        "rejections": breaker.rejections,
+    }
+
+
+class TestChaosSweep:
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        rng = random.Random(23)
+        net = make_random_connected_network(rng, 30, extra_edges=10)
+        pts = scatter_points(rng, net, 40)
+        path = tmp_path_factory.mktemp("chaos") / "w.store"
+        NetworkStore.build(path, net, pts).close()
+        return path
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_every_request_gets_exactly_one_typed_outcome(
+        self, seed, store_path
+    ):
+        run = _chaos_run(seed, store_path)
+        assert run["closed"], "a worker thread leaked"
+        assert len(run["history"]) == 12  # 8 submitted + shed, 4 persistent
+        names = []
+        for rid, outcome in run["history"]:
+            if isinstance(outcome, tuple):
+                assert outcome[0] == "ok"
+                names.append("ok")
+            else:
+                assert outcome in ALLOWED_OUTCOMES, (
+                    f"{rid} ended as {outcome!r}"
+                )
+                names.append(outcome)
+        # The full four-outcome spectrum appears in every seeded run.
+        assert "ok" in names
+        assert "DeadlineExceeded" in names  # the queue-aged 100 ms request
+        assert "Overloaded" in names  # the submissions beyond the queue
+        assert names[-4:] == ["CircuitOpen"] * 4  # persistent-fault phase
+        assert run["trips"] == 1
+        assert run["rejections"] >= 3  # every post-trip read rejected fast
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_chaos_is_deterministic(self, seed, store_path):
+        assert _chaos_run(seed, store_path) == _chaos_run(seed, store_path)
+
+
+class TestMultiWorkerInvariants:
+    def test_every_future_resolves_and_pool_drains(self, workload):
+        net, pts = workload
+        svc = QueryService(net, pts, workers=4, queue_depth=64)
+        futures = []
+        for i in range(30):
+            req = {"op": OPS[i % 2], "point_id": i % len(pts)}
+            if req["op"] == "range":
+                req["eps"] = 2.0
+            else:
+                req["k"] = 3
+            if i % 7 == 0:
+                req["timeout_ms"] = 0  # unmeetable by design
+            futures.append(svc.submit(req))
+        assert svc.close(drain=True)
+        for future in futures:
+            try:
+                result = future.result(0)
+            except Exception as exc:
+                assert error_name(exc) in ("DeadlineExceeded", "Cancelled")
+            else:
+                assert isinstance(result, list)
+
+
+# ----------------------------------------------------------------------
+# The serve CLI
+# ----------------------------------------------------------------------
+class TestServeCLI:
+    @pytest.fixture
+    def cli_workload(self, tmp_path):
+        path = tmp_path / "w.json"
+        assert main([
+            "generate", "--grid", "5x5", "--points", "30", "--out", str(path),
+        ]) == 0
+        return path
+
+    def test_round_trip(self, cli_workload, tmp_path, capsys):
+        reqs = tmp_path / "reqs.ldjson"
+        reqs.write_text("\n".join([
+            '{"id": "r1", "op": "range", "point_id": 0, "eps": 2.0}',
+            '{"id": "r2", "op": "knn", "point_id": 0, "k": 3}',
+            '{"id": "r3", "op": "cluster", "algorithm": "eps-link", "eps": 1.5}',
+            '{"id": "r4", "op": "knn", "point_id": 0, "k": 2, "timeout_ms": 0}',
+            '{"id": "r5", "op": "explode"}',
+            "not json",
+            "",
+        ]))
+        out = tmp_path / "resp.ldjson"
+        assert main([
+            "serve", str(cli_workload), "--input", str(reqs),
+            "--output", str(out), "--workers", "2",
+        ]) == 0
+        docs = [
+            json.loads(line) for line in out.read_text().splitlines() if line
+        ]
+        assert [d.get("id") for d in docs] == ["r1", "r2", "r3", "r4", "r5", None]
+        by_id = {d.get("id"): d for d in docs}
+        assert by_id["r1"]["ok"] and len(by_id["r1"]["result"]) >= 1
+        assert by_id["r2"]["ok"] and len(by_id["r2"]["result"]) == 3
+        assert by_id["r3"]["ok"] and by_id["r3"]["result"]["num_clusters"] >= 1
+        assert by_id["r4"] == {
+            "ok": False, "error": "DeadlineExceeded",
+            "message": by_id["r4"]["message"], "id": "r4",
+        }
+        assert by_id["r5"]["error"] == "BadRequest"
+        assert by_id[None]["error"] == "BadRequest"
+        assert "served 3/6" in capsys.readouterr().err
+
+    def test_resilience_flags_accepted(self, cli_workload, tmp_path):
+        reqs = tmp_path / "reqs.ldjson"
+        reqs.write_text('{"id": 1, "op": "knn", "point_id": 0, "k": 2}\n')
+        out = tmp_path / "resp.ldjson"
+        assert main([
+            "serve", str(cli_workload), "--input", str(reqs),
+            "--output", str(out), "--retries", "3",
+            "--breaker-threshold", "5", "--breaker-reset-ms", "500",
+            "--default-timeout-ms", "60000", "--queue-depth", "2",
+        ]) == 0
+        doc = json.loads(out.read_text().splitlines()[0])
+        assert doc["ok"] is True
