@@ -57,7 +57,7 @@ from repro.datagen import (
 )
 from repro.datagen.clusters import well_separated_seed_edges
 from repro.eval import adjusted_rand_index, normalized_mutual_information, purity
-from repro.exceptions import Cancelled, Interrupted, Overloaded
+from repro.exceptions import Cancelled, Interrupted
 from repro.io import (
     load_result_file,
     load_workload_file,
@@ -476,7 +476,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     continue
                 try:
                     pending.append((request, service.submit(request)))
-                except Overloaded as exc:
+                except Exception as exc:
+                    # Overloaded sheds, ParameterError rejects a bad field
+                    # (e.g. timeout_ms): either way the failure belongs to
+                    # this one request, never to the serving session.
                     pending.append((request, exc))
             for request, outcome in pending:
                 if isinstance(outcome, BaseException):

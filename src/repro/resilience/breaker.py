@@ -153,8 +153,15 @@ class CircuitBreaker:
 
     # -- protocol --------------------------------------------------------
 
-    def allow(self, site: str) -> None:
-        """Admit one call, or raise :class:`CircuitOpenError` immediately."""
+    def allow(self, site: str) -> bool:
+        """Admit one call, or raise :class:`CircuitOpenError` immediately.
+
+        Returns whether the call was admitted as a half-open *probe* (it
+        holds one of the ``half_open_probes`` slots); callers that later
+        release a slot must release only if they actually took one — a
+        call admitted while closed never holds a slot, even if the
+        breaker half-opens while it runs.
+        """
         with self._lock:
             self._maybe_half_open()
             if self._state == OPEN:
@@ -170,6 +177,8 @@ class CircuitBreaker:
                     _obs_add("breaker.rejections")
                     raise CircuitOpenError(self.name, site, 0.0)
                 self._probes_in_flight += 1
+                return True
+            return False
 
     def record_success(self) -> None:
         with self._lock:
@@ -192,7 +201,7 @@ class CircuitBreaker:
 
     def call(self, site: str, fn: Callable[[], T]) -> T:
         """Run ``fn`` under the breaker, counting dependency failures."""
-        self.allow(site)
+        took_probe = self.allow(site)
         try:
             result = fn()
         except self.failure_types:
@@ -201,9 +210,13 @@ class CircuitBreaker:
         except BaseException:
             # Not a dependency failure (crash injection, interrupts, bugs):
             # neither counted nor allowed to wedge a half-open probe slot.
-            with self._lock:
-                if self._state == HALF_OPEN and self._probes_in_flight > 0:
-                    self._probes_in_flight -= 1
+            # Only a call that actually took a slot gives one back — a
+            # closed-admitted call releasing here would free a slot some
+            # other probe still holds.
+            if took_probe:
+                with self._lock:
+                    if self._state == HALF_OPEN and self._probes_in_flight > 0:
+                        self._probes_in_flight -= 1
             raise
         self.record_success()
         return result

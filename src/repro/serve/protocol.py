@@ -64,6 +64,16 @@ def parse_request(line: str, lineno: int = 0) -> dict:
         raise ParameterError(
             f"{where}: op must be one of {list(OPS)}, got {op!r}"
         )
+    timeout_ms = doc.get("timeout_ms")
+    if timeout_ms is not None and (
+        isinstance(timeout_ms, bool)
+        or not isinstance(timeout_ms, (int, float))
+        or timeout_ms != timeout_ms  # NaN
+        or timeout_ms < 0
+    ):
+        raise ParameterError(
+            f"{where}: timeout_ms must be a number >= 0, got {timeout_ms!r}"
+        )
     return doc
 
 
@@ -79,7 +89,11 @@ def error_name(exc: BaseException) -> str:
         return "CircuitOpen"
     if isinstance(exc, BudgetExceededError):
         return "BudgetExceeded"
-    if isinstance(exc, (ParameterError, KeyError, TypeError, ValueError)):
+    # Only ParameterError maps to BadRequest: the service wraps every
+    # request-field extraction/conversion failure in it, so a bare
+    # KeyError/TypeError/ValueError can only be an internal bug and must
+    # not be blamed on the client's request.
+    if isinstance(exc, ParameterError):
         return "BadRequest"
     if isinstance(exc, StorageError):
         return "StorageError"

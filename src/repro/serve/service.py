@@ -37,7 +37,12 @@ import time
 from concurrent.futures import Future
 from typing import Callable
 
-from repro.exceptions import Cancelled, Overloaded, ParameterError
+from repro.exceptions import (
+    Cancelled,
+    Overloaded,
+    ParameterError,
+    PointNotFoundError,
+)
 from repro.network.augmented import AugmentedView
 from repro.network.queries import knn_query, range_query
 from repro.obs.core import add as _obs_add
@@ -50,13 +55,36 @@ _STOP = object()
 _UNSET = object()
 
 
+def _field(request: dict, key: str, conv: Callable):
+    """Extract + convert one request field, mapping any failure — missing
+    key, wrong type, unconvertible value — to :class:`ParameterError` so it
+    reaches the wire as ``BadRequest`` rather than an internal error."""
+    if key not in request:
+        raise ParameterError(f"missing required field {key!r}")
+    try:
+        return conv(request[key])
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"field {key!r}: {exc}") from None
+
+
 def build_algorithm(spec: dict, network, points):
     """A clustering algorithm from a ``cluster`` request's parameters.
 
     Mirrors the CLI's ``--algorithm`` flags with the same defaults; raises
-    :class:`ParameterError` (wire name ``BadRequest``) on unknown names or
-    missing required parameters.
+    :class:`ParameterError` (wire name ``BadRequest``) on unknown names,
+    missing required parameters, or unconvertible parameter values.
     """
+    try:
+        return _build_algorithm(spec, network, points)
+    except ParameterError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        # Construction only touches request fields; a conversion failure
+        # here is the client's malformed request, not an internal bug.
+        raise ParameterError(f"cluster request: {exc}") from None
+
+
+def _build_algorithm(spec: dict, network, points):
     from repro.core import (
         EpsLink,
         NetworkDBSCAN,
@@ -152,25 +180,43 @@ class QueryService:
         """Admit a request; returns its future or raises ``Overloaded``.
 
         The request's deadline starts *now*: queue wait is part of the
-        budget the caller granted.
+        budget the caller granted.  A malformed ``timeout_ms`` raises
+        :class:`ParameterError` (wire name ``BadRequest``), never a bare
+        conversion error.
         """
-        if self._closed:
-            raise RuntimeError("QueryService is closed")
         if timeout_s is _UNSET:
-            timeout_s = request.get("timeout_ms")
-            timeout_s = (
-                self.default_timeout_s if timeout_s is None
-                else float(timeout_s) / 1000.0
-            )
+            timeout_s = self._request_timeout_s(request)
         deadline = Deadline(timeout_s, clock=self._clock)
         future: Future = Future()
-        try:
-            self._queue.put_nowait((request, deadline, future))
-        except queue.Full:
-            _obs_add("serve.shed")
-            raise Overloaded(self._queue.maxsize) from None
+        # The closed check and the enqueue are one atomic step against
+        # close(): otherwise a request could slip into the queue after
+        # close() drained it and enqueued the stop sentinels, leaving its
+        # future unresolved forever.
+        with self._close_lock:
+            if self._closed:
+                raise RuntimeError("QueryService is closed")
+            try:
+                self._queue.put_nowait((request, deadline, future))
+            except queue.Full:
+                _obs_add("serve.shed")
+                raise Overloaded(self._queue.maxsize) from None
         _obs_add("serve.submitted")
         return future
+
+    def _request_timeout_s(self, request: dict) -> float | None:
+        raw = request.get("timeout_ms")
+        if raw is None:
+            return self.default_timeout_s
+        if (
+            isinstance(raw, bool)
+            or not isinstance(raw, (int, float))
+            or raw != raw  # NaN
+            or raw < 0
+        ):
+            raise ParameterError(
+                f"timeout_ms must be a number >= 0, got {raw!r}"
+            )
+        return float(raw) / 1000.0
 
     def call(self, request: dict, timeout_s: object = _UNSET) -> object:
         """Blocking convenience wrapper: submit and wait for the result."""
@@ -207,11 +253,13 @@ class QueryService:
         op = request.get("op")
         if op == "range":
             hits = range_query(
-                aug, self._query_point(request), float(request["eps"])
+                aug, self._query_point(request), _field(request, "eps", float)
             )
             return [[p.point_id, d] for p, d in hits]
         if op == "knn":
-            hits = knn_query(aug, self._query_point(request), int(request["k"]))
+            hits = knn_query(
+                aug, self._query_point(request), _field(request, "k", int)
+            )
             return [[p.point_id, d] for p, d in hits]
         if op == "cluster":
             result = build_algorithm(request, self.network, self.points).run()
@@ -224,7 +272,11 @@ class QueryService:
         raise ParameterError(f"op must be one of {list(OPS)}, got {op!r}")
 
     def _query_point(self, request: dict):
-        return self.points.get(int(request["point_id"]))
+        point_id = _field(request, "point_id", int)
+        try:
+            return self.points.get(point_id)
+        except PointNotFoundError:
+            raise ParameterError(f"unknown point_id {point_id}") from None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -256,7 +308,32 @@ class QueryService:
             self._queue.put(_STOP)
         for thread in self._threads:
             thread.join(timeout_s)
-        return self._joined()
+        # Workers that exited cleanly leave nothing behind; if any timed
+        # out or died, fail whatever is still queued so no caller blocks
+        # on a future nobody will ever resolve.
+        stops_swept = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                stops_swept += 1
+                continue
+            _request, _deadline, future = item
+            if future.set_running_or_notify_cancel():
+                future.set_exception(Cancelled("service shutdown"))
+        joined = self._joined()
+        if not joined:
+            # Straggling workers still need their stop sentinels back so
+            # they exit if they ever come unstuck (best-effort: they are
+            # daemons, so a stuck pool cannot block process exit either).
+            for _ in range(stops_swept):
+                try:
+                    self._queue.put_nowait(_STOP)
+                except queue.Full:  # pragma: no cover - depth < stragglers
+                    break
+        return joined
 
     def _joined(self) -> bool:
         return all(not t.is_alive() for t in self._threads)

@@ -28,6 +28,16 @@ clean :class:`~repro.exceptions.StorageError` — a half-written file from a
 crashed build can never reopen as data (pass ``allow_uncommitted=True`` for
 forensic tools like ``repro check``).
 
+Thread safety
+-------------
+Both layers may be shared across threads — the ``repro serve`` worker
+pool reads one disk-backed store concurrently.  A per-:class:`PagedFile`
+reentrant lock serializes every seek+read / seek+write pair on the
+underlying handle (an interleaved seek from another thread would return
+the wrong page's frame, whose CRC still validates), and a
+per-:class:`BufferManager` lock guards the LRU bookkeeping, whose
+``move_to_end`` racing an eviction would otherwise raise.
+
 The buffer statistics are the hardware-independent cost measure of the
 storage experiments: both layers keep their per-instance counters *and*
 mirror every event into the unified :mod:`repro.obs` registry
@@ -42,6 +52,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from collections import OrderedDict
 
@@ -102,6 +113,13 @@ class PagedFile:
         self.path = os.fspath(path)
         self.reads = 0
         self.writes = 0
+        # Serializes every seek+read/seek+write pair on the shared handle:
+        # QueryService workers read one PagedFile concurrently, and an
+        # interleaved seek from another thread would return the wrong
+        # page's frame (whose CRC still validates — the trailer does not
+        # bind the page id).  Reentrant because allocate()/_uncommit()
+        # write the header while already holding the lock.
+        self._io_lock = threading.RLock()
         exists = os.path.exists(self.path)
         if exists and os.path.getsize(self.path) == 0:
             raise StorageError(
@@ -202,14 +220,15 @@ class PagedFile:
         payload += struct.pack("<H", len(self._meta)) + self._meta
         payload = payload.ljust(self.page_size, b"\x00")
         frame = payload + _crc(payload)
-        self._fh.seek(0)
-        if _FAULTS.engaged:
-            cut = _tear("pager.write_header", len(frame))
-            if cut is not None:
-                self._fh.write(frame[:cut])
-                self._fh.flush()
-                raise CrashPoint("pager.write_header")
-        self._fh.write(frame)
+        with self._io_lock:
+            self._fh.seek(0)
+            if _FAULTS.engaged:
+                cut = _tear("pager.write_header", len(frame))
+                if cut is not None:
+                    self._fh.write(frame[:cut])
+                    self._fh.flush()
+                    raise CrashPoint("pager.write_header")
+            self._fh.write(frame)
 
     def _uncommit(self) -> None:
         """Clear the commit flag *before* mutating data pages.
@@ -219,10 +238,11 @@ class PagedFile:
         flushed to the OS immediately so it can never be reordered after
         the data writes it guards.
         """
-        if self.committed:
-            self.committed = False
-            self._write_header()
-            self._fh.flush()
+        with self._io_lock:
+            if self.committed:
+                self.committed = False
+                self._write_header()
+                self._fh.flush()
 
     def get_meta(self) -> bytes:
         """Caller-managed metadata persisted in the header page."""
@@ -249,13 +269,14 @@ class PagedFile:
         """Append a zeroed page and return its id."""
         if _FAULTS.engaged:
             _fault("pager.allocate")
-        self._uncommit()
-        pid = self._num_pages
-        self._num_pages += 1
-        payload = b"\x00" * self.page_size
-        self._fh.seek(pid * self.stride)
-        self._fh.write(payload + _crc(payload))
-        self._write_header()
+        with self._io_lock:
+            self._uncommit()
+            pid = self._num_pages
+            self._num_pages += 1
+            payload = b"\x00" * self.page_size
+            self._fh.seek(pid * self.stride)
+            self._fh.write(payload + _crc(payload))
+            self._write_header()
         return pid
 
     def _check_pid(self, pid: int) -> None:
@@ -300,11 +321,12 @@ class PagedFile:
             budget = _FAULTS.budget
             if budget is not None:
                 budget.spend_page_reads(1)
-        self.reads += 1
         _obs_add("storage.physical_reads")
         offset = pid * self.stride
-        self._fh.seek(offset)
-        frame = self._fh.read(self.stride)
+        with self._io_lock:
+            self.reads += 1
+            self._fh.seek(offset)
+            frame = self._fh.read(self.stride)
         if len(frame) != self.stride:
             _obs_add("storage.checksum_failures")
             raise PageCorruptError(
@@ -326,21 +348,23 @@ class PagedFile:
             )
         if _FAULTS.engaged:
             _fault("pager.write_page")
-        self._uncommit()
-        self.writes += 1
         _obs_add("storage.physical_writes")
         payload = bytes(data).ljust(self.page_size, b"\x00")
         frame = payload + _crc(payload)
-        self._fh.seek(pid * self.stride)
-        if _FAULTS.engaged:
-            cut = _tear("pager.write_page", len(frame))
-            if cut is not None:
-                # A torn write: persist a prefix of the frame, then "die".
-                # The stale/garbage trailer makes the next read fail its CRC.
-                self._fh.write(frame[:cut])
-                self._fh.flush()
-                raise CrashPoint("pager.write_page")
-        self._fh.write(frame)
+        with self._io_lock:
+            self._uncommit()
+            self.writes += 1
+            self._fh.seek(pid * self.stride)
+            if _FAULTS.engaged:
+                cut = _tear("pager.write_page", len(frame))
+                if cut is not None:
+                    # A torn write: persist a prefix of the frame, then
+                    # "die".  The stale/garbage trailer makes the next
+                    # read fail its CRC.
+                    self._fh.write(frame[:cut])
+                    self._fh.flush()
+                    raise CrashPoint("pager.write_page")
+            self._fh.write(frame)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -348,11 +372,12 @@ class PagedFile:
     def flush(self) -> None:
         if _FAULTS.engaged:
             _fault("pager.flush")
-        self._fh.flush()
-        try:
-            os.fsync(self._fh.fileno())
-        except OSError:  # pragma: no cover - e.g. pipes in exotic setups
-            pass
+        with self._io_lock:
+            self._fh.flush()
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:  # pragma: no cover - e.g. pipes in exotic setups
+                pass
 
     def commit(self) -> None:
         """Durably mark the file consistent (header flag + fsync)."""
@@ -405,6 +430,11 @@ class BufferManager:
         self.capacity_pages = max(1, capacity_bytes // file.page_size)
         self._frames: OrderedDict[int, bytes] = OrderedDict()
         self._dirty: set[int] = set()
+        # The LRU bookkeeping (OrderedDict moves/evictions) is shared by
+        # every thread reading a served store; an unguarded move_to_end
+        # racing an eviction raises KeyError.  Reentrant: flush() runs
+        # under the lock and close()/drop_cache() call it while holding.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -412,17 +442,18 @@ class BufferManager:
     # ------------------------------------------------------------------
     def read(self, pid: int) -> bytes:
         """Page contents, from cache when possible."""
-        frame = self._frames.get(pid)
-        if frame is not None:
-            self.hits += 1
-            _obs_add("storage.buffer_hits")
-            self._frames.move_to_end(pid)
-            return frame
-        self.misses += 1
-        _obs_add("storage.buffer_misses")
-        data = self.file.read_page(pid)
-        self._admit(pid, data)
-        return data
+        with self._lock:
+            frame = self._frames.get(pid)
+            if frame is not None:
+                self.hits += 1
+                _obs_add("storage.buffer_hits")
+                self._frames.move_to_end(pid)
+                return frame
+            self.misses += 1
+            _obs_add("storage.buffer_misses")
+            data = self.file.read_page(pid)
+            self._admit(pid, data)
+            return data
 
     def write(self, pid: int, data: bytes) -> None:
         """Replace page contents (write-back: flushed on eviction/close)."""
@@ -431,12 +462,13 @@ class BufferManager:
                 f"data of {len(data)} bytes exceeds page size {self.file.page_size}"
             )
         data = bytes(data).ljust(self.file.page_size, b"\x00")
-        if pid in self._frames:
-            self._frames[pid] = data
-            self._frames.move_to_end(pid)
-        else:
-            self._admit(pid, data)
-        self._dirty.add(pid)
+        with self._lock:
+            if pid in self._frames:
+                self._frames[pid] = data
+                self._frames.move_to_end(pid)
+            else:
+                self._admit(pid, data)
+            self._dirty.add(pid)
 
     def allocate(self) -> int:
         """Allocate a fresh page in the underlying file."""
@@ -455,21 +487,24 @@ class BufferManager:
     # ------------------------------------------------------------------
     def flush(self) -> None:
         """Write all dirty pages through to the file."""
-        for pid in sorted(self._dirty):
-            self.file.write_page(pid, self._frames[pid])
-        self._dirty.clear()
-        self.file.flush()
+        with self._lock:
+            for pid in sorted(self._dirty):
+                self.file.write_page(pid, self._frames[pid])
+            self._dirty.clear()
+            self.file.flush()
 
     def close(self) -> None:
-        self.flush()
-        self.file.close()
+        with self._lock:
+            self.flush()
+            self.file.close()
 
     def abort(self) -> None:
         """Drop all cached state and close without flushing or committing
         (crash simulation / error cleanup)."""
-        self._frames.clear()
-        self._dirty.clear()
-        self.file.abort()
+        with self._lock:
+            self._frames.clear()
+            self._dirty.clear()
+            self.file.abort()
 
     def reset_stats(self) -> None:
         """Zero the cache and file counters (used between experiment runs)."""
@@ -481,8 +516,9 @@ class BufferManager:
 
     def drop_cache(self) -> None:
         """Flush and empty the cache (simulates a cold start)."""
-        self.flush()
-        self._frames.clear()
+        with self._lock:
+            self.flush()
+            self._frames.clear()
 
     def stats(self) -> dict[str, int]:
         return {

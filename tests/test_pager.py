@@ -162,3 +162,66 @@ class TestBufferManager:
         buf.close()
         with PagedFile(path) as f2:
             assert f2.read_page(pid)[:7] == b"flushed"
+
+
+class TestConcurrentReads:
+    """The serve worker pool reads one shared file/buffer concurrently.
+
+    Without per-instance locks an interleaved seek+read returns another
+    thread's page frame — whose CRC still validates, so the only symptom
+    is silently wrong data (or a KeyError out of the LRU bookkeeping).
+    """
+
+    N_PAGES = 24
+    N_THREADS = 8
+    ROUNDS = 60
+
+    @staticmethod
+    def _payload(pid: int) -> bytes:
+        return bytes([pid]) * 16
+
+    def _fill(self, target) -> list[int]:
+        write = getattr(target, "write", None) or target.write_page
+        pids = [target.allocate() for _ in range(self.N_PAGES)]
+        for pid in pids:
+            write(pid, self._payload(pid))
+        return pids
+
+    def _hammer(self, read, pids):
+        import random
+        import threading
+
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                for _ in range(self.ROUNDS):
+                    pid = rng.choice(pids)
+                    got = read(pid)[:16]
+                    assert got == self._payload(pid), (
+                        f"page {pid} returned another page's frame: {got!r}"
+                    )
+            except BaseException as exc:  # surfaced on the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors, errors[0]
+
+    def test_paged_file_reads_are_thread_safe(self, paged):
+        pids = self._fill(paged)
+        self._hammer(paged.read_page, pids)
+
+    def test_buffer_manager_reads_are_thread_safe(self, paged):
+        # A two-page buffer maximizes miss/eviction churn over the LRU.
+        buf = BufferManager(paged, capacity_bytes=512 * 2)
+        pids = self._fill(buf)
+        buf.flush()
+        self._hammer(buf.read, pids)

@@ -11,6 +11,7 @@ retry grinds.
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
@@ -416,6 +417,53 @@ class TestCircuitBreaker:
         # The slot must be free again or the breaker wedges half-open.
         assert br.call("x", lambda: 42) == 42
         assert br.state == CLOSED
+
+    def test_allow_reports_probe_admission(self):
+        vc = VirtualClock()
+        br = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1.0, clock=vc.monotonic
+        )
+        assert br.allow("x") is False  # closed: no probe slot held
+        br.record_failure()
+        vc.advance(1.0)
+        assert br.allow("x") is True  # half-open: took the probe slot
+
+    def test_closed_admission_cannot_free_anothers_probe_slot(self):
+        """A call admitted while CLOSED that fails with an uncounted
+        exception after the breaker half-opened must not release the slot
+        a real probe is holding (that would over-admit probes)."""
+        vc = VirtualClock()
+        br = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1.0, clock=vc.monotonic
+        )
+        started = threading.Event()
+        release = threading.Event()
+        outcome: list[BaseException] = []
+
+        def slow_then_interrupted():
+            started.set()
+            assert release.wait(10)
+            raise ParameterError("uncounted: not a dependency failure")
+
+        def closed_caller():
+            try:
+                br.call("x", slow_then_interrupted)
+            except BaseException as exc:
+                outcome.append(exc)
+
+        t = threading.Thread(target=closed_caller, daemon=True)
+        t.start()
+        assert started.wait(10)  # admitted while CLOSED
+        br.record_failure()  # trips open behind its back
+        vc.advance(1.0)
+        assert br.state == HALF_OPEN
+        assert br.allow("probe") is True  # the one probe slot is now held
+        release.set()
+        t.join(10)
+        assert isinstance(outcome[0], ParameterError)
+        # The probe slot must still be occupied by the real probe.
+        with pytest.raises(CircuitOpenError):
+            br.allow("x")
 
     def test_obs_counters(self):
         obs.reset()

@@ -104,10 +104,27 @@ class TestProtocol:
         assert error_name(CircuitOpenError("pager", "s", 1.0)) == "CircuitOpen"
         assert error_name(BudgetExceededError("op", 1, 2)) == "BudgetExceeded"
         assert error_name(ParameterError("bad")) == "BadRequest"
-        assert error_name(KeyError("eps")) == "BadRequest"
         assert error_name(StorageError("hm")) == "StorageError"
         assert error_name(OSError("disk")) == "IOError"
         assert error_name(RuntimeError("?")) == "InternalError"
+        # Bare lookup/conversion errors escaping deep algorithm code are
+        # internal bugs, not the client's malformed request: the service
+        # wraps genuine field-extraction failures in ParameterError.
+        assert error_name(KeyError("eps")) == "InternalError"
+        assert error_name(TypeError("x")) == "InternalError"
+        assert error_name(ValueError("x")) == "InternalError"
+
+    def test_parse_request_rejects_bad_timeout_ms(self):
+        for bad in ('"abc"', "[5]", "true", "-1", "NaN"):
+            with pytest.raises(ParameterError):
+                parse_request(
+                    '{"op": "knn", "point_id": 0, "k": 1, '
+                    f'"timeout_ms": {bad}}}'
+                )
+        doc = parse_request(
+            '{"op": "knn", "point_id": 0, "k": 1, "timeout_ms": 50.5}'
+        )
+        assert doc["timeout_ms"] == 50.5
 
     def test_responses_carry_request_id(self):
         assert result_response({"id": 7}, [1]) == {
@@ -164,12 +181,30 @@ class TestQueryService:
         with QueryService(net, pts, workers=1) as svc:
             bad = svc.submit({"op": "range", "point_id": 0})  # missing eps
             worse = svc.submit({"op": "cluster", "algorithm": "nope"})
+            unconvertible = svc.submit(
+                {"op": "range", "point_id": 0, "eps": "wide"}
+            )
+            missing = svc.submit({"op": "range", "point_id": 10**9, "eps": 1.0})
             good = svc.submit({"op": "knn", "point_id": 0, "k": 1})
-            with pytest.raises(KeyError):
-                bad.result(10)
-            with pytest.raises(ParameterError):
-                worse.result(10)
-            assert len(good.result(10)) == 1  # the worker survived both
+            # Every malformed-request flavor surfaces as ParameterError
+            # (wire name BadRequest), never a bare KeyError/ValueError.
+            for future in (bad, worse, unconvertible, missing):
+                with pytest.raises(ParameterError):
+                    future.result(10)
+            assert len(good.result(10)) == 1  # the worker survived them all
+
+    def test_bad_timeout_ms_rejected_at_submit(self, workload):
+        net, pts = workload
+        with QueryService(net, pts, workers=1) as svc:
+            for bad in ("abc", [5], True, -1, float("nan")):
+                with pytest.raises(ParameterError):
+                    svc.submit(
+                        {"op": "knn", "point_id": 0, "k": 1, "timeout_ms": bad}
+                    )
+            ok = svc.submit(
+                {"op": "knn", "point_id": 0, "k": 1, "timeout_ms": 60000}
+            )
+            assert len(ok.result(10)) == 1
 
     def test_injected_crash_fails_alone(self, workload):
         net, pts = workload
@@ -287,7 +322,7 @@ class TestQueryService:
                 good = svc.submit({"op": "range", "point_id": 0, "eps": 1.0})
                 bad = svc.submit({"op": "range", "point_id": 0})
                 good.result(10)
-                with pytest.raises(KeyError):
+                with pytest.raises(ParameterError):
                     bad.result(10)
             counters = obs.snapshot()["counters"]
             assert counters.get("serve.submitted") == 2
@@ -441,6 +476,40 @@ class TestChaosSweep:
         assert _chaos_run(seed, store_path) == _chaos_run(seed, store_path)
 
 
+class TestConcurrentStoreReads:
+    def test_shared_store_serves_correct_results_concurrently(self, tmp_path):
+        """Many workers over one disk-backed store: every answer must match
+        the sequential ground truth (the pager/buffer locks make the
+        shared handle safe; without them an interleaved seek+read returns
+        another request's page, which still passes its CRC)."""
+        rng = random.Random(7)
+        net = make_random_connected_network(rng, 30, extra_edges=10)
+        pts = scatter_points(rng, net, 40)
+        path = tmp_path / "w.store"
+        NetworkStore.build(path, net, pts, page_size=512).close()
+        # A tiny buffer keeps misses/evictions hot so the physical read
+        # path is exercised constantly, not just on first touch.
+        store = NetworkStore(path, buffer_bytes=512 * 2)
+        try:
+            spts = store.points()
+            aug = AugmentedView(store, spts)
+            expected = {
+                i: [[p.point_id, d] for p, d in
+                    range_query(aug, spts.get(i), 2.5)]
+                for i in range(10)
+            }
+            svc = QueryService(store, spts, workers=6, queue_depth=128)
+            with svc:
+                futures = [
+                    (i, svc.submit({"op": "range", "point_id": i, "eps": 2.5}))
+                    for _ in range(4) for i in range(10)
+                ]
+                for i, future in futures:
+                    assert future.result(60) == expected[i], f"point {i}"
+        finally:
+            store.close()
+
+
 class TestMultiWorkerInvariants:
     def test_every_future_resolves_and_pool_drains(self, workload):
         net, pts = workload
@@ -508,6 +577,31 @@ class TestServeCLI:
         assert by_id["r5"]["error"] == "BadRequest"
         assert by_id[None]["error"] == "BadRequest"
         assert "served 3/6" in capsys.readouterr().err
+
+    def test_bad_timeout_ms_fails_alone(self, cli_workload, tmp_path, capsys):
+        """One malformed timeout_ms answers BadRequest; the session serves on."""
+        reqs = tmp_path / "reqs.ldjson"
+        reqs.write_text("\n".join([
+            '{"id": "r1", "op": "knn", "point_id": 0, "k": 2,'
+            ' "timeout_ms": "abc"}',
+            '{"id": "r2", "op": "knn", "point_id": 0, "k": 2,'
+            ' "timeout_ms": -5}',
+            '{"id": "r3", "op": "knn", "point_id": 0, "k": 2}',
+            "",
+        ]))
+        out = tmp_path / "resp.ldjson"
+        assert main([
+            "serve", str(cli_workload), "--input", str(reqs),
+            "--output", str(out),
+        ]) == 0
+        docs = [
+            json.loads(line) for line in out.read_text().splitlines() if line
+        ]
+        by_id = {d["id"]: d for d in docs}
+        assert by_id["r1"]["error"] == "BadRequest"
+        assert by_id["r2"]["error"] == "BadRequest"
+        assert by_id["r3"]["ok"] is True
+        assert "served 1/3" in capsys.readouterr().err
 
     def test_resilience_flags_accepted(self, cli_workload, tmp_path):
         reqs = tmp_path / "reqs.ldjson"
