@@ -1,0 +1,128 @@
+"""Distance-acceleration layer: landmark bounds + shared distance cache.
+
+Three measurements for the ``repro.perf`` subsystem:
+
+* corridor-pruned point-to-point search vs plain Dijkstra — the landmark
+  upper bound caps how far the search may wander, so it settles a
+  fraction of the vertices while returning bit-identical distances;
+* range queries with the landmark candidate prefilter vs the plain
+  expansion;
+* warm repeated queries through :class:`repro.serve.QueryService` with
+  the shared distance cache on vs off.
+
+All variants assert exact equality with the unaccelerated answers — the
+acceleration contract is "same bits, less work".  The ``perf.*`` obs
+counters land in the metrics sidecar (see ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.network.augmented import AugmentedView
+from repro.network.queries import range_query
+from repro.perf import DistanceAccelerator, unaccelerated_point_distance
+from repro.serve import QueryService
+
+from benchmarks._workloads import get_workload
+
+K = 10
+LANDMARKS = 8
+N_PAIRS = 40
+
+
+@pytest.mark.benchmark(group="perf-accel")
+def bench_landmark_p2p_vs_dijkstra(benchmark):
+    """Settled-vertex counts for corridor-pruned vs plain p2p search."""
+    network, points, spec, eps = get_workload("SF", k=K)
+    aug = AugmentedView(network, points)
+    accel = DistanceAccelerator(aug, landmarks=LANDMARKS, cache_mb=0.0)
+    rng = random.Random(7)
+    pts = list(points)
+    pairs = [tuple(rng.sample(pts, 2)) for _ in range(N_PAIRS)]
+
+    def run():
+        settled = 0
+        for p, q in pairs:
+            _, s = accel._point_distance_search(p, q)
+            settled += s
+        return settled / len(pairs)
+
+    accel_avg = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain_settled = 0
+    for p, q in pairs:
+        d_plain, s = unaccelerated_point_distance(aug, p, q)
+        d_accel, _ = accel._point_distance_search(p, q)
+        assert d_accel == d_plain  # bit-identical, not approximately equal
+        plain_settled += s
+    plain_avg = plain_settled / len(pairs)
+    benchmark.extra_info.update(
+        {
+            "landmarks": LANDMARKS,
+            "accel_avg_settled": round(accel_avg, 1),
+            "plain_avg_settled": round(plain_avg, 1),
+            "settled_ratio": round(accel_avg / plain_avg, 3),
+        }
+    )
+    # The acceptance bar: at least 30% fewer settled vertices.
+    assert accel_avg <= 0.7 * plain_avg
+
+
+@pytest.mark.benchmark(group="perf-accel")
+def bench_landmark_range_vs_plain(benchmark):
+    """Range queries with the landmark candidate prefilter."""
+    network, points, spec, eps = get_workload("SF", k=K)
+    aug = AugmentedView(network, points)
+    accel = DistanceAccelerator(aug, landmarks=LANDMARKS, cache_mb=0.0)
+    rng = random.Random(11)
+    queries = rng.sample(list(points), 20)
+
+    def run():
+        return [accel.range_query(q, eps) for q in queries]
+
+    accelerated = benchmark.pedantic(run, rounds=1, iterations=1)
+    for q, hits in zip(queries, accelerated):
+        assert hits == range_query(aug, q, eps)
+    benchmark.extra_info.update(
+        {
+            "landmarks": LANDMARKS,
+            "eps": round(eps, 3),
+            "total_hits": sum(len(h) for h in accelerated),
+        }
+    )
+
+
+@pytest.mark.benchmark(group="perf-accel")
+@pytest.mark.parametrize("cache_mb", [0.0, 16.0])
+def bench_serve_warm_repeats(benchmark, cache_mb):
+    """Repeated identical queries through the service, cache on vs off."""
+    network, points, spec, eps = get_workload("OL", k=K)
+    rng = random.Random(13)
+    ids = [p.point_id for p in rng.sample(list(points), 10)]
+    requests = [
+        {"op": "range", "point_id": pid, "eps": eps} for pid in ids
+    ] + [{"op": "knn", "point_id": pid, "k": 5} for pid in ids]
+    service = QueryService(
+        network, points, workers=2,
+        landmarks=LANDMARKS if cache_mb else 0,
+        distance_cache_mb=cache_mb,
+    )
+    try:
+        cold = [service.call(dict(r)) for r in requests]  # warm the cache
+
+        def run():
+            t0 = time.perf_counter()
+            warm = [service.call(dict(r)) for r in requests]
+            assert warm == cold
+            return time.perf_counter() - t0
+
+        warm_s = benchmark.pedantic(run, rounds=1, iterations=1)
+        info = {"cache_mb": cache_mb, "warm_repeat_s": round(warm_s, 4)}
+        if service._distance_cache is not None:
+            info["cache"] = service._distance_cache.stats()
+        benchmark.extra_info.update(info)
+    finally:
+        service.close()

@@ -122,6 +122,9 @@ def __getattr__(name):
         "VirtualClock": "repro.resilience",
         "TickingClock": "repro.resilience",
         "QueryService": "repro.serve",
+        "DistanceAccelerator": "repro.perf",
+        "DistanceCache": "repro.perf",
+        "LandmarkIndex": "repro.perf",
     }
     if name in lazy:
         import importlib

@@ -118,17 +118,36 @@ def _build_budget(args: argparse.Namespace):
     )
 
 
+def _build_accelerator(args: argparse.Namespace, network, points):
+    """A :class:`~repro.perf.DistanceAccelerator` when ``--landmarks`` or
+    ``--distance-cache-mb`` is set, else None."""
+    landmarks = getattr(args, "landmarks", 0)
+    cache_mb = getattr(args, "distance_cache_mb", 0.0)
+    if landmarks <= 0 and cache_mb <= 0:
+        return None
+    from repro.network.augmented import AugmentedView
+    from repro.perf import DistanceAccelerator
+
+    return DistanceAccelerator(
+        AugmentedView(network, points),
+        landmarks=max(landmarks, 0),
+        cache_mb=max(cache_mb, 0.0),
+    )
+
+
 def _build_algorithm(args: argparse.Namespace, network, points):
     name = args.algorithm
     budget = _build_budget(args)
+    accelerator = _build_accelerator(args, network, points)
     if name == "k-medoids":
         return NetworkKMedoids(network, points, k=args.k, seed=args.seed,
-                               n_restarts=args.restarts, budget=budget)
+                               n_restarts=args.restarts, budget=budget,
+                               accelerator=accelerator)
     if name in ("eps-link", "dbscan", "optics") and args.eps is None:
         raise SystemExit(f"--eps is required for {name}")
     if name == "eps-link":
         return EpsLink(network, points, eps=args.eps, min_sup=args.min_pts,
-                       budget=budget)
+                       budget=budget, accelerator=accelerator)
     if name == "dbscan":
         return NetworkDBSCAN(network, points, eps=args.eps, min_pts=args.min_pts,
                              budget=budget)
@@ -461,6 +480,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             queue_depth=args.queue_depth,
             default_timeout_s=default_timeout_s,
+            landmarks=args.landmarks,
+            distance_cache_mb=args.distance_cache_mb,
         )
         pending: list[tuple[dict, object]] = []  # (request, future-or-error)
         served = 0
@@ -583,6 +604,13 @@ def build_parser() -> argparse.ArgumentParser:
     clus.add_argument("--timeout-ms", type=float, default=None, metavar="T",
                       help="abort cleanly (exit 3, checkpoint kept) once the "
                            "run exceeds this wall-clock budget")
+    clus.add_argument("--landmarks", type=int, default=0, metavar="L",
+                      help="accelerate with L landmark distance bounds "
+                           "(identical results, fewer settles; 0 = off)")
+    clus.add_argument("--distance-cache-mb", type=float, default=0.0,
+                      metavar="MB",
+                      help="share an MB-bounded distance/result memo across "
+                           "restarts and swaps (0 = off)")
     clus.set_defaults(func=_cmd_cluster)
 
     srv = sub.add_parser(
@@ -611,6 +639,13 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="MS",
                      help="breaker cool-down before half-open probes "
                           "(default 1000)")
+    srv.add_argument("--landmarks", type=int, default=0, metavar="L",
+                     help="accelerate range/knn with L landmark distance "
+                          "bounds shared across workers (0 = off)")
+    srv.add_argument("--distance-cache-mb", type=float, default=0.0,
+                     metavar="MB",
+                     help="serve repeated queries from an MB-bounded memo "
+                          "shared across workers (0 = off)")
     srv.add_argument("--stats", action="store_true",
                      help="print the repro.obs per-phase time/counter table")
     srv.add_argument("--trace", default=None, metavar="FILE",

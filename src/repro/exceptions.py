@@ -15,6 +15,7 @@ __all__ = [
     "NodeNotFoundError",
     "EdgeNotFoundError",
     "InvalidWeightError",
+    "MissingCoordinatesError",
     "PointError",
     "PointNotFoundError",
     "InvalidPositionError",
@@ -64,6 +65,21 @@ class EdgeNotFoundError(NetworkError, KeyError):
 
 class InvalidWeightError(NetworkError, ValueError):
     """An edge weight is not a positive finite real number."""
+
+
+class MissingCoordinatesError(NetworkError):
+    """A node exists but carries no planar coordinates.
+
+    Raised by ``node_coords`` accessors.  Kept distinct from
+    :class:`NodeNotFoundError` (and from injected I/O faults) so callers
+    that degrade gracefully without coordinates — e.g. the A* heuristic
+    falling back to h = 0 — can catch exactly this condition and let every
+    real failure propagate.
+    """
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node} has no coordinates")
+        self.node = node
 
 
 class PointError(ReproError):

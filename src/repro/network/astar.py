@@ -21,24 +21,59 @@ from __future__ import annotations
 import heapq
 import math
 
-from repro.exceptions import UnreachableError
+from repro.exceptions import MissingCoordinatesError, UnreachableError
 from repro.network.augmented import AugmentedView, NODE, point_vertex
 from repro.network.points import NetworkPoint
+from repro.obs.core import add as _obs_add
 
 __all__ = ["node_distance_astar", "point_distance_astar"]
 
 
+def _zero_heuristic(_vertex) -> float:
+    return 0.0
+
+
+def _heuristic_fallback() -> None:
+    """Record that a search degraded to h = 0 (blind Dijkstra).
+
+    Counted once per search (whole-search fallback) or once per search on
+    the first partially-coordinated vertex — never per heuristic call.
+    """
+    _obs_add("perf.heuristic.fallback")
+
+
 def _node_heuristic(network, target: int):
-    """h(node) = straight-line distance to the target, or 0 without coords."""
+    """h(node) = straight-line distance to the target, or 0 without coords.
+
+    Only the *missing coordinates* condition degrades the heuristic:
+    backends without a ``node_coords`` accessor (the disk store) and nodes
+    that simply carry no position fall back to h = 0, which keeps the
+    search exact.  Everything else — unknown nodes, injected I/O faults,
+    real bugs — propagates; swallowing it here would silently turn every
+    A* into a full Dijkstra with no sign anything went wrong.
+    """
+    node_coords = getattr(network, "node_coords", None)
+    if node_coords is None:
+        _heuristic_fallback()
+        return _zero_heuristic
     try:
-        tx, ty = network.node_coords(target)
-    except Exception:
-        return lambda node: 0.0
+        tx, ty = node_coords(target)
+    except MissingCoordinatesError:
+        _heuristic_fallback()
+        return _zero_heuristic
+
+    fellback = False
 
     def h(node: int) -> float:
         try:
-            x, y = network.node_coords(node)
-        except Exception:
+            x, y = node_coords(node)
+        except MissingCoordinatesError:
+            # A partially-coordinated network: h = 0 for this node only
+            # (still admissible).  Count the degradation once per search.
+            nonlocal fellback
+            if not fellback:
+                fellback = True
+                _heuristic_fallback()
             return 0.0
         return math.hypot(x - tx, y - ty)
 
@@ -87,24 +122,32 @@ def point_distance_astar(
     if p.point_id == q.point_id:
         return 0.0, 0
     network = aug.network
-    try:
-        tx, ty = q.coords(network)
-        coords_available = True
-    except Exception:
-        coords_available = False
-
-    def h(vertex) -> float:
-        if not coords_available:
-            return 0.0
-        kind, ident = vertex
+    if getattr(network, "node_coords", None) is None:
+        _heuristic_fallback()
+        h = _zero_heuristic
+    else:
         try:
-            if kind == NODE:
-                x, y = network.node_coords(ident)
-            else:
-                x, y = aug.points.get(ident).coords(network)
-        except Exception:
-            return 0.0
-        return math.hypot(x - tx, y - ty)
+            tx, ty = q.coords(network)
+        except MissingCoordinatesError:
+            _heuristic_fallback()
+            h = _zero_heuristic
+        else:
+            fellback = False
+
+            def h(vertex) -> float:
+                kind, ident = vertex
+                try:
+                    if kind == NODE:
+                        x, y = network.node_coords(ident)
+                    else:
+                        x, y = aug.points.get(ident).coords(network)
+                except MissingCoordinatesError:
+                    nonlocal fellback
+                    if not fellback:
+                        fellback = True
+                        _heuristic_fallback()
+                    return 0.0
+                return math.hypot(x - tx, y - ty)
 
     source = point_vertex(p.point_id)
     target = point_vertex(q.point_id)

@@ -67,6 +67,11 @@ class AugmentedView:
         # built lazily one edge at a time.
         self._index_cache: dict[int, int] = {}
         self._indexed_edges: set[tuple[int, int]] = set()
+        # Downstream consumers (distance caches, memoized landmark point
+        # tables) register here; invalidate() is the single notification
+        # point for "the point set changed under this view".
+        self._invalidation_hooks: list = []
+        self._points_version = getattr(points, "version", None)
 
     @property
     def network(self):
@@ -81,6 +86,14 @@ class AugmentedView:
     # ------------------------------------------------------------------
     def _edge_index(self, point: NetworkPoint) -> int:
         """Index of ``point`` within the sorted point list of its edge."""
+        if self._points_version is not None:
+            version = self._points.version
+            if version != self._points_version:
+                # The point set mutated without an explicit invalidate():
+                # drop the stale indexes (and notify downstream caches)
+                # before serving from them.
+                self.invalidate()
+                self._points_version = version
         if point.edge not in self._indexed_edges:
             for i, p in enumerate(self._points.points_on_edge(point.u, point.v)):
                 self._index_cache[p.point_id] = i
@@ -156,7 +169,24 @@ class AugmentedView:
         """
         return [(0.0, point_vertex(point.point_id))]
 
+    def add_invalidation_hook(self, hook) -> None:
+        """Register ``hook()`` to run whenever this view is invalidated.
+
+        This is the single invalidation path for every cache keyed off the
+        point set: :meth:`invalidate` (called explicitly after a mutation,
+        or automatically when the point set's ``version`` is observed to
+        have moved) clears the view's own edge indexes *and* fires every
+        registered hook, so downstream memoization — the
+        :class:`~repro.perf.DistanceCache`, memoized landmark point tables
+        — can never serve distances for a point set that no longer exists.
+        """
+        self._invalidation_hooks.append(hook)
+
     def invalidate(self) -> None:
-        """Drop cached edge indexes (call after mutating the point set)."""
+        """Drop cached edge indexes (call after mutating the point set) and
+        notify every registered invalidation hook."""
         self._index_cache.clear()
         self._indexed_edges.clear()
+        self._points_version = getattr(self._points, "version", None)
+        for hook in self._invalidation_hooks:
+            hook()

@@ -24,6 +24,7 @@ from collections.abc import Iterable, Iterator, Mapping
 from repro.exceptions import (
     EdgeNotFoundError,
     InvalidWeightError,
+    MissingCoordinatesError,
     NetworkError,
     NodeNotFoundError,
 )
@@ -199,7 +200,7 @@ class SpatialNetwork:
         try:
             return self._coords[node]
         except KeyError:
-            raise NetworkError(f"node {node} has no coordinates") from None
+            raise MissingCoordinatesError(node) from None
 
     def has_coords(self, node: int) -> bool:
         return node in self._coords

@@ -136,6 +136,11 @@ class PointSet:
         # edge -> list of points sorted by offset (ties broken by point id,
         # which keeps insertion deterministic).
         self._by_edge: dict[tuple[int, int], list[NetworkPoint]] = {}
+        #: Bumped on every mutation; consumers that memoise anything derived
+        #: from the point set (edge indexes, distance caches, landmark
+        #: tables) compare it against the version they captured and drop
+        #: their state when it moved — see ``AugmentedView.invalidate``.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -181,6 +186,7 @@ class PointSet:
         self._by_id[point_id] = point
         group = self._by_edge.setdefault((a, b), [])
         bisect.insort(group, point, key=lambda p: (p.offset, p.point_id))
+        self.version += 1
         return point
 
     @classmethod
@@ -201,6 +207,7 @@ class PointSet:
         group.remove(point)
         if not group:
             del self._by_edge[point.edge]
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Lookup

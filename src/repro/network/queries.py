@@ -22,6 +22,15 @@ from repro.resilience.deadline import STATE as _RES, check as _res_check
 __all__ = ["range_query", "knn_query", "nearest_point"]
 
 
+def _result_order(hit: tuple[NetworkPoint, float]) -> tuple[float, int]:
+    """Canonical result ordering: ascending distance, ties by point id.
+
+    Shared by the plain searches here and the accelerated ones in
+    :mod:`repro.perf`, so the two code paths return bit-identical lists."""
+    point, distance = hit
+    return (distance, point.point_id)
+
+
 def range_query(
     aug: AugmentedView,
     query: NetworkPoint,
@@ -30,20 +39,24 @@ def range_query(
 ) -> list[tuple[NetworkPoint, float]]:
     """All objects within network distance ``eps`` of ``query``.
 
-    Returns ``(point, distance)`` pairs sorted by ascending distance.  The
-    query point itself (distance 0) is included by default, matching
-    DBSCAN's convention of counting the centre in its ε-neighbourhood.
+    Returns ``(point, distance)`` pairs sorted by ascending distance, ties
+    broken by point id (a deterministic ordering shared with the
+    accelerated search in :mod:`repro.perf`).  The query point itself
+    (distance 0) is included by default, matching DBSCAN's convention of
+    counting the centre in its ε-neighbourhood.
     """
     if eps < 0:
         return []
     guard = _FAULTS.engaged or _RES.engaged
     budget = _FAULTS.budget if guard else None
     results: list[tuple[NetworkPoint, float]] = []
+    source = point_vertex(query.point_id)
     dist: dict = {}
-    heap: list[tuple[float, tuple[int, int]]] = [(0.0, point_vertex(query.point_id))]
+    best: dict = {source: 0.0}  # tentative distances: no dominated pushes
+    heap: list[tuple[float, tuple[int, int]]] = [(0.0, source)]
     while heap:
         d, vertex = heapq.heappop(heap)
-        if vertex in dist or d > eps:
+        if vertex in dist:
             continue
         if guard:
             if _FAULTS.engaged:
@@ -58,10 +71,13 @@ def range_query(
             if include_query or ident != query.point_id:
                 results.append((aug.points.get(ident), d))
         for nbr, weight in aug.neighbors(vertex):
-            if nbr not in dist:
-                nd = d + weight
-                if nd <= eps:
-                    heapq.heappush(heap, (nd, nbr))
+            if nbr in dist:
+                continue
+            nd = d + weight
+            if nd <= eps and nd < best.get(nbr, math.inf):
+                best[nbr] = nd
+                heapq.heappush(heap, (nd, nbr))
+    results.sort(key=_result_order)
     if _OBS.enabled:
         _obs_add("queries.range_queries")
         _obs_add("queries.vertices_settled", len(dist))
@@ -78,16 +94,23 @@ def knn_query(
     """The ``k`` objects with smallest network distance from ``query``.
 
     Returns at most ``k`` ``(point, distance)`` pairs sorted by ascending
-    distance (fewer when the reachable component holds fewer objects).  The
-    query point itself is excluded by default.
+    distance, ties broken by point id — including the tie *at the k-th
+    distance*: vertices settle in ``(distance, vertex)`` order and point
+    vertices encode their point id, so of several objects exactly at the
+    k-th distance the smallest ids win deterministically (the accelerated
+    search in :mod:`repro.perf` makes the same choice).  Fewer pairs are
+    returned when the reachable component holds fewer objects.  The query
+    point itself is excluded by default.
     """
     if k <= 0:
         return []
     guard = _FAULTS.engaged or _RES.engaged
     budget = _FAULTS.budget if guard else None
     results: list[tuple[NetworkPoint, float]] = []
+    source = point_vertex(query.point_id)
     dist: dict = {}
-    heap: list[tuple[float, tuple[int, int]]] = [(0.0, point_vertex(query.point_id))]
+    best: dict = {source: 0.0}  # tentative distances: no dominated pushes
+    heap: list[tuple[float, tuple[int, int]]] = [(0.0, source)]
     while heap and len(results) < k:
         d, vertex = heapq.heappop(heap)
         if vertex in dist:
@@ -106,8 +129,13 @@ def knn_query(
             if len(results) == k:
                 break
         for nbr, weight in aug.neighbors(vertex):
-            if nbr not in dist:
-                heapq.heappush(heap, (d + weight, nbr))
+            if nbr in dist:
+                continue
+            nd = d + weight
+            if nd < best.get(nbr, math.inf):
+                best[nbr] = nd
+                heapq.heappush(heap, (nd, nbr))
+    results.sort(key=_result_order)
     if _OBS.enabled:
         _obs_add("queries.knn_queries")
         _obs_add("queries.vertices_settled", len(dist))

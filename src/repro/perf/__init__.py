@@ -1,0 +1,27 @@
+"""Distance acceleration: landmark (ALT) bounds + shared memoization.
+
+Everything in this package is an *exactness-preserving* accelerator: the
+guided searches, screens, and caches return bit-identical results to the
+plain primitives in :mod:`repro.network` and :mod:`repro.core` (a
+property-tested guarantee — see ``tests/test_perf.py``), they just get
+there settling fewer vertices and recomputing less.  See
+``docs/performance.md`` for tuning guidance.
+"""
+
+from repro.perf.accel import DistanceAccelerator, unaccelerated_point_distance
+from repro.perf.cache import ENTRY_BYTES, DistanceCache
+from repro.perf.landmarks import (
+    LandmarkIndex,
+    vector_lower_bound,
+    vector_upper_bound,
+)
+
+__all__ = [
+    "DistanceAccelerator",
+    "DistanceCache",
+    "ENTRY_BYTES",
+    "LandmarkIndex",
+    "unaccelerated_point_distance",
+    "vector_lower_bound",
+    "vector_upper_bound",
+]

@@ -1,0 +1,206 @@
+"""Landmark (ALT) distance bounds for spatial networks.
+
+A *landmark* is a network node from which shortest-path distances to every
+reachable node are precomputed (one Dijkstra per landmark).  By the triangle
+inequality, for any nodes ``u``, ``v`` and landmark ``l``
+
+    d(u, v) >= |d(l, u) - d(l, v)|        (lower bound)
+    d(u, v) <= d(l, u) + d(l, v)          (upper bound)
+
+so the tables give cheap two-sided bounds on any network distance without
+running a search.  Unlike the Euclidean heuristic of
+:mod:`repro.network.astar` — admissible only when edge weights dominate the
+straight-line distance — the landmark bounds hold for *any* positive weight
+measure (travel time, toll cost, ...), and the lower bound is a *consistent*
+A* heuristic: ``lb(u, t) <= W(u, v) + lb(v, t)`` follows from a second
+triangle inequality, so an A* search guided by it settles every vertex at
+its exact distance and returns bit-identical results to plain Dijkstra.
+
+Landmarks are chosen by **farthest-point sampling**: the first landmark is
+the smallest node id, each further landmark is the node maximising the
+distance to its nearest chosen landmark (unreached nodes — other connected
+components — count as infinitely far and are preferred, so every component
+eventually receives a landmark).  All tie-breaks are by smallest node id,
+making the construction deterministic.
+
+Objects on edges participate through Definition 2's direct distances: the
+distance from a landmark to a point ``p`` on edge ``(u, v)`` is exactly
+
+    d(l, p) = min(d(l, u) + pos_p,  d(l, v) + W(u, v) - pos_p)
+
+because every path into ``p`` enters its edge through one of the endpoints.
+:meth:`LandmarkIndex.point_vector` evaluates this per landmark, giving each
+object an L-dimensional *landmark coordinate vector*; bounds between two
+objects are computed coordinate-wise by :func:`vector_lower_bound` /
+:func:`vector_upper_bound`.
+
+Unreachable entries are ``math.inf`` and carry real information: if exactly
+one of two locations is unreachable from some landmark they lie in different
+connected components, so their true distance *is* infinite and the lower
+bound returns ``inf``.  When both are unreachable the landmark says nothing
+and is skipped.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.dijkstra import single_source
+from repro.network.points import NetworkPoint
+from repro.obs.core import STATE as _OBS, add as _obs_add, span as _span
+
+__all__ = ["LandmarkIndex", "vector_lower_bound", "vector_upper_bound"]
+
+
+def vector_lower_bound(a: tuple, b: tuple) -> float:
+    """``max_l |a_l - b_l|``: a lower bound on the distance between two
+    locations with landmark coordinate vectors ``a`` and ``b``.
+
+    ``inf`` coordinates follow component semantics: a landmark reaching
+    exactly one of the two locations proves they are disconnected (the
+    bound is ``inf``); a landmark reaching neither proves nothing and is
+    skipped.
+    """
+    best = 0.0
+    for x, y in zip(a, b):
+        if math.isinf(x):
+            if math.isinf(y):
+                continue
+            return math.inf
+        if math.isinf(y):
+            return math.inf
+        diff = x - y if x >= y else y - x
+        if diff > best:
+            best = diff
+    return best
+
+
+def vector_upper_bound(a: tuple, b: tuple) -> float:
+    """``min_l (a_l + b_l)``: an upper bound on the distance between two
+    locations with landmark coordinate vectors ``a`` and ``b`` (``inf``
+    when no landmark reaches both)."""
+    best = math.inf
+    for x, y in zip(a, b):
+        s = x + y
+        if s < best:
+            best = s
+    return best
+
+
+class LandmarkIndex:
+    """Precomputed node→landmark distance tables over one network.
+
+    Parameters
+    ----------
+    network:
+        Any backend with ``nodes()``, ``neighbors(node)`` and
+        ``edge_weight(u, v)`` — the in-memory network and the disk store
+        both qualify; coordinates are *not* required.
+    num_landmarks:
+        How many landmarks to select (clamped to the node count).  Each
+        costs one full Dijkstra at build time and one float per node of
+        memory; 4–16 is the useful range (see ``docs/performance.md``).
+
+    Notes
+    -----
+    The index is built for a **fixed network**: mutating the network's
+    edges after construction silently invalidates the tables (point-set
+    mutations are fine — points never affect node-to-node distances).
+    Build a fresh index after changing the network.
+    """
+
+    def __init__(self, network, num_landmarks: int = 8) -> None:
+        self._network = network
+        self.landmarks: list[int] = []
+        self._tables: list[dict[int, float]] = []
+        #: Characteristic distance magnitude (the largest finite table
+        #: entry, at least 1.0).  Consumers that compare float bounds
+        #: against float distances size their rounding tolerance from it
+        #: — see the slack discussion in :mod:`repro.perf.accel`.
+        self.scale = 1.0
+        with _span("perf.landmarks.build"):
+            self._build(int(num_landmarks))
+        for table in self._tables:
+            for value in table.values():
+                if value > self.scale and not math.isinf(value):
+                    self.scale = value
+        if _OBS.enabled:
+            _obs_add("perf.landmarks.built", len(self.landmarks))
+
+    def _build(self, num_landmarks: int) -> None:
+        nodes = sorted(self._network.nodes())
+        if not nodes or num_landmarks <= 0:
+            return
+        # Farthest-point sampling, fully deterministic: start from the
+        # smallest node id; prefer unreached nodes (smallest id first) so
+        # disconnected components each get a landmark; otherwise take the
+        # node farthest from every chosen landmark (ties by smallest id).
+        nearest: dict[int, float] = {n: math.inf for n in nodes}
+        candidate = nodes[0]
+        for _ in range(min(num_landmarks, len(nodes))):
+            table = single_source(self._network, candidate)
+            self.landmarks.append(candidate)
+            self._tables.append(table)
+            best_node = None
+            best_dist = -1.0
+            for n in nodes:
+                d = table.get(n, math.inf)
+                if d < nearest[n]:
+                    nearest[n] = d
+                # inf > any finite distance, and the ascending id order
+                # means a strict comparison keeps the smallest id on ties.
+                if nearest[n] > best_dist:
+                    best_node, best_dist = n, nearest[n]
+            if best_node is None or best_dist <= 0.0:
+                break  # every node is itself a landmark already
+            candidate = best_node
+
+    # ------------------------------------------------------------------
+    # Node-level bounds
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.landmarks)
+
+    def node_vector(self, node: int) -> tuple[float, ...]:
+        """Landmark coordinate vector of a node (``inf`` where unreached)."""
+        return tuple(t.get(node, math.inf) for t in self._tables)
+
+    def node_lower_bound(self, u: int, v: int) -> float:
+        """Admissible lower bound on the node distance ``d(u, v)``."""
+        if u == v:
+            return 0.0
+        best = 0.0
+        for t in self._tables:
+            du = t.get(u)
+            dv = t.get(v)
+            if du is None:
+                if dv is None:
+                    continue
+                return math.inf
+            if dv is None:
+                return math.inf
+            diff = du - dv if du >= dv else dv - du
+            if diff > best:
+                best = diff
+        return best
+
+    # ------------------------------------------------------------------
+    # Point-level coordinates
+    # ------------------------------------------------------------------
+    def point_vector(self, point: NetworkPoint) -> tuple[float, ...]:
+        """Landmark coordinate vector of an object on an edge.
+
+        Exact, not a bound: every path from a landmark into ``point``
+        enters the point's edge through one of its endpoints, so
+        ``d(l, p) = min(d(l, u) + pos, d(l, v) + W - pos)`` — this equals
+        the true distance in the point-augmented graph as well, because
+        inserting points on edges preserves all distances.
+        """
+        weight = self._network.edge_weight(point.u, point.v)
+        off = point.offset
+        out = []
+        for t in self._tables:
+            du = t.get(point.u, math.inf)
+            dv = t.get(point.v, math.inf)
+            out.append(min(du + off, dv + (weight - off)))
+        return tuple(out)

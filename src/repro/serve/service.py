@@ -142,6 +142,14 @@ class QueryService:
     clock:
         Monotonic clock used for every request deadline; tests inject a
         :class:`~repro.resilience.VirtualClock` for determinism.
+    landmarks / distance_cache_mb:
+        Distance acceleration (both default off).  ``landmarks`` builds one
+        shared :class:`~repro.perf.LandmarkIndex` (range/kNN expansions
+        prune against its bounds); ``distance_cache_mb`` allocates one
+        shared :class:`~repro.perf.DistanceCache` so repeated queries are
+        answered from memory across all workers.  Results are bit-identical
+        either way; with both at zero the request path runs the plain,
+        uninstrumented primitives.
     """
 
     def __init__(
@@ -153,15 +161,38 @@ class QueryService:
         queue_depth: int = 8,
         default_timeout_s: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        landmarks: int = 0,
+        distance_cache_mb: float = 0.0,
     ) -> None:
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
         if queue_depth < 1:
             raise ParameterError(f"queue_depth must be >= 1, got {queue_depth}")
+        if landmarks < 0:
+            raise ParameterError(f"landmarks must be >= 0, got {landmarks}")
+        if distance_cache_mb < 0:
+            raise ParameterError(
+                f"distance_cache_mb must be >= 0, got {distance_cache_mb}"
+            )
         self.network = network
         self.points = points
         self.default_timeout_s = default_timeout_s
         self._clock = clock
+        # The shared acceleration state is built *before* the workers
+        # start: they construct per-worker accelerators from it in their
+        # own threads, and the landmark Dijkstras must not race admission.
+        self._landmark_index = None
+        self._distance_cache = None
+        self._accelerated = landmarks > 0 or distance_cache_mb > 0
+        if landmarks > 0:
+            from repro.perf import LandmarkIndex
+
+            self._landmark_index = LandmarkIndex(network, landmarks)
+        if distance_cache_mb > 0:
+            from repro.perf import DistanceCache
+
+            self._distance_cache = DistanceCache(distance_cache_mb)
+        self._worker_state = threading.local()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
         self._close_lock = threading.Lock()
@@ -226,6 +257,21 @@ class QueryService:
 
     def _worker(self) -> None:
         aug = AugmentedView(self.network, self.points)
+        if self._accelerated:
+            from repro.perf import DistanceAccelerator
+
+            # Per-worker facade over the shared index/cache: the view and
+            # the vector memo stay thread-local, the expensive state is
+            # shared warm across the pool.  Stored in a thread-local so
+            # ``_execute`` keeps its two-argument signature (callers may
+            # wrap it).
+            self._worker_state.accel = DistanceAccelerator(
+                aug,
+                landmarks=0,
+                cache_mb=0.0,
+                index=self._landmark_index,
+                cache=self._distance_cache,
+            )
         while True:
             item = self._queue.get()
             if item is _STOP:
@@ -250,16 +296,23 @@ class QueryService:
                 future.set_result(result)
 
     def _execute(self, request: dict, aug: AugmentedView) -> object:
+        accel = getattr(self._worker_state, "accel", None)
         op = request.get("op")
         if op == "range":
-            hits = range_query(
-                aug, self._query_point(request), _field(request, "eps", float)
-            )
+            point = self._query_point(request)
+            eps = _field(request, "eps", float)
+            if accel is not None:
+                hits = accel.range_query(point, eps)
+            else:
+                hits = range_query(aug, point, eps)
             return [[p.point_id, d] for p, d in hits]
         if op == "knn":
-            hits = knn_query(
-                aug, self._query_point(request), _field(request, "k", int)
-            )
+            point = self._query_point(request)
+            k = _field(request, "k", int)
+            if accel is not None:
+                hits = accel.knn_query(point, k)
+            else:
+                hits = knn_query(aug, point, k)
             return [[p.point_id, d] for p, d in hits]
         if op == "cluster":
             result = build_algorithm(request, self.network, self.points).run()

@@ -1,0 +1,484 @@
+"""Tests for the distance-acceleration layer (repro.perf).
+
+The headline property, asserted from every angle hypothesis can reach:
+**accelerated == unaccelerated, bit for bit** — point-to-point distances,
+range queries, kNN queries, full k-medoids and ε-Link runs — across
+landmark counts, cache sizes, disconnected components, and networks
+without coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.exceptions import UnreachableError
+from repro.core import EpsLink, EpsLinkEdgewise, NetworkKMedoids
+from repro.network.augmented import AugmentedView
+from repro.network.dijkstra import single_source
+from repro.network.distance import network_distance
+from repro.network.graph import SpatialNetwork
+from repro.network.points import PointSet
+from repro.network.queries import knn_query, range_query
+from repro.perf import (
+    DistanceAccelerator,
+    DistanceCache,
+    LandmarkIndex,
+    unaccelerated_point_distance,
+    vector_lower_bound,
+    vector_upper_bound,
+)
+from tests.conftest import (
+    make_grid_network,
+    make_random_connected_network,
+    scatter_points,
+)
+from tests.strategies import clustering_instance
+
+LANDMARK_COUNTS = [0, 1, 4]
+CACHE_MBS = [0.0, 0.5]
+
+
+def _accelerators(aug):
+    """One accelerator per (landmarks, cache) combination under test."""
+    return [
+        DistanceAccelerator(aug, landmarks=lm, cache_mb=mb)
+        for lm in LANDMARK_COUNTS
+        for mb in CACHE_MBS
+    ]
+
+
+def _strip_coords(net: SpatialNetwork) -> SpatialNetwork:
+    """The same topology with no node coordinates (landmarks need none)."""
+    bare = SpatialNetwork(name="bare")
+    for node in net.nodes():
+        bare.add_node(node)
+    for u, v, w in net.edges():
+        bare.add_edge(u, v, w)
+    return bare
+
+
+# ---------------------------------------------------------------------------
+# LandmarkIndex
+# ---------------------------------------------------------------------------
+
+
+class TestLandmarkIndex:
+    def test_deterministic_selection(self, small_network):
+        a = LandmarkIndex(small_network, 3)
+        b = LandmarkIndex(small_network, 3)
+        assert a.landmarks == b.landmarks
+        assert len(a) == 3
+
+    def test_tables_match_single_source(self, small_network):
+        index = LandmarkIndex(small_network, 4)
+        for lm, table in zip(index.landmarks, index._tables):
+            assert table == single_source(small_network, lm)
+
+    def test_first_landmark_is_smallest_node(self, small_network):
+        index = LandmarkIndex(small_network, 2)
+        assert index.landmarks[0] == min(small_network.nodes())
+
+    def test_clamped_to_node_count(self, small_network):
+        index = LandmarkIndex(small_network, 100)
+        n = len(list(small_network.nodes()))
+        assert len(index) <= n
+        assert len(set(index.landmarks)) == len(index.landmarks)
+
+    def test_covers_disconnected_components(self):
+        net = SpatialNetwork()
+        for n in (1, 2, 11, 12):
+            net.add_node(n)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(11, 12, 1.0)
+        index = LandmarkIndex(net, 2)
+        reached = set()
+        for table in index._tables:
+            reached.update(table)
+        assert reached == {1, 2, 11, 12}
+
+    def test_node_lower_bound_admissible(self):
+        import random
+
+        rng = random.Random(5)
+        net = make_random_connected_network(rng, 12, extra_edges=6)
+        index = LandmarkIndex(net, 4)
+        nodes = sorted(net.nodes())
+        for u in nodes:
+            truth = single_source(net, u)
+            for v in nodes:
+                lb = index.node_lower_bound(u, v)
+                d = truth.get(v, math.inf)
+                # Allow the documented float rounding on the bound.
+                assert lb <= d * (1 + 1e-9) + 1e-9 * index.scale
+
+    def test_zero_landmarks(self, small_network):
+        assert len(LandmarkIndex(small_network, 0)) == 0
+
+
+class TestVectorBounds:
+    def test_inf_semantics(self):
+        # Both unreached: the landmark proves nothing.
+        assert vector_lower_bound((math.inf,), (math.inf,)) == 0.0
+        # Exactly one unreached: provably different components.
+        assert vector_lower_bound((math.inf, 1.0), (3.0, 2.0)) == math.inf
+        assert vector_upper_bound((math.inf,), (1.0,)) == math.inf
+
+    def test_basic(self):
+        assert vector_lower_bound((5.0, 2.0), (1.0, 2.5)) == 4.0
+        assert vector_upper_bound((5.0, 2.0), (1.0, 2.5)) == 4.5
+
+
+# ---------------------------------------------------------------------------
+# The exactness property: accelerated == unaccelerated, bit for bit
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(clustering_instance(max_points=10))
+def test_point_distance_bit_identical(instance):
+    net, points, _seed = instance
+    aug = AugmentedView(net, points)
+    pts = list(points)
+    for accel in _accelerators(aug):
+        for p in pts:
+            for q in pts:
+                try:
+                    expected = network_distance(aug, p, q)
+                except UnreachableError:
+                    expected = None
+                if expected is None:
+                    with pytest.raises(UnreachableError):
+                        accel.point_distance(p, q)
+                    # The cached unreachable verdict raises as well.
+                    with pytest.raises(UnreachableError):
+                        accel.point_distance(p, q)
+                else:
+                    assert accel.point_distance(p, q) == expected
+                    assert accel.point_distance(p, q) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    clustering_instance(max_points=10),
+    st.floats(min_value=0.0, max_value=30.0),
+    st.integers(min_value=1, max_value=12),
+)
+def test_queries_bit_identical(instance, eps, k):
+    net, points, _seed = instance
+    aug = AugmentedView(net, points)
+    pts = list(points)
+    for accel in _accelerators(aug):
+        for q in pts:
+            for include in (True, False):
+                assert accel.range_query(q, eps, include) == range_query(
+                    aug, q, eps, include
+                )
+                assert accel.knn_query(q, k, include) == knn_query(
+                    aug, q, k, include
+                )
+
+
+@settings(max_examples=25, deadline=None)
+@given(clustering_instance(min_points=3, max_points=10), st.integers(0, 2**31))
+def test_kmedoids_bit_identical(instance, algo_seed):
+    net, points, _seed = instance
+    k = min(3, len(points))
+    plain = NetworkKMedoids(net, points, k=k, seed=algo_seed, n_restarts=2).run()
+    for lm in (1, 4):
+        accel = DistanceAccelerator(
+            AugmentedView(net, points), landmarks=lm, cache_mb=0.5
+        )
+        fast = NetworkKMedoids(
+            net, points, k=k, seed=algo_seed, n_restarts=2, accelerator=accel
+        ).run()
+        assert fast.assignment == plain.assignment
+        assert fast.stats["medoids"] == plain.stats["medoids"]
+        assert fast.stats["R"] == plain.stats["R"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    clustering_instance(max_points=10),
+    st.floats(min_value=0.05, max_value=15.0),
+)
+def test_epslink_bit_identical(instance, eps):
+    net, points, _seed = instance
+    for cls in (EpsLink, EpsLinkEdgewise):
+        plain = cls(net, points, eps=eps).run()
+        for lm in (1, 4):
+            accel = DistanceAccelerator(
+                AugmentedView(net, points), landmarks=lm, cache_mb=0.0
+            )
+            fast = cls(net, points, eps=eps, accelerator=accel).run()
+            assert fast.assignment == plain.assignment
+
+
+def test_acceleration_needs_no_coordinates():
+    import random
+
+    rng = random.Random(9)
+    coords_net = make_random_connected_network(rng, 15, extra_edges=5)
+    net = _strip_coords(coords_net)
+    points = scatter_points(random.Random(10), net, 12)
+    aug = AugmentedView(net, points)
+    accel = DistanceAccelerator(aug, landmarks=4, cache_mb=0.5)
+    pts = list(points)
+    for p in pts:
+        for q in pts:
+            assert accel.point_distance(p, q) == network_distance(aug, p, q)
+        assert accel.knn_query(p, 3) == knn_query(aug, p, 3)
+
+
+def test_exact_on_grid_ties():
+    # Unit-weight grids are all ties — the hardest case for any search
+    # that reorders or prunes work.
+    net = make_grid_network(6, 6)
+    import random
+
+    points = scatter_points(random.Random(3), net, 15)
+    aug = AugmentedView(net, points)
+    accel = DistanceAccelerator(aug, landmarks=4, cache_mb=0.0)
+    pts = list(points)
+    for p in pts:
+        for q in pts:
+            assert accel.point_distance(p, q) == network_distance(aug, p, q)
+        for k in (1, 5, 20):
+            assert accel.knn_query(p, k) == knn_query(aug, p, k)
+        for eps in (0.0, 1.0, 3.5):
+            assert accel.range_query(p, eps) == range_query(aug, p, eps)
+
+
+def test_corridor_search_settles_fewer_vertices():
+    import random
+
+    rng = random.Random(21)
+    net = make_random_connected_network(rng, 60, extra_edges=40)
+    points = scatter_points(rng, net, 40)
+    aug = AugmentedView(net, points)
+    accel = DistanceAccelerator(aug, landmarks=8, cache_mb=0.0)
+    pts = list(points)
+    total_plain = total_accel = 0
+    for p in pts[:10]:
+        for q in pts[10:30]:
+            d_plain, s_plain = unaccelerated_point_distance(aug, p, q)
+            d_accel, s_accel = accel._point_distance_search(p, q)
+            assert d_accel == d_plain
+            total_plain += s_plain
+            total_accel += s_accel
+    # The acceptance bar: at least 30% fewer settled vertices.
+    assert total_accel <= 0.7 * total_plain
+
+
+# ---------------------------------------------------------------------------
+# DistanceCache
+# ---------------------------------------------------------------------------
+
+
+class TestDistanceCache:
+    def test_capacity_from_mb(self):
+        cache = DistanceCache(1.0, entry_bytes=1024)
+        assert cache.capacity == 1024
+        assert cache.enabled
+
+    def test_disabled_cache(self):
+        cache = DistanceCache(0.0)
+        assert not cache.enabled
+        cache.put("k", 1.0)
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DistanceCache(-1.0)
+        with pytest.raises(ValueError):
+            DistanceCache(1.0, entry_bytes=0)
+
+    def test_lru_eviction_order(self):
+        cache = DistanceCache(1.0, entry_bytes=1024 * 1024 // 3)  # capacity 3
+        assert cache.capacity == 3
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") == 1  # refresh "a": now "b" is LRU
+        cache.put("d", 4)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("d") == 4
+        assert cache.evictions == 1
+
+    def test_counters_and_clear(self):
+        cache = DistanceCache(1.0)
+        cache.get("missing")
+        cache.put("k", 2.5)
+        assert cache.get("k") == 2.5
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["invalidations"] == 1
+
+    def test_put_refreshes_existing_key(self):
+        cache = DistanceCache(1.0, entry_bytes=1024 * 1024 // 2)  # capacity 2
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        cache.put("c", 3)
+        assert cache.get("b") is None  # b was LRU
+        assert cache.get("a") == 10
+
+    def test_thread_safety_smoke(self):
+        cache = DistanceCache(1.0, entry_bytes=2048)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(500):
+                    cache.put(("p2p", base, i), float(i))
+                    cache.get(("p2p", base, i))
+                    if i % 100 == 0:
+                        cache.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 4 * 500
+
+
+# ---------------------------------------------------------------------------
+# Invalidation: mutation can never serve a stale distance
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def _setup(self):
+        net = SpatialNetwork.from_edge_list(
+            [(1, 2, 10.0), (2, 3, 10.0), (1, 3, 10.0)]
+        )
+        points = PointSet(net)
+        points.add(1, 2, 1.0, point_id=0)
+        points.add(1, 2, 9.0, point_id=1)
+        aug = AugmentedView(net, points)
+        accel = DistanceAccelerator(aug, landmarks=2, cache_mb=1.0)
+        return net, points, aug, accel
+
+    def test_mutation_without_explicit_invalidate(self):
+        net, points, aug, accel = self._setup()
+        p0, p1 = points.get(0), points.get(1)
+        before = accel.point_distance(p0, p1)
+        assert before == 8.0
+        # A new point between them changes nothing for p2p distance, but
+        # changes the answer of a range query; more importantly the cache
+        # must notice the version bump *without* anyone calling
+        # invalidate() — the regression this guards: a cache hit skips
+        # the traversal layer whose auto-check would otherwise fire.
+        hits_before = accel.range_query(p0, 10.0)
+        points.add(1, 2, 5.0, point_id=2)
+        hits_after = accel.range_query(p0, 10.0)
+        assert hits_after == range_query(
+            AugmentedView(net, points), p0, 10.0
+        )
+        assert len(hits_after) == len(hits_before) + 1
+
+    def test_remove_invalidate(self):
+        net, points, aug, accel = self._setup()
+        p0 = points.get(0)
+        assert len(accel.knn_query(p0, 5)) == 1
+        points.remove(1)
+        assert accel.knn_query(p0, 5) == []
+
+    def test_explicit_invalidate_clears_cache(self):
+        net, points, aug, accel = self._setup()
+        p0, p1 = points.get(0), points.get(1)
+        accel.point_distance(p0, p1)
+        assert len(accel.cache) > 0
+        aug.invalidate()
+        assert len(accel.cache) == 0
+        assert accel.cache.invalidations == 1
+
+    def test_shared_cache_cleared_for_all_views(self):
+        net, points, aug, accel = self._setup()
+        index = LandmarkIndex(net, 2)
+        shared = DistanceCache(1.0)
+        aug2 = AugmentedView(net, points)
+        accel2 = DistanceAccelerator(
+            aug2, landmarks=0, cache_mb=0.0, index=index, cache=shared
+        )
+        p0, p1 = points.get(0), points.get(1)
+        accel2.point_distance(p0, p1)
+        assert len(shared) == 1
+        points.add(2, 3, 5.0, point_id=7)
+        # The other view's accelerator syncs on its next call and drops
+        # the shared entries.
+        accel2.point_distance(p0, p1)
+        assert shared.invalidations >= 1
+
+
+# ---------------------------------------------------------------------------
+# Obs integration
+# ---------------------------------------------------------------------------
+
+
+class TestObsCounters:
+    def test_cache_counters(self):
+        obs.enable(fresh=True)
+        try:
+            cache = DistanceCache(1.0)
+            cache.get("miss")
+            cache.put("k", 1.0)
+            cache.get("k")
+            cache.clear()
+            counters = obs.snapshot()["counters"]
+            assert counters["perf.cache.misses"] == 1
+            assert counters["perf.cache.hits"] == 1
+            assert counters["perf.cache.invalidations"] == 1
+            assert counters["perf.cache.invalidated_entries"] == 1
+        finally:
+            obs.disable()
+
+    def test_search_counters(self, small_network, small_points):
+        obs.enable(fresh=True)
+        try:
+            aug = AugmentedView(small_network, small_points)
+            accel = DistanceAccelerator(aug, landmarks=2, cache_mb=0.0)
+            pts = list(small_points)
+            accel.point_distance(pts[0], pts[1])
+            accel.range_query(pts[0], 2.0)
+            accel.knn_query(pts[0], 2)
+            counters = obs.snapshot()["counters"]
+            assert counters["perf.landmarks.built"] == 2
+            assert counters["perf.p2p.searches"] == 1
+            assert counters["perf.range.queries"] == 1
+            assert counters["perf.knn.queries"] == 1
+        finally:
+            obs.disable()
+
+    def test_heuristic_fallback_counter(self):
+        from repro.network.astar import point_distance_astar
+
+        net = _strip_coords(
+            SpatialNetwork.from_edge_list([(1, 2, 3.0), (2, 3, 4.0)])
+        )
+        points = PointSet(net)
+        points.add(1, 2, 1.0, point_id=0)
+        points.add(2, 3, 1.0, point_id=1)
+        aug = AugmentedView(net, points)
+        obs.enable(fresh=True)
+        try:
+            point_distance_astar(aug, points.get(0), points.get(1))
+            counters = obs.snapshot()["counters"]
+            # Once per search, not once per heuristic evaluation.
+            assert counters["perf.heuristic.fallback"] == 1
+        finally:
+            obs.disable()
