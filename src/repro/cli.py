@@ -176,14 +176,18 @@ def _obs_begin(args: argparse.Namespace) -> bool:
     return wanted
 
 
-def _obs_end(args: argparse.Namespace) -> None:
-    """Close the trace and print the phase/counter table."""
+def _obs_end(args: argparse.Namespace, file=None) -> None:
+    """Close the trace and print the phase/counter table.
+
+    ``serve`` passes ``file=sys.stderr``: its stdout is the LDJSON wire,
+    so no status line may land there.
+    """
     obs.disable()
     if args.trace:
-        print(f"wrote trace {args.trace}")
+        print(f"wrote trace {args.trace}", file=file)
     if args.stats:
-        print()
-        print(obs.format_table())
+        print(file=file)
+        print(obs.format_table(), file=file)
 
 
 def _checkpoint_meta(args: argparse.Namespace) -> dict:
@@ -450,12 +454,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     network, points = load_workload_file(args.workload)
     if len(points) == 0:
         raise SystemExit("the workload holds no points to serve")
-    observing = _obs_begin(args)
+    if args.metrics_file and args.metrics_interval_s <= 0:
+        raise SystemExit(
+            f"--metrics-interval-s must be > 0, got {args.metrics_interval_s}"
+        )
+    # Serve-specific enable: --metrics-file alone turns telemetry on, and
+    # --trace records *request-scoped* spans (only requests that carry
+    # "trace": true), not the whole serving session.
+    observing = bool(args.stats or args.trace or args.metrics_file)
+    if observing:
+        try:
+            obs.enable(trace_path=args.trace, sample_requests=bool(args.trace))
+        except OSError as exc:
+            raise SystemExit(f"cannot open trace file {args.trace}: {exc}")
     default_timeout_s = (
         args.default_timeout_ms / 1000.0
         if args.default_timeout_ms is not None else None
     )
     with contextlib.ExitStack() as stack:
+        if args.metrics_file:
+            from repro.obs import MetricsExporter
+
+            try:
+                stack.enter_context(MetricsExporter(
+                    args.metrics_file, interval_s=args.metrics_interval_s,
+                ))
+            except OSError as exc:
+                raise SystemExit(
+                    f"cannot open metrics file {args.metrics_file}: {exc}"
+                )
         if args.retries:
             from repro.recovery import RetryPolicy, retrying
 
@@ -519,8 +546,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"({args.workers} worker(s), queue depth {args.queue_depth})",
         file=sys.stderr,
     )
+    if args.metrics_file:
+        print(f"wrote metrics {args.metrics_file}", file=sys.stderr)
     if observing:
-        _obs_end(args)
+        _obs_end(args, file=sys.stderr)
     return 0
 
 
@@ -649,7 +678,15 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--stats", action="store_true",
                      help="print the repro.obs per-phase time/counter table")
     srv.add_argument("--trace", default=None, metavar="FILE",
-                     help="write hierarchical timing spans as JSONL to FILE")
+                     help="record spans of requests carrying \"trace\": true "
+                          "as JSONL to FILE (request-scoped tracing)")
+    srv.add_argument("--metrics-file", default=None, metavar="FILE",
+                     help="append periodic JSONL metrics snapshots "
+                          "(counters, histograms, gauges) to FILE")
+    srv.add_argument("--metrics-interval-s", type=float, default=10.0,
+                     metavar="S",
+                     help="seconds between --metrics-file snapshots "
+                          "(default 10)")
     srv.set_defaults(func=_cmd_serve)
 
     ev = sub.add_parser("evaluate", help="score a clustering vs ground truth")

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.network.points import NetworkPoint, PointSet
-from repro.obs.core import STATE as _OBS
+from repro.obs.core import STATE as _OBS, add as _obs_add
 from repro.resilience.deadline import STATE as _RES, check as _res_check
 
 __all__ = ["AugmentedView", "NODE", "POINT", "node_vertex", "point_vertex"]
@@ -112,13 +112,14 @@ class AugmentedView:
             # own per-settle guard stay responsive.
             _res_check("augmented.neighbors")
         if _OBS.enabled:
-            c = _OBS.counters
-            key = (
+            # Through add(): its locked read-modify-write keeps concurrent
+            # serve workers from losing expansions counted on one shared
+            # view.  Disabled path unchanged — guarded by the flag above.
+            _obs_add(
                 "augmented.node_expansions"
                 if kind == NODE
                 else "augmented.point_expansions"
             )
-            c[key] = c.get(key, 0) + 1
         if kind == NODE:
             yield from self._node_neighbors(ident)
         else:

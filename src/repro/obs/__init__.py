@@ -12,6 +12,10 @@ place all of those measurements flow through:
   :mod:`contextvars`-correct nesting and optional JSONL export.
 * **Reports** — a printable phase/counter table (the CLI's ``--stats``) and
   a machine-readable *metrics sidecar* consumed by the benchmark report.
+* **Live metrics** — log-bucketed latency :class:`Histogram`\\ s and
+  callable-backed :class:`Gauge`\\ s (:mod:`repro.obs.metrics`) feeding the
+  serve tier's ``{"op": "stats"}`` wire snapshot, the ``--metrics-file``
+  JSONL exporter (:mod:`repro.obs.export`), and a Prometheus text renderer.
 
 Everything is off by default and the disabled path is designed to be
 invisible: ``span()`` returns a pre-allocated no-op singleton, ``add()`` is
@@ -40,13 +44,24 @@ from repro.obs.core import (
     disable,
     enable,
     is_enabled,
+    is_sampled,
     reset,
+    sampled,
     span,
+)
+from repro.obs.export import MetricsExporter
+from repro.obs.metrics import (
+    REGISTRY,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    observe,
 )
 from repro.obs.report import (
     SIDECAR_SCHEMA,
     format_table,
     load_metrics_sidecar,
+    render_prometheus,
     snapshot,
     write_metrics_sidecar,
 )
@@ -54,7 +69,12 @@ from repro.obs.timing import Stopwatch
 
 __all__ = [
     "NOOP_SPAN",
+    "REGISTRY",
     "STATE",
+    "Gauge",
+    "Histogram",
+    "MetricsExporter",
+    "MetricsRegistry",
     "ObsState",
     "SIDECAR_SCHEMA",
     "Span",
@@ -66,8 +86,12 @@ __all__ = [
     "enable",
     "format_table",
     "is_enabled",
+    "is_sampled",
     "load_metrics_sidecar",
+    "observe",
+    "render_prometheus",
     "reset",
+    "sampled",
     "snapshot",
     "span",
     "write_metrics_sidecar",

@@ -15,6 +15,18 @@ with it through two primitives only:
 The active span is tracked in a :mod:`contextvars` ``ContextVar``, so
 nesting is correct across threads and asyncio tasks: each thread/task sees
 its own span stack while all aggregates land in the shared registry.
+Aggregate mutation (counter adds, span fold-in) happens under one process
+lock: the multi-worker serve pool increments the same names concurrently,
+and an unguarded ``c[name] = c.get(name, 0) + value`` silently drops
+updates when two workers interleave between the read and the write.  The
+disabled path never touches the lock.
+
+Request-scoped trace sampling: when :func:`enable` is called with
+``sample_requests=True``, the trace writer records only spans opened
+inside a :func:`sampled` scope (a ``ContextVar`` flag, so it follows the
+request into whatever thread executes it).  The query service uses this to
+trace individual requests that carry a ``trace`` flag without paying the
+trace cost for — or flooding the file with — every other request.
 
 Hot loops that cannot afford even a per-operation function call (the
 Dijkstra inner loops) instead check ``STATE.enabled`` once on entry and run
@@ -40,7 +52,9 @@ __all__ = [
     "disable",
     "enable",
     "is_enabled",
+    "is_sampled",
     "reset",
+    "sampled",
     "span",
 ]
 
@@ -48,10 +62,22 @@ __all__ = [
 class ObsState:
     """Process-global observability state (use the module-level ``STATE``)."""
 
-    __slots__ = ("enabled", "counters", "span_count", "span_total", "writer", "epoch")
+    __slots__ = (
+        "enabled",
+        "sampling",
+        "counters",
+        "span_count",
+        "span_total",
+        "writer",
+        "epoch",
+        "lock",
+    )
 
     def __init__(self) -> None:
         self.enabled = False
+        #: when True, the trace writer records only spans opened inside a
+        #: :func:`sampled` scope (request-scoped tracing)
+        self.sampling = False
         #: name -> cumulative integer count
         self.counters: dict[str, int] = {}
         #: span name -> number of completed spans
@@ -59,22 +85,35 @@ class ObsState:
         #: span name -> cumulative duration in seconds
         self.span_total: dict[str, float] = {}
         self.writer: TraceWriter | None = None
-        #: perf_counter value at :func:`enable`; span starts are relative to it
+        #: perf_counter value at the first / latest *fresh* :func:`enable`;
+        #: span starts are relative to it
         self.epoch = 0.0
+        #: guards every read-modify-write of the aggregate dicts
+        self.lock = threading.Lock()
 
 
 STATE = ObsState()
+
+#: callbacks run by :func:`reset` (the metrics registry hooks in here so
+#: ``obs.reset()`` zeroes histograms too, without a circular import)
+_RESET_HOOKS: list = []
 
 
 # ----------------------------------------------------------------------
 # Counters
 # ----------------------------------------------------------------------
 def add(name: str, value: int = 1) -> None:
-    """Add ``value`` to counter ``name`` (no-op while disabled)."""
+    """Add ``value`` to counter ``name`` (no-op while disabled).
+
+    Thread-safe: the read-modify-write runs under ``STATE.lock``, so
+    concurrent serve workers incrementing the same name never lose an
+    update.  The disabled path stays one flag check and allocation-free.
+    """
     st = STATE
     if st.enabled:
-        c = st.counters
-        c[name] = c.get(name, 0) + value
+        with st.lock:
+            c = st.counters
+            c[name] = c.get(name, 0) + value
 
 
 # ----------------------------------------------------------------------
@@ -83,6 +122,9 @@ def add(name: str, value: int = 1) -> None:
 _SPAN_IDS = itertools.count(1)
 _ACTIVE: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro.obs.active_span", default=None
+)
+_SAMPLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro.obs.sampled", default=False
 )
 
 
@@ -135,10 +177,13 @@ class Span:
             _ACTIVE.reset(self._token)
             self._token = None
         st = STATE
-        st.span_count[self.name] = st.span_count.get(self.name, 0) + 1
-        st.span_total[self.name] = st.span_total.get(self.name, 0.0) + self.duration_s
+        with st.lock:
+            st.span_count[self.name] = st.span_count.get(self.name, 0) + 1
+            st.span_total[self.name] = (
+                st.span_total.get(self.name, 0.0) + self.duration_s
+            )
         writer = st.writer
-        if writer is not None:
+        if writer is not None and (not st.sampling or _SAMPLED.get()):
             writer.write_span(self, error=exc_type is not None)
         return False
 
@@ -170,15 +215,50 @@ NOOP_SPAN = _NoopSpan()
 
 
 def span(name: str, **attrs):
-    """A timing span context manager (the no-op singleton while disabled)."""
-    if not STATE.enabled:
-        return NOOP_SPAN
-    return Span(name, attrs)
+    """A timing span context manager (the no-op singleton while disabled).
+
+    Spans are live when observability is fully enabled, or — with
+    request-scoped sampling on — inside a :func:`sampled` scope.  The
+    fully-disabled path is two attribute checks and allocates nothing.
+    """
+    st = STATE
+    if st.enabled or (st.sampling and _SAMPLED.get()):
+        return Span(name, attrs)
+    return NOOP_SPAN
 
 
 def current_span() -> Span | None:
     """The innermost active span of the calling thread/task, if any."""
     return _ACTIVE.get()
+
+
+class _SampledScope:
+    """Context manager marking the current context as trace-sampled."""
+
+    __slots__ = ("_token",)
+
+    def __enter__(self) -> "_SampledScope":
+        self._token = _SAMPLED.set(True)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _SAMPLED.reset(self._token)
+        return False
+
+
+def sampled() -> _SampledScope:
+    """Mark the calling context as trace-sampled for the ``with`` body.
+
+    Under ``enable(sample_requests=True)``, spans opened inside this scope
+    are recorded to the trace file; spans outside it are not.  The flag is
+    a ``ContextVar``, so it is per-thread/per-task and nests safely.
+    """
+    return _SampledScope()
+
+
+def is_sampled() -> bool:
+    """Whether the calling context is inside a :func:`sampled` scope."""
+    return _SAMPLED.get()
 
 
 # ----------------------------------------------------------------------
@@ -232,7 +312,11 @@ def is_enabled() -> bool:
     return STATE.enabled
 
 
-def enable(trace_path: str | None = None, fresh: bool = True) -> None:
+def enable(
+    trace_path: str | None = None,
+    fresh: bool = True,
+    sample_requests: bool = False,
+) -> None:
     """Turn observability on.
 
     Parameters
@@ -243,13 +327,24 @@ def enable(trace_path: str | None = None, fresh: bool = True) -> None:
     fresh:
         Clear previously accumulated counters and span aggregates (the
         default); pass ``False`` to accumulate across enable/disable pairs.
+    sample_requests:
+        Record to the trace file only spans opened inside a
+        :func:`sampled` scope.  Aggregates (counters, span totals) are
+        unaffected — only trace *export* is sampled.
     """
     if fresh:
         reset()
+        STATE.epoch = time.perf_counter()
+    elif STATE.epoch == 0.0:
+        # First enable ever: there is no earlier epoch to accumulate onto.
+        STATE.epoch = time.perf_counter()
+    # Accumulating re-enables keep the original epoch so span ``start_s``
+    # values stay monotone across enable/disable cycles instead of jumping
+    # backwards to a rebased zero.
     if STATE.writer is not None:
         STATE.writer.close()
     STATE.writer = TraceWriter(trace_path) if trace_path else None
-    STATE.epoch = time.perf_counter()
+    STATE.sampling = sample_requests
     STATE.enabled = True
 
 
@@ -257,6 +352,7 @@ def disable() -> None:
     """Turn observability off and close the trace file (aggregates remain
     readable until the next ``enable(fresh=True)``)."""
     STATE.enabled = False
+    STATE.sampling = False
     writer = STATE.writer
     STATE.writer = None
     if writer is not None:
@@ -264,7 +360,10 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Zero all counters and span aggregates."""
-    STATE.counters.clear()
-    STATE.span_count.clear()
-    STATE.span_total.clear()
+    """Zero all counters, span aggregates, and registered metric state."""
+    with STATE.lock:
+        STATE.counters.clear()
+        STATE.span_count.clear()
+        STATE.span_total.clear()
+    for hook in _RESET_HOOKS:
+        hook()

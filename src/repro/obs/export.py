@@ -1,0 +1,118 @@
+"""Periodic metrics export: one JSONL snapshot line per interval.
+
+``repro serve --metrics-file PATH --metrics-interval-s N`` attaches a
+:class:`MetricsExporter` to the process: a daemon thread that appends one
+JSON object — wall-clock timestamp, uptime, the full counter registry, and
+every histogram/gauge — to ``PATH`` every ``N`` seconds, plus one final
+line on :meth:`close` so even a short-lived session leaves a complete
+record.  The file is plain JSONL; each line is independently parseable, so
+a crashed process leaves at worst one torn final line and everything before
+it intact.
+
+The exporter only *reads* the registries (gauge callables are sampled at
+write time); it adds nothing to any request hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.report import snapshot as _obs_snapshot
+
+__all__ = ["MetricsExporter", "SNAPSHOT_SCHEMA"]
+
+SNAPSHOT_SCHEMA = "repro.obs.metrics-snapshot/v1"
+
+
+class MetricsExporter:
+    """Appends one metrics snapshot per interval to a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        Output JSONL file (truncated on open).
+    interval_s:
+        Seconds between snapshot lines; must be positive.
+    registry:
+        The metrics registry to read (the process-global one by default).
+    clock:
+        Monotonic clock for the ``uptime_s`` field; injectable for tests.
+
+    The writer thread starts immediately and is a daemon — a wedged
+    exporter can never block process exit.  :meth:`close` stops it, writes
+    one final snapshot, and closes the file.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        interval_s: float = 10.0,
+        *,
+        registry: MetricsRegistry = REGISTRY,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s!r}")
+        self.path = path
+        self.interval_s = float(interval_s)
+        self._registry = registry
+        self._clock = clock
+        self._started_at = clock()
+        self._fh = open(path, "w", encoding="utf-8")
+        self._write_lock = threading.Lock()
+        self._stop = threading.Event()
+        self.lines_written = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-exporter", daemon=True
+        )
+        self._thread.start()
+
+    # -- snapshot --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One exportable snapshot document (also what each line holds)."""
+        base = _obs_snapshot()
+        metric = self._registry.snapshot()
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "t": time.time(),
+            "uptime_s": max(self._clock() - self._started_at, 0.0),
+            "counters": base["counters"],
+            "histograms": metric["histograms"],
+            "gauges": metric["gauges"],
+        }
+
+    def write_snapshot(self) -> None:
+        """Append one snapshot line now (also called by the timer loop)."""
+        line = json.dumps(self.snapshot(), default=str) + "\n"
+        with self._write_lock:
+            if self._fh.closed:
+                return
+            self._fh.write(line)
+            self._fh.flush()
+            self.lines_written += 1
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.write_snapshot()
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop the timer thread, write a final snapshot, close the file."""
+        self._stop.set()
+        self._thread.join(timeout_s)
+        self.write_snapshot()
+        with self._write_lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "MetricsExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,309 @@
+"""Live metrics: log-bucketed histograms and callable-backed gauges.
+
+The counter/span state in :mod:`repro.obs.core` is *post-mortem*: cumulative
+totals read after a run.  A live :class:`~repro.serve.QueryService` needs
+distributions and instantaneous readings — p50/p99 request latency, queue
+depth, breaker state, cache hit ratio — while it is serving.  This module
+adds the two missing instrument kinds to the same process-global registry
+model:
+
+* :class:`Histogram` — fixed logarithmic buckets over seconds.
+  ``observe(value)`` is a short critical section (one lock, a bisect, four
+  integer/float updates); reads (:meth:`quantile`, :meth:`snapshot`) are
+  lock-free — a snapshot taken mid-observe may be one sample stale, never
+  torn in a way that matters for monitoring.  ``count`` and ``sum`` are
+  exact; quantiles are estimated by linear interpolation inside the
+  containing bucket, the standard Prometheus-style estimator.
+* :class:`Gauge` — a name bound to a zero-argument callable, sampled at
+  *read* time only.  Registering a gauge costs nothing on any hot path;
+  a failing callable reads as ``None`` instead of raising.
+
+Both live in the module-level :data:`REGISTRY` (mirroring
+``obs.core.STATE``), are zeroed by :func:`repro.obs.reset`, and surface
+through the ``{"op": "stats"}`` wire request, the ``--metrics-file`` JSONL
+exporter (:mod:`repro.obs.export`), and the Prometheus text renderer
+(:func:`repro.obs.report.render_prometheus`).
+
+Recording is gated exactly like counters: the serve instrumentation makes
+one ``STATE.enabled`` check per request and performs no histogram work at
+all while observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable
+
+from repro.obs.core import _RESET_HOOKS, STATE
+
+__all__ = [
+    "DEFAULT_BUCKET_COUNT",
+    "DEFAULT_FACTOR",
+    "DEFAULT_START",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "observe",
+]
+
+#: Default first bucket upper bound: 1 µs, well under any real request.
+DEFAULT_START = 1e-6
+#: Default geometric growth factor between bucket bounds.
+DEFAULT_FACTOR = 2.0
+#: Default finite bucket count: 1 µs · 2^29 ≈ 537 s spans every latency a
+#: serve deadline could permit; slower observations land in the overflow.
+DEFAULT_BUCKET_COUNT = 30
+
+#: Standard quantiles rendered into snapshots.
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class Histogram:
+    """Fixed-logarithmic-bucket histogram with exact count/sum.
+
+    Parameters
+    ----------
+    name:
+        Dotted metric name (``"serve.latency"``); validated by the
+        ``tools/check_metric_names.py`` lint at the call sites.
+    start / factor / buckets:
+        The finite bucket upper bounds are ``start * factor**i`` for
+        ``i in range(buckets)``; one overflow bucket catches the rest.
+    """
+
+    __slots__ = (
+        "name",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        start: float = DEFAULT_START,
+        factor: float = DEFAULT_FACTOR,
+        buckets: int = DEFAULT_BUCKET_COUNT,
+    ) -> None:
+        if start <= 0:
+            raise ValueError(f"start must be > 0, got {start!r}")
+        if factor <= 1:
+            raise ValueError(f"factor must be > 1, got {factor!r}")
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1, got {buckets!r}")
+        self.name = name
+        self.bounds: tuple[float, ...] = tuple(
+            start * factor**i for i in range(buckets)
+        )
+        # One extra slot: the overflow bucket for values above bounds[-1].
+        self.bucket_counts: list[int] = [0] * (buckets + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds).  Thread-safe."""
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def reset(self) -> None:
+        """Zero every aggregate in place (the object identity survives, so
+        holders of a reference keep observing into the same instrument)."""
+        with self._lock:
+            for i in range(len(self.bucket_counts)):
+                self.bucket_counts[i] = 0
+            self.count = 0
+            self.sum = 0.0
+            self.min = float("inf")
+            self.max = float("-inf")
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (0 < q <= 1), ``None`` when empty.
+
+        Linear interpolation between the containing bucket's bounds,
+        clamped to the observed min/max.  Lock-free: a concurrent observe
+        can make the estimate one sample stale, never wrong by more than a
+        bucket.
+        """
+        total = self.count
+        if total == 0:
+            return None
+        target = q * total
+        cumulative = 0
+        for idx, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[idx - 1] if idx > 0 else 0.0
+                upper = (
+                    self.bounds[idx] if idx < len(self.bounds) else self.max
+                )
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - rounding edge under races
+
+    def snapshot(self) -> dict:
+        """JSON-ready state: exact count/sum/min/max, non-empty buckets as
+        ``[upper_bound_or_None, count]`` pairs (``None`` = overflow), and
+        the standard quantiles (``None`` while empty)."""
+        buckets = [
+            [self.bounds[i] if i < len(self.bounds) else None, c]
+            for i, c in enumerate(self.bucket_counts)
+            if c
+        ]
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "buckets": buckets,
+            **{
+                f"p{int(q * 100)}": self.quantile(q)
+                for q in SNAPSHOT_QUANTILES
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(name={self.name!r}, count={self.count})"
+
+
+class Gauge:
+    """A named instantaneous reading backed by a zero-argument callable."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], object]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def read(self) -> float | int | None:
+        """Sample the gauge; a raising or non-numeric callable reads as
+        ``None`` (monitoring must never take the service down)."""
+        try:
+            value = self.fn()
+        except Exception:
+            return None
+        if value is None or isinstance(value, bool):
+            return None
+        if isinstance(value, (int, float)):
+            return value
+        return None
+
+    def __repr__(self) -> str:
+        return f"Gauge(name={self.name!r})"
+
+
+class MetricsRegistry:
+    """Process-global name → instrument registry (use :data:`REGISTRY`)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    # -- histograms ------------------------------------------------------
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        """Get-or-create the histogram called ``name``.
+
+        Bucket parameters apply only on first creation; later callers get
+        the existing instrument so all observers share one distribution.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(name, **kwargs)
+            return hist
+
+    def histograms(self) -> dict[str, Histogram]:
+        with self._lock:
+            return dict(self._histograms)
+
+    # -- gauges ----------------------------------------------------------
+
+    def gauge(self, name: str, fn: Callable[[], object]) -> Gauge:
+        """Register (or replace) the gauge called ``name``."""
+        gauge = Gauge(name, fn)
+        with self._lock:
+            self._gauges[name] = gauge
+        return gauge
+
+    def unregister_gauge(self, name: str, owner: Gauge | None = None) -> None:
+        """Remove gauge ``name``.  With ``owner`` given, remove only if the
+        registered gauge *is* that object — so a closed service never tears
+        down a newer service's re-registration of the same name."""
+        with self._lock:
+            current = self._gauges.get(name)
+            if current is None:
+                return
+            if owner is not None and current is not owner:
+                return
+            del self._gauges[name]
+
+    def gauges(self) -> dict[str, Gauge]:
+        with self._lock:
+            return dict(self._gauges)
+
+    # -- snapshots -------------------------------------------------------
+
+    def read_gauges(self) -> dict[str, float | int | None]:
+        """Sample every registered gauge right now."""
+        return {name: g.read() for name, g in sorted(self.gauges().items())}
+
+    def snapshot(self) -> dict:
+        """``{"histograms": {name: Histogram.snapshot()}, "gauges": {...}}``."""
+        return {
+            "histograms": {
+                name: h.snapshot()
+                for name, h in sorted(self.histograms().items())
+            },
+            "gauges": self.read_gauges(),
+        }
+
+    def reset(self) -> None:
+        """Zero every histogram in place; drop every gauge registration.
+
+        Histogram objects survive (holders keep valid references); gauges
+        are re-registered by their owners (a service registers on
+        construction), so dropping them here keeps test runs isolated.
+        """
+        for hist in self.histograms().values():
+            hist.reset()
+        with self._lock:
+            self._gauges.clear()
+
+
+REGISTRY = MetricsRegistry()
+
+# obs.reset() zeroes histograms and clears gauges along with counters.
+_RESET_HOOKS.append(REGISTRY.reset)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` — no-op while disabled.
+
+    The convenience form for call sites that cannot hold a histogram
+    reference; hot paths should pre-create the instrument once with
+    ``REGISTRY.histogram(name)`` and gate on ``STATE.enabled`` themselves.
+    """
+    if STATE.enabled:
+        REGISTRY.histogram(name).observe(value)

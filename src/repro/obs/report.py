@@ -6,7 +6,10 @@ Three consumers read the unified registry:
 * the benchmark suite serialises one :func:`snapshot` per benchmark into a
   *metrics sidecar* JSON (``write_metrics_sidecar``) that
   ``benchmarks/make_report.py`` folds into the paper report;
-* tests assert on :func:`snapshot` directly.
+* tests assert on :func:`snapshot` directly;
+* :func:`render_prometheus` renders counters plus the live histogram/gauge
+  registry (:mod:`repro.obs.metrics`) in the Prometheus text exposition
+  format, for scraping a ``--metrics-file`` snapshot into dashboards.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ __all__ = [
     "SIDECAR_SCHEMA",
     "format_table",
     "load_metrics_sidecar",
+    "render_prometheus",
     "snapshot",
     "write_metrics_sidecar",
 ]
@@ -74,6 +78,51 @@ def format_table(snap: dict | None = None) -> str:
     if not lines:
         return "(no observability data recorded)"
     return "\n".join(lines)
+
+
+def _prom_name(name: str, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name from a dotted repro name."""
+    return prefix + "_" + name.replace(".", "_").replace("-", "_")
+
+
+def render_prometheus(snap: dict | None = None, prefix: str = "repro") -> str:
+    """The current state in the Prometheus text exposition format.
+
+    Counters render as ``counter`` samples, histograms as cumulative
+    ``_bucket{le=...}`` series with ``_sum``/``_count`` (seconds, like all
+    repro durations), gauges as ``gauge`` samples (unreadable gauges are
+    skipped).  ``snap`` may be a combined snapshot (``counters`` /
+    ``histograms`` / ``gauges`` keys, e.g. one ``--metrics-file`` line);
+    by default the live registries are read.
+    """
+    if snap is None:
+        from repro.obs.metrics import REGISTRY
+
+        snap = {**snapshot(), **REGISTRY.snapshot()}
+    lines: list[str] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, hist in sorted(snap.get("histograms", {}).items()):
+        metric = _prom_name(name, prefix) + "_seconds"
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for upper, count in hist.get("buckets", []):
+            cumulative += count
+            le = "+Inf" if upper is None else repr(float(upper))
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        if not hist.get("buckets") or hist["buckets"][-1][0] is not None:
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {hist.get('sum', 0.0)}")
+        lines.append(f"{metric}_count {hist.get('count', 0)}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        if value is None:
+            continue
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def write_metrics_sidecar(path, runs: list[dict], meta: dict | None = None) -> None:

@@ -126,6 +126,15 @@ class DistanceCache:
                 if dropped:
                     _obs_add("perf.cache.invalidated_entries", dropped)
 
+    def hit_ratio(self) -> float | None:
+        """Hits / (hits + misses) over the cache's lifetime, or ``None``
+        before the first lookup — the ``perf.cache.hit_ratio`` gauge."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            if lookups == 0:
+                return None
+            return self.hits / lookups
+
     def stats(self) -> dict[str, int]:
         """A snapshot of the local counters (always maintained, even with
         :mod:`repro.obs` disabled)."""

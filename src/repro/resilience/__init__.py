@@ -25,8 +25,10 @@ from repro.resilience.breaker import (
     CLOSED,
     HALF_OPEN,
     OPEN,
+    STATE_CODES,
     CircuitBreaker,
     breaking,
+    installed_state_code,
 )
 from repro.resilience.clock import TickingClock, VirtualClock
 from repro.resilience.deadline import (
@@ -40,6 +42,7 @@ __all__ = [
     "CLOSED",
     "HALF_OPEN",
     "OPEN",
+    "STATE_CODES",
     "CancelToken",
     "CircuitBreaker",
     "Deadline",
@@ -48,4 +51,5 @@ __all__ = [
     "breaking",
     "check",
     "current",
+    "installed_state_code",
 ]

@@ -48,7 +48,9 @@ __all__ = [
     "BreakerInstall",
     "CircuitBreaker",
     "STATE",
+    "STATE_CODES",
     "breaking",
+    "installed_state_code",
 ]
 
 T = TypeVar("T")
@@ -56,6 +58,10 @@ T = TypeVar("T")
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+#: Numeric encoding of breaker states for gauges/dashboards: healthy sorts
+#: lowest, fully open highest, so alerting thresholds are a simple ``>=``.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
 
 
 class CircuitBreaker:
@@ -123,6 +129,12 @@ class CircuitBreaker:
         with self._lock:
             self._maybe_half_open()
             return self._state
+
+    @property
+    def state_code(self) -> int:
+        """The current state as its :data:`STATE_CODES` number (the gauge
+        representation: 0 closed, 1 half-open, 2 open)."""
+        return STATE_CODES[self.state]
 
     # -- state machine (all under self._lock) ----------------------------
 
@@ -236,6 +248,15 @@ class BreakerInstall:
 
 
 STATE = BreakerInstall()
+
+
+def installed_state_code() -> int | None:
+    """The installed breaker's :data:`STATE_CODES` number, or ``None`` when
+    no breaker is installed — the ``breaker.state`` gauge callable."""
+    breaker = STATE.breaker
+    if breaker is None:
+        return None
+    return breaker.state_code
 
 
 @contextmanager

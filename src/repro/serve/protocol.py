@@ -6,13 +6,21 @@ One request per line, one response per line, matched by the caller-chosen
     {"id": "r1", "op": "range", "point_id": 3, "eps": 2.0, "timeout_ms": 50}
     {"id": "r2", "op": "knn", "point_id": 3, "k": 5}
     {"id": "r3", "op": "cluster", "algorithm": "eps-link", "eps": 1.0}
+    {"id": "r4", "op": "stats"}
 
 ``op`` selects the work: ``range`` / ``knn`` anchor at an existing object
 (``point_id``) of the served workload; ``cluster`` runs one of the paper's
 algorithms over the whole workload (same parameter names as the CLI:
-``eps``, ``k``, ``min_pts``, ``delta``, ``seed``, ``restarts``).
+``eps``, ``k``, ``min_pts``, ``delta``, ``seed``, ``restarts``); ``stats``
+returns the service's live telemetry snapshot — uptime, the ``serve.*``
+counters, latency histograms with p50/p90/p99, and the queue-depth /
+worker / breaker-state / cache-hit-ratio gauges (see
+``docs/observability.md`` for the schema).
 ``timeout_ms`` overrides the service's default per-request deadline
 (measured from *admission*, so queue wait counts against it).
+Any request may also carry ``"trace": true`` to opt into request-scoped
+tracing when the service has a trace file configured: that one request's
+span tree is recorded, stamped with its ``request_id``.
 
 Responses carry either a result or a typed error from the taxonomy in
 ``docs/resilience.md``::
@@ -47,7 +55,7 @@ __all__ = [
     "result_response",
 ]
 
-OPS = ("range", "knn", "cluster")
+OPS = ("range", "knn", "cluster", "stats")
 
 
 def parse_request(line: str, lineno: int = 0) -> dict:

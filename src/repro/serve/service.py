@@ -27,10 +27,27 @@ I/O blips inside requests, an installed
 :class:`~repro.resilience.CircuitBreaker` converts persistent store
 failures into fast :class:`~repro.exceptions.CircuitOpenError` rejections,
 and ``serve.*`` obs counters expose the flow.
+
+Live telemetry (all gated on one ``obs`` flag check per request, so the
+hot path is untouched while observability is off):
+
+* ``serve.latency`` / ``serve.queue_wait`` / ``serve.exec`` histograms —
+  admission→response, admission→dequeue, and dequeue→response, measured on
+  the service clock so virtual-clock tests see deterministic values;
+* gauges for queue depth, live workers, in-flight requests, the installed
+  circuit breaker's state, and the shared distance cache's hit ratio,
+  sampled only when something reads them;
+* the ``{"op": "stats"}`` wire request and :meth:`QueryService.stats_snapshot`
+  return all of it plus uptime as one JSON-ready document;
+* requests carrying ``"trace": true`` run inside a trace-sampled scope
+  under a ``serve.request`` root span stamped with their ``request_id``,
+  so a single request's full span tree lands in the trace file without
+  tracing the whole service (``obs.enable(sample_requests=True)``).
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -39,13 +56,19 @@ from typing import Callable
 
 from repro.exceptions import (
     Cancelled,
+    DeadlineExceeded,
     Overloaded,
     ParameterError,
     PointNotFoundError,
 )
 from repro.network.augmented import AugmentedView
 from repro.network.queries import knn_query, range_query
+from repro.obs.core import STATE as _OBS
 from repro.obs.core import add as _obs_add
+from repro.obs.core import sampled as _obs_sampled
+from repro.obs.core import span as _obs_span
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.resilience.breaker import installed_state_code as _breaker_state
 from repro.resilience.deadline import Deadline
 from repro.serve.protocol import OPS
 
@@ -53,6 +76,9 @@ __all__ = ["QueryService", "build_algorithm"]
 
 _STOP = object()
 _UNSET = object()
+
+#: fallback request ids for traced requests that carry no client ``id``
+_REQUEST_IDS = itertools.count(1)
 
 
 def _field(request: dict, key: str, conv: Callable):
@@ -196,6 +222,32 @@ class QueryService:
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
         self._close_lock = threading.Lock()
+        self._started_at = clock()
+        self._inflight = 0
+        # Shared instruments, created once so the per-request path does a
+        # single flag check plus direct observe() calls — no dict lookups.
+        self._h_latency = _METRICS.histogram("serve.latency")
+        self._h_queue_wait = _METRICS.histogram("serve.queue_wait")
+        self._h_exec = _METRICS.histogram("serve.exec")
+        # Gauges are sampled only when read (stats op / exporter), so
+        # registering them costs the request path nothing.  Kept for
+        # unregistration on close: a later service re-registering the same
+        # names takes them over, and close() only removes its own.
+        self._gauges = [
+            _METRICS.gauge("serve.queue_depth", self._queue.qsize),
+            _METRICS.gauge(
+                "serve.workers_live",
+                lambda: sum(t.is_alive() for t in self._threads),
+            ),
+            _METRICS.gauge("serve.inflight", lambda: self._inflight),
+            _METRICS.gauge("breaker.state", _breaker_state),
+        ]
+        if self._distance_cache is not None:
+            self._gauges.append(
+                _METRICS.gauge(
+                    "perf.cache.hit_ratio", self._distance_cache.hit_ratio
+                )
+            )
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"repro-serve-{i}", daemon=True
@@ -219,6 +271,9 @@ class QueryService:
             timeout_s = self._request_timeout_s(request)
         deadline = Deadline(timeout_s, clock=self._clock)
         future: Future = Future()
+        # One flag check: with observability off no clock is read and the
+        # queue item carries None, so the worker skips all histogram work.
+        admitted_at = self._clock() if _OBS.enabled else None
         # The closed check and the enqueue are one atomic step against
         # close(): otherwise a request could slip into the queue after
         # close() drained it and enqueued the stop sentinels, leaving its
@@ -227,7 +282,7 @@ class QueryService:
             if self._closed:
                 raise RuntimeError("QueryService is closed")
             try:
-                self._queue.put_nowait((request, deadline, future))
+                self._queue.put_nowait((request, deadline, future, admitted_at))
             except queue.Full:
                 _obs_add("serve.shed")
                 raise Overloaded(self._queue.maxsize) from None
@@ -276,24 +331,54 @@ class QueryService:
             item = self._queue.get()
             if item is _STOP:
                 return
-            request, deadline, future = item
+            request, deadline, future, admitted_at = item
             if not future.set_running_or_notify_cancel():
                 continue
+            exec_start = None
+            if admitted_at is not None:
+                exec_start = self._clock()
+                self._h_queue_wait.observe(exec_start - admitted_at)
+            self._inflight += 1
             try:
                 with deadline.activate():
                     # Sheds requests that aged out while queued before any
                     # work happens on their behalf.
                     deadline.check("serve.dequeue")
-                    result = self._execute(request, aug)
+                    if request.get("trace") and (
+                        _OBS.enabled or _OBS.sampling
+                    ):
+                        result = self._execute_traced(request, aug)
+                    else:
+                        result = self._execute(request, aug)
             except Exception as exc:
                 # Per-request isolation: whatever a request raises —
                 # injected crash, corrupt page, bad parameters — is its
                 # own failure; the worker and its siblings live on.
                 _obs_add("serve.errors")
+                if isinstance(exc, DeadlineExceeded):
+                    _obs_add("serve.deadline_exceeded")
                 future.set_exception(exc)
             else:
                 _obs_add("serve.completed")
                 future.set_result(result)
+            finally:
+                self._inflight -= 1
+            if exec_start is not None:
+                done = self._clock()
+                self._h_exec.observe(done - exec_start)
+                self._h_latency.observe(done - admitted_at)
+
+    def _execute_traced(self, request: dict, aug: AugmentedView) -> object:
+        """Run one request inside a trace-sampled ``serve.request`` root
+        span stamped with its request id, so its whole span tree lands in
+        the trace file even when only sampled requests are being traced."""
+        request_id = request.get("id")
+        if request_id is None:
+            request_id = f"req-{next(_REQUEST_IDS)}"
+        with _obs_sampled(), _obs_span(
+            "serve.request", request_id=request_id, op=request.get("op")
+        ):
+            return self._execute(request, aug)
 
     def _execute(self, request: dict, aug: AugmentedView) -> object:
         accel = getattr(self._worker_state, "accel", None)
@@ -322,7 +407,27 @@ class QueryService:
                 "outliers": len(result.outliers()),
                 "assignment": {str(k): v for k, v in result.assignment.items()},
             }
+        if op == "stats":
+            return self.stats_snapshot()
         raise ParameterError(f"op must be one of {list(OPS)}, got {op!r}")
+
+    def stats_snapshot(self) -> dict:
+        """The live telemetry document served by the ``stats`` wire op.
+
+        JSON-ready: uptime on the service clock, the obs counters, every
+        histogram (buckets plus exact count/sum and p50/p90/p99), and the
+        gauges sampled now.  Works regardless of whether obs is enabled —
+        with it off the counters are empty and the histograms all-zero.
+        """
+        from repro.obs.report import snapshot as _obs_snapshot
+
+        metrics = _METRICS.snapshot()
+        return {
+            "uptime_s": max(self._clock() - self._started_at, 0.0),
+            "counters": _obs_snapshot()["counters"],
+            "histograms": metrics["histograms"],
+            "gauges": metrics["gauges"],
+        }
 
     def _query_point(self, request: dict):
         point_id = _field(request, "point_id", int)
@@ -354,7 +459,7 @@ class QueryService:
                 except queue.Empty:
                     break
                 if item is not _STOP:
-                    _request, _deadline, future = item
+                    _request, _deadline, future, _admitted_at = item
                     if future.set_running_or_notify_cancel():
                         future.set_exception(Cancelled("service shutdown"))
         for _ in self._threads:
@@ -373,7 +478,7 @@ class QueryService:
             if item is _STOP:
                 stops_swept += 1
                 continue
-            _request, _deadline, future = item
+            _request, _deadline, future, _admitted_at = item
             if future.set_running_or_notify_cancel():
                 future.set_exception(Cancelled("service shutdown"))
         joined = self._joined()
@@ -386,6 +491,12 @@ class QueryService:
                     self._queue.put_nowait(_STOP)
                 except queue.Full:  # pragma: no cover - depth < stragglers
                     break
+        # Gauges close over this service's queue and threads; leaving them
+        # registered would have a later stats read sampling a dead pool.
+        # Ownership-checked so a successor service that already re-registered
+        # the same names is untouched.
+        for gauge in self._gauges:
+            _METRICS.unregister_gauge(gauge.name, owner=gauge)
         return joined
 
     def _joined(self) -> bool:

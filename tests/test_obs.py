@@ -254,3 +254,108 @@ def test_enable_fresh_resets_and_accumulating_mode_keeps():
     assert obs.STATE.counters["x.y"] == 6
     obs.enable()  # fresh=True default
     assert obs.STATE.counters == {}
+
+
+def test_accumulating_reenable_keeps_epoch_and_span_starts_monotone():
+    """enable(fresh=False) must not rebase the epoch: span start_s values
+    accumulated across enable/disable cycles stay monotone instead of
+    jumping backwards to a new zero."""
+    obs.enable()
+    first_epoch = obs.STATE.epoch
+    assert first_epoch > 0.0
+    with obs.span("cycle.one") as s1:
+        pass
+    obs.disable()
+    obs.enable(fresh=False)
+    assert obs.STATE.epoch == first_epoch
+    with obs.span("cycle.two") as s2:
+        pass
+    assert s2.start_s >= s1.start_s
+    obs.disable()
+    # A fresh enable is the one legitimate rebase point.
+    obs.enable()
+    assert obs.STATE.epoch > first_epoch
+
+
+def test_counter_increments_survive_heavy_contention():
+    """Hammer one counter name from many threads: the read-modify-write in
+    add() runs under the state lock, so no increment is ever lost."""
+    obs.enable()
+    n_threads, n_iters = 8, 2000
+    barrier = threading.Barrier(n_threads)
+
+    def worker():
+        barrier.wait(10)
+        for _ in range(n_iters):
+            obs.add("test.contended")
+            obs.add("test.valued", 3)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert obs.STATE.counters["test.contended"] == n_threads * n_iters
+    assert obs.STATE.counters["test.valued"] == n_threads * n_iters * 3
+
+
+def test_span_aggregates_survive_heavy_contention():
+    """Span count/total fold-in has the same lost-update exposure as
+    counters; the lock must cover it too."""
+    obs.enable()
+    n_threads, n_iters = 8, 500
+    barrier = threading.Barrier(n_threads)
+
+    def worker():
+        barrier.wait(10)
+        for _ in range(n_iters):
+            with obs.span("test.contended_span"):
+                pass
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert obs.STATE.span_count["test.contended_span"] == n_threads * n_iters
+
+
+# ----------------------------------------------------------------------
+# Request-scoped trace sampling
+# ----------------------------------------------------------------------
+def test_sampled_scope_gates_trace_export(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    obs.enable(trace_path=str(trace), sample_requests=True)
+    assert not obs.is_sampled()
+    with obs.span("outside.work"):
+        pass
+    with obs.sampled():
+        assert obs.is_sampled()
+        with obs.span("inside.work"):
+            with obs.span("inside.child"):
+                pass
+    assert not obs.is_sampled()
+    obs.disable()
+    names = [
+        json.loads(line)["name"] for line in trace.read_text().splitlines()
+    ]
+    # Only spans opened inside the sampled scope reach the trace file...
+    assert names == ["inside.child", "inside.work"]
+    # ...while the aggregates record everything either way.
+    spans = obs.snapshot()["spans"]
+    assert spans["outside.work"]["count"] == 1
+    assert spans["inside.work"]["count"] == 1
+
+
+def test_sampling_off_traces_everything(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    obs.enable(trace_path=str(trace))  # sample_requests defaults off
+    with obs.span("plain.work"):
+        pass
+    obs.disable()
+    names = [
+        json.loads(line)["name"] for line in trace.read_text().splitlines()
+    ]
+    assert names == ["plain.work"]
+    # disable() must drop the sampling flag along with everything else.
+    assert obs.STATE.sampling is False

@@ -1,0 +1,356 @@
+"""The live-metrics layer: histograms, gauges, exporter, renderers, lint.
+
+Covers the contracts the serve telemetry rides on:
+
+* histograms — exact count/sum/min/max, deterministic bucket placement,
+  monotone quantile estimates, in-place reset (object identity survives);
+* gauges — read-time sampling, failure isolation (a raising callable reads
+  as ``None``), ownership-checked unregistration;
+* the registry — get-or-create sharing, ``obs.reset()`` integration;
+* the JSONL metrics exporter — periodic lines plus a final line on close,
+  every line independently parseable;
+* the Prometheus text renderer — cumulative buckets, ``+Inf``, sums;
+* the ``tools/check_metric_names.py`` taxonomy lint, which must pass on
+  the shipped source tree and fail on off-namespace names.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.export import SNAPSHOT_SCHEMA, MetricsExporter
+from repro.obs.metrics import (
+    REGISTRY,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    observe,
+)
+from repro.obs.report import render_prometheus
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_TOOL = REPO_ROOT / "tools" / "check_metric_names.py"
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("serve.test", start=0.0)
+        with pytest.raises(ValueError):
+            Histogram("serve.test", factor=1.0)
+        with pytest.raises(ValueError):
+            Histogram("serve.test", buckets=0)
+
+    def test_count_and_sum_are_exact(self):
+        h = Histogram("serve.test")
+        values = [0.001, 0.002, 0.004, 0.1, 3.5]
+        for v in values:
+            h.observe(v)
+        assert h.count == len(values)
+        assert h.sum == pytest.approx(sum(values))
+        assert h.min == pytest.approx(min(values))
+        assert h.max == pytest.approx(max(values))
+
+    def test_bucket_placement_is_deterministic(self):
+        # bounds: 1, 2, 4, 8; overflow above 8.
+        h = Histogram("serve.test", start=1.0, factor=2.0, buckets=4)
+        for v in (0.5, 1.0, 1.5, 3.0, 9.0):
+            h.observe(v)
+        # bisect_left: a value equal to a bound lands in that bound's bucket.
+        assert h.bucket_counts == [2, 1, 1, 0, 1]
+
+    def test_quantiles_monotone_and_clamped(self):
+        h = Histogram("serve.test")
+        for i in range(1, 101):
+            h.observe(i / 1000.0)  # 1ms .. 100ms
+        p50, p90, p99 = h.quantile(0.5), h.quantile(0.9), h.quantile(0.99)
+        assert p50 <= p90 <= p99
+        assert h.min <= p50 and p99 <= h.max
+        # The median of a 1..100ms uniform spread sits mid-range, not at
+        # either extreme: the interpolation really interpolates.
+        assert 0.01 < p50 < 0.1
+
+    def test_empty_histogram_reads_none(self):
+        h = Histogram("serve.test")
+        assert h.quantile(0.5) is None
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["sum"] == 0.0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["p50"] is None and snap["p99"] is None
+        assert snap["buckets"] == []
+
+    def test_snapshot_shape_is_json_ready(self):
+        h = Histogram("serve.test", start=1.0, factor=2.0, buckets=2)
+        h.observe(1.5)
+        h.observe(100.0)  # overflow
+        snap = h.snapshot()
+        json.dumps(snap)
+        assert snap["buckets"] == [[2.0, 1], [None, 1]]
+        assert snap["count"] == 2
+
+    def test_reset_zeroes_in_place(self):
+        h = Histogram("serve.test")
+        h.observe(0.5)
+        counts = h.bucket_counts
+        h.reset()
+        assert h.count == 0 and h.sum == 0.0
+        assert h.bucket_counts is counts  # same list, zeroed
+        assert sum(counts) == 0
+        h.observe(0.25)  # the held reference keeps working
+        assert h.count == 1
+
+    def test_concurrent_observes_lose_nothing(self):
+        h = Histogram("serve.test")
+        n_threads, n_iters = 8, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait(10)
+            for i in range(n_iters):
+                h.observe(0.001 * (1 + i % 7))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert h.count == n_threads * n_iters
+        assert sum(h.bucket_counts) == n_threads * n_iters
+
+
+# ----------------------------------------------------------------------
+# Gauge
+# ----------------------------------------------------------------------
+class TestGauge:
+    def test_reads_sample_the_callable(self):
+        box = {"v": 1}
+        g = Gauge("serve.test_gauge", lambda: box["v"])
+        assert g.read() == 1
+        box["v"] = 7.5
+        assert g.read() == 7.5
+
+    def test_failures_and_non_numbers_read_none(self):
+        def boom():
+            raise RuntimeError("sensor broken")
+
+        assert Gauge("serve.g", boom).read() is None
+        assert Gauge("serve.g", lambda: None).read() is None
+        assert Gauge("serve.g", lambda: True).read() is None
+        assert Gauge("serve.g", lambda: "up").read() is None
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_histogram_get_or_create_shares_one_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("serve.test")
+        b = reg.histogram("serve.test")
+        assert a is b
+        a.observe(0.1)
+        assert reg.snapshot()["histograms"]["serve.test"]["count"] == 1
+
+    def test_gauge_replace_and_owned_unregister(self):
+        reg = MetricsRegistry()
+        first = reg.gauge("serve.g", lambda: 1)
+        second = reg.gauge("serve.g", lambda: 2)  # replaces
+        assert reg.read_gauges()["serve.g"] == 2
+        # The displaced owner cannot tear down its successor...
+        reg.unregister_gauge("serve.g", owner=first)
+        assert reg.read_gauges()["serve.g"] == 2
+        # ...but the current owner can.
+        reg.unregister_gauge("serve.g", owner=second)
+        assert reg.read_gauges() == {}
+        reg.unregister_gauge("serve.g")  # absent: a no-op, not an error
+
+    def test_reset_zeroes_histograms_and_drops_gauges(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.test")
+        h.observe(0.5)
+        reg.gauge("serve.g", lambda: 3)
+        reg.reset()
+        assert h.count == 0
+        assert reg.histograms()["serve.test"] is h  # identity survives
+        assert reg.gauges() == {}
+
+    def test_obs_reset_reaches_the_global_registry(self):
+        h = REGISTRY.histogram("serve.test_reset_hook")
+        h.observe(0.5)
+        REGISTRY.gauge("serve.test_reset_gauge", lambda: 1)
+        obs.reset()
+        assert h.count == 0
+        assert "serve.test_reset_gauge" not in REGISTRY.gauges()
+
+    def test_module_observe_is_gated_on_enabled(self):
+        observe("serve.test_gated", 0.5)
+        assert "serve.test_gated" not in REGISTRY.histograms()
+        obs.enable()
+        observe("serve.test_gated", 0.5)
+        assert REGISTRY.histogram("serve.test_gated").count == 1
+
+
+# ----------------------------------------------------------------------
+# JSONL exporter
+# ----------------------------------------------------------------------
+class TestExporter:
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            MetricsExporter(str(tmp_path / "m.jsonl"), interval_s=0)
+
+    def test_final_line_on_close_and_schema(self, tmp_path):
+        obs.enable()
+        obs.add("serve.test_counter", 3)
+        REGISTRY.histogram("serve.test").observe(0.5)
+        path = tmp_path / "m.jsonl"
+        with MetricsExporter(str(path), interval_s=60.0):
+            pass  # closed immediately: only the final snapshot line
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        doc = json.loads(lines[0])
+        assert doc["schema"] == SNAPSHOT_SCHEMA
+        assert doc["uptime_s"] >= 0.0
+        assert doc["counters"]["serve.test_counter"] == 3
+        assert doc["histograms"]["serve.test"]["count"] == 1
+
+    def test_periodic_lines_all_parse(self, tmp_path):
+        obs.enable()
+        path = tmp_path / "m.jsonl"
+        exporter = MetricsExporter(str(path), interval_s=0.02)
+        deadline = time.monotonic() + 5.0
+        while exporter.lines_written < 3 and time.monotonic() < deadline:
+            obs.add("serve.test_ticks")
+            time.sleep(0.01)
+        exporter.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) >= 4  # >=3 periodic + the final close line
+        docs = [json.loads(line) for line in lines]
+        assert all(d["schema"] == SNAPSHOT_SCHEMA for d in docs)
+        # Counters are cumulative, so successive snapshots are monotone.
+        ticks = [d["counters"].get("serve.test_ticks", 0) for d in docs]
+        assert ticks == sorted(ticks)
+        assert exporter.lines_written == len(lines)
+
+    def test_close_is_idempotent_enough(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        exporter = MetricsExporter(str(path), interval_s=60.0)
+        exporter.close()
+        exporter.close()  # second close: no crash, no extra line
+        assert len(path.read_text().splitlines()) == 1
+
+
+# ----------------------------------------------------------------------
+# Prometheus renderer
+# ----------------------------------------------------------------------
+class TestPrometheusRenderer:
+    def test_renders_counters_histograms_gauges(self):
+        snap = {
+            "counters": {"serve.completed": 5},
+            "histograms": {
+                "serve.latency": {
+                    "count": 3,
+                    "sum": 0.75,
+                    "buckets": [[0.25, 2], [None, 1]],
+                },
+            },
+            "gauges": {"serve.queue_depth": 4, "breaker.state": None},
+        }
+        text = render_prometheus(snap)
+        assert "# TYPE repro_serve_completed counter" in text
+        assert "repro_serve_completed 5" in text
+        assert '# TYPE repro_serve_latency_seconds histogram' in text
+        assert 'repro_serve_latency_seconds_bucket{le="0.25"} 2' in text
+        # Cumulative buckets: the overflow line carries the full count.
+        assert 'repro_serve_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_serve_latency_seconds_sum 0.75" in text
+        assert "repro_serve_latency_seconds_count 3" in text
+        assert "repro_serve_queue_depth 4" in text
+        # Unreadable gauges are skipped, not rendered as "None".
+        assert "breaker_state" not in text
+        assert text.endswith("\n")
+
+    def test_inf_bucket_synthesised_when_absent(self):
+        snap = {
+            "histograms": {
+                "serve.latency": {
+                    "count": 2, "sum": 0.2, "buckets": [[0.25, 2]],
+                },
+            },
+        }
+        text = render_prometheus(snap)
+        assert 'le="+Inf"} 2' in text
+
+    def test_live_render_reads_both_registries(self):
+        obs.enable()
+        obs.add("serve.test_live")
+        REGISTRY.histogram("serve.test_h").observe(0.1)
+        REGISTRY.gauge("serve.test_g", lambda: 9)
+        text = render_prometheus()
+        assert "repro_serve_test_live 1" in text
+        assert "repro_serve_test_h_seconds_count 1" in text
+        assert "repro_serve_test_g 9" in text
+
+
+# ----------------------------------------------------------------------
+# Metric-name taxonomy lint
+# ----------------------------------------------------------------------
+class TestMetricNameLint:
+    def test_shipped_source_tree_passes(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINT_TOOL), str(REPO_ROOT / "src" / "repro")],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_off_taxonomy_names_fail(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            '_obs_add("rogue_namespace.count")\n'
+            '_obs_add("serve")\n'
+            'span("Serve.CamelCase")\n'
+        )
+        proc = subprocess.run(
+            [sys.executable, str(LINT_TOOL), str(tmp_path)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "unknown namespace" in proc.stdout
+        assert "dotted subsystem prefix" in proc.stdout
+        assert "not lowercase dotted" in proc.stdout
+
+    def test_fstring_prefix_is_checked(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text('_obs_add(f"breaker.transitions.{state}")\n')
+        proc = subprocess.run(
+            [sys.executable, str(LINT_TOOL), str(tmp_path)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stdout
+        bad = tmp_path / "bad.py"
+        bad.write_text('_obs_add(f"rogue.{state}")\n')
+        proc = subprocess.run(
+            [sys.executable, str(LINT_TOOL), str(tmp_path)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "rogue" in proc.stdout

@@ -10,6 +10,7 @@ request/outcome history is deterministic.
 from __future__ import annotations
 
 import json
+import os
 import random
 import threading
 import time
@@ -476,6 +477,232 @@ class TestChaosSweep:
         assert _chaos_run(seed, store_path) == _chaos_run(seed, store_path)
 
 
+# ----------------------------------------------------------------------
+# Live telemetry: stats op, histograms, gauges, request-scoped tracing
+# ----------------------------------------------------------------------
+class _RaisingHistogram:
+    """Stand-in instrument that must never be touched on the disabled path."""
+
+    def observe(self, value):
+        raise AssertionError("histogram work performed while obs is disabled")
+
+
+class TestServeTelemetry:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_stats_op_returns_live_snapshot(self, workload):
+        net, pts = workload
+        obs.enable()
+        with QueryService(net, pts, workers=1) as svc:
+            for i in range(4):
+                svc.call({"op": "knn", "point_id": i, "k": 3})
+            snap = svc.call({"op": "stats"})
+            json.dumps(snap)  # the wire answer must serialise as-is
+            assert snap["uptime_s"] >= 0.0
+            lat = snap["histograms"]["serve.latency"]
+            # One worker: all four knn latencies were observed before the
+            # stats request was dequeued.
+            assert lat["count"] == 4
+            for q in ("p50", "p90", "p99"):
+                assert isinstance(lat[q], float)
+            assert lat["p50"] <= lat["p90"] <= lat["p99"]
+            assert lat["min"] <= lat["p50"] <= lat["max"]
+            assert snap["histograms"]["serve.queue_wait"]["count"] >= 4
+            assert snap["histograms"]["serve.exec"]["count"] >= 4
+            gauges = snap["gauges"]
+            assert gauges["serve.workers_live"] == 1
+            assert gauges["serve.queue_depth"] == 0
+            assert gauges["serve.inflight"] == 1  # the stats request itself
+            assert gauges["breaker.state"] is None  # no breaker installed
+            assert snap["counters"]["serve.completed"] >= 4
+
+    def test_stats_reports_installed_breaker_state(self, workload):
+        net, pts = workload
+        obs.enable()
+        with QueryService(net, pts, workers=1) as svc:
+            with breaking(CircuitBreaker()):
+                snap = svc.call({"op": "stats"})
+        assert snap["gauges"]["breaker.state"] == 0  # closed
+
+    def test_stats_op_serves_with_obs_disabled(self, workload):
+        net, pts = workload
+        assert not obs.is_enabled()
+        with QueryService(net, pts, workers=1) as svc:
+            svc.call({"op": "knn", "point_id": 0, "k": 2})
+            snap = svc.call({"op": "stats"})
+        assert snap["counters"] == {}
+        assert snap["histograms"]["serve.latency"]["count"] == 0
+        assert snap["gauges"]["serve.workers_live"] == 1
+
+    def test_disabled_path_performs_no_histogram_work(self, workload):
+        """With --stats/--trace/--metrics-file all absent the hot path does
+        one flag check and nothing else: swap the service's instruments for
+        raising stand-ins and serve anyway."""
+        net, pts = workload
+        assert not obs.is_enabled()
+        with QueryService(net, pts, workers=2) as svc:
+            boom = _RaisingHistogram()
+            svc._h_latency = svc._h_queue_wait = svc._h_exec = boom
+            for i in range(6):
+                assert svc.call({"op": "knn", "point_id": i, "k": 2})
+        assert obs.STATE.counters == {}
+        from repro.obs.metrics import REGISTRY
+
+        assert REGISTRY.histogram("serve.latency").count == 0
+
+    def test_chaos_counters_match_wire_outcomes(self, workload, tmp_path):
+        """The snapshot's shed/deadline/completed tallies must equal what
+        the wire actually answered, request for request."""
+        from repro.obs.metrics import REGISTRY
+
+        net, pts = workload
+        obs.enable()
+        vc = VirtualClock()
+        svc = QueryService(
+            net, pts, workers=1, queue_depth=2, clock=vc.monotonic
+        )
+        gate = _gate(svc)
+        fates = []
+        try:
+            fates.append(svc.submit({"op": "range", "point_id": 0, "eps": 2.0}))
+            _drain_into_worker(svc)  # worker holds it at the gate
+            fates.append(svc.submit(
+                {"op": "range", "point_id": 1, "eps": 2.0, "timeout_ms": 100}
+            ))
+            fates.append(svc.submit({"op": "knn", "point_id": 2, "k": 3}))
+            for _ in range(3):  # queue full: all three shed
+                try:
+                    fates.append(svc.submit({"op": "knn", "point_id": 3, "k": 2}))
+                except Overloaded as exc:
+                    fates.append(exc)
+            vc.advance(0.2)  # ages out the 100 ms request in the queue
+            gate.set()
+            wire = [_outcome(f) for f in fates]
+        finally:
+            gate.set()
+            assert svc.close()  # joins workers: every observe has landed
+        shed = sum(1 for o in wire if o == "Overloaded")
+        expired = sum(1 for o in wire if o == "DeadlineExceeded")
+        ok = sum(1 for o in wire if isinstance(o, tuple))
+        assert (shed, expired, ok) == (3, 1, 2)
+        snap = svc.stats_snapshot()
+        counters = snap["counters"]
+        assert counters["serve.shed"] == shed
+        assert counters["serve.deadline_exceeded"] == expired
+        assert counters["serve.completed"] == ok
+        assert counters["serve.errors"] == expired
+        assert counters["serve.submitted"] == len(wire) - shed
+        # Every admitted request was dequeued and timed; shed ones never.
+        assert snap["histograms"]["serve.latency"]["count"] == len(wire) - shed
+        assert REGISTRY.histogram("serve.queue_wait").count == len(wire) - shed
+        # CI uploads this snapshot as the chaos-sweep artifact.
+        artifact = os.environ.get("REPRO_CHAOS_METRICS")
+        if artifact:
+            with open(artifact, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"wire_outcomes": [
+                        o if isinstance(o, str) else "ok" for o in wire
+                    ], **snap},
+                    fh, indent=1, sort_keys=True, default=str,
+                )
+                fh.write("\n")
+
+    def test_request_scoped_tracing_records_only_flagged(
+        self, workload, tmp_path
+    ):
+        net, pts = workload
+        trace = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(trace), sample_requests=True)
+        with QueryService(net, pts, workers=2) as svc:
+            svc.call({"op": "knn", "point_id": 0, "k": 3})  # not traced
+            svc.call({
+                "op": "cluster", "algorithm": "eps-link", "eps": 2.0,
+                "trace": True, "id": "T1",
+            })
+        obs.disable()
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        roots = [r for r in records if r["parent_id"] is None]
+        assert len(roots) == 1
+        assert roots[0]["name"] == "serve.request"
+        assert roots[0]["attrs"] == {"request_id": "T1", "op": "cluster"}
+        # The flagged request's inner spans landed under its root.
+        assert {r["name"] for r in records} > {"serve.request"}
+        ids = {r["span_id"] for r in records}
+        assert all(
+            r["parent_id"] in ids for r in records if r["parent_id"] is not None
+        )
+
+    def test_trace_requests_get_generated_ids_when_missing(
+        self, workload, tmp_path
+    ):
+        net, pts = workload
+        trace = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(trace), sample_requests=True)
+        with QueryService(net, pts, workers=1) as svc:
+            svc.call({"op": "knn", "point_id": 0, "k": 2, "trace": True})
+        obs.disable()
+        roots = [
+            json.loads(line) for line in trace.read_text().splitlines()
+            if json.loads(line)["parent_id"] is None
+        ]
+        assert len(roots) == 1
+        assert roots[0]["attrs"]["request_id"].startswith("req-")
+
+    def test_trace_file_integrity_under_concurrent_workers(
+        self, workload, tmp_path
+    ):
+        """Hammer the pool with traced requests: every JSONL line parses,
+        span ids are unique, and every parent resolves to a span in the
+        file that started no later than its child."""
+        net, pts = workload
+        trace = tmp_path / "trace.jsonl"
+        obs.enable(trace_path=str(trace), sample_requests=True)
+        with QueryService(net, pts, workers=4, queue_depth=256) as svc:
+            futures = [
+                svc.submit({
+                    "op": "cluster", "algorithm": "eps-link", "eps": 2.0,
+                    "trace": True, "id": f"c{i}",
+                })
+                for i in range(8)
+            ]
+            futures += [
+                svc.submit({
+                    "op": "knn", "point_id": i % len(pts), "k": 2,
+                    "trace": True, "id": f"k{i}",
+                })
+                for i in range(16)
+            ]
+            for future in futures:
+                future.result(60)
+        obs.disable()
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]  # a torn line would fail to parse
+        by_id = {r["span_id"]: r for r in records}
+        assert len(by_id) == len(records)  # no duplicated span ids
+        for r in records:
+            parent_id = r["parent_id"]
+            if parent_id is None:
+                continue
+            parent = by_id[parent_id]  # resolves within the file
+            assert parent["thread"] == r["thread"]
+            assert parent["start_s"] <= r["start_s"] + 1e-9
+        roots = [r for r in records if r["parent_id"] is None]
+        assert len(roots) == 24
+        assert {r["name"] for r in roots} == {"serve.request"}
+        assert {r["attrs"]["request_id"] for r in roots} == (
+            {f"c{i}" for i in range(8)} | {f"k{i}" for i in range(16)}
+        )
+
+
 class TestConcurrentStoreReads:
     def test_shared_store_serves_correct_results_concurrently(self, tmp_path):
         """Many workers over one disk-backed store: every answer must match
@@ -615,3 +842,85 @@ class TestServeCLI:
         ]) == 0
         doc = json.loads(out.read_text().splitlines()[0])
         assert doc["ok"] is True
+
+    def test_stats_op_over_the_wire(self, cli_workload, tmp_path, capsys):
+        reqs = tmp_path / "reqs.ldjson"
+        reqs.write_text("\n".join([
+            '{"id": "q1", "op": "range", "point_id": 0, "eps": 2.0}',
+            '{"id": "q2", "op": "knn", "point_id": 0, "k": 3}',
+            '{"id": "s", "op": "stats"}',
+            "",
+        ]))
+        # --stats turns telemetry on for the session.  No --output: stdout
+        # is the wire, so every line of it must parse as JSON — the
+        # "wrote trace" line and the --stats tables belong on stderr.
+        assert main([
+            "serve", str(cli_workload), "--input", str(reqs),
+            "--workers", "1", "--stats",
+            "--trace", str(tmp_path / "trace.jsonl"),
+        ]) == 0
+        captured = capsys.readouterr()
+        by_id = {
+            d["id"]: d for d in map(json.loads, captured.out.splitlines())
+        }
+        assert "wrote trace" in captured.err
+        stats = by_id["s"]
+        assert stats["ok"] is True
+        lat = stats["result"]["histograms"]["serve.latency"]
+        assert lat["count"] == 2
+        assert lat["p50"] <= lat["p90"] <= lat["p99"]
+        assert stats["result"]["gauges"]["serve.workers_live"] == 1
+        assert stats["result"]["counters"]["serve.completed"] == 2
+
+    def test_metrics_file_export(self, cli_workload, tmp_path, capsys):
+        reqs = tmp_path / "reqs.ldjson"
+        reqs.write_text("\n".join([
+            '{"id": "r1", "op": "range", "point_id": 0, "eps": 2.0}',
+            '{"id": "r2", "op": "knn", "point_id": 0, "k": 3}',
+            '{"id": "r3", "op": "knn", "point_id": 1, "k": 2}',
+            "",
+        ]))
+        out = tmp_path / "resp.ldjson"
+        mfile = tmp_path / "metrics.jsonl"
+        assert main([
+            "serve", str(cli_workload), "--input", str(reqs),
+            "--output", str(out),
+            "--metrics-file", str(mfile), "--metrics-interval-s", "60",
+        ]) == 0
+        docs = [json.loads(line) for line in mfile.read_text().splitlines()]
+        assert docs, "the exporter must write a final line on close"
+        final = docs[-1]
+        assert final["schema"] == "repro.obs.metrics-snapshot/v1"
+        assert final["histograms"]["serve.latency"]["count"] == 3
+        assert final["counters"]["serve.completed"] == 3
+        assert "wrote metrics" in capsys.readouterr().err
+
+    def test_metrics_interval_validated(self, cli_workload, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "serve", str(cli_workload),
+                "--metrics-file", str(tmp_path / "m.jsonl"),
+                "--metrics-interval-s", "0",
+            ])
+
+    def test_trace_flag_records_only_flagged_requests(
+        self, cli_workload, tmp_path
+    ):
+        reqs = tmp_path / "reqs.ldjson"
+        reqs.write_text("\n".join([
+            '{"id": "plain", "op": "knn", "point_id": 0, "k": 2}',
+            '{"id": "traced", "op": "knn", "point_id": 0, "k": 2,'
+            ' "trace": true}',
+            "",
+        ]))
+        out = tmp_path / "resp.ldjson"
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "serve", str(cli_workload), "--input", str(reqs),
+            "--output", str(out), "--trace", str(trace),
+        ]) == 0
+        roots = [
+            r for r in map(json.loads, trace.read_text().splitlines())
+            if r["parent_id"] is None
+        ]
+        assert [r["attrs"]["request_id"] for r in roots] == ["traced"]
