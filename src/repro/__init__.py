@@ -42,9 +42,11 @@ from repro.exceptions import (
     PageCorruptError,
     ParameterError,
     PointError,
+    PoisonRequest,
     ReproError,
     StorageError,
     UnreachableError,
+    WorkerCrashed,
 )
 from repro.network import (
     AugmentedView,
@@ -76,6 +78,8 @@ __all__ = [
     "Cancelled",
     "Overloaded",
     "CircuitOpenError",
+    "WorkerCrashed",
+    "PoisonRequest",
     # Network substrate
     "SpatialNetwork",
     "PointSet",
@@ -122,6 +126,8 @@ def __getattr__(name):
         "VirtualClock": "repro.resilience",
         "TickingClock": "repro.resilience",
         "QueryService": "repro.serve",
+        "SupervisedPool": "repro.serve",
+        "RemoteRequestError": "repro.serve",
         "DistanceAccelerator": "repro.perf",
         "DistanceCache": "repro.perf",
         "LandmarkIndex": "repro.perf",

@@ -206,9 +206,13 @@ def _checkpoint_meta(args: argparse.Namespace) -> dict:
 
 
 def _sigterm(signum, frame):
-    # SIGTERM unwinds through the same typed-interrupt path as a deadline
-    # expiry or budget abort: Cancelled -> checkpoint intact -> exit 3.
-    raise Cancelled("SIGTERM")
+    # SIGTERM/SIGINT unwind through the same typed-interrupt path as a
+    # deadline expiry or budget abort: Cancelled -> clean drain -> exit 3.
+    try:
+        name = signal.Signals(signum).name
+    except ValueError:  # pragma: no cover - unknown signal number
+        name = f"signal {signum}"
+    raise Cancelled(name)
 
 
 def _interrupt_reason(exc: Interrupted) -> str:
@@ -443,6 +447,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     exercises admission control for real: requests beyond the queue bound
     are shed with ``Overloaded`` responses — and writes one JSON response
     per request, in input order, to ``--output`` (or stdout).
+
+    ``--processes N`` swaps the threaded pool for a supervised
+    :class:`~repro.serve.SupervisedPool` of N worker processes (restart
+    with backoff, in-flight failover, poison quarantine — see
+    ``docs/resilience.md``).  SIGTERM/SIGINT *drain*: intake stops, every
+    already-read request is answered, the final metrics snapshot is
+    flushed, and the exit code is 3 — the typed-interrupt convention.
     """
     from repro.serve import (
         QueryService,
@@ -454,6 +465,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     network, points = load_workload_file(args.workload)
     if len(points) == 0:
         raise SystemExit("the workload holds no points to serve")
+    if args.processes < 0:
+        raise SystemExit(f"--processes must be >= 0, got {args.processes}")
     if args.metrics_file and args.metrics_interval_s <= 0:
         raise SystemExit(
             f"--metrics-interval-s must be > 0, got {args.metrics_interval_s}"
@@ -502,33 +515,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stack.enter_context(open(args.output, "w", encoding="utf-8"))
             if args.output else sys.stdout
         )
-        service = QueryService(
-            network, points,
-            workers=args.workers,
-            queue_depth=args.queue_depth,
-            default_timeout_s=default_timeout_s,
-            landmarks=args.landmarks,
-            distance_cache_mb=args.distance_cache_mb,
-        )
+        if args.processes > 0:
+            from repro.serve import SupervisedPool
+
+            service = SupervisedPool(
+                args.workload,
+                processes=args.processes,
+                queue_depth=args.queue_depth,
+                default_timeout_s=default_timeout_s,
+                landmarks=args.landmarks,
+                distance_cache_mb=args.distance_cache_mb,
+                max_restarts=args.max_restarts,
+                restart_window_s=args.restart_window_s,
+            )
+            pool_desc = f"{args.processes} process(es)"
+        else:
+            service = QueryService(
+                network, points,
+                workers=args.workers,
+                queue_depth=args.queue_depth,
+                default_timeout_s=default_timeout_s,
+                landmarks=args.landmarks,
+                distance_cache_mb=args.distance_cache_mb,
+            )
+            pool_desc = f"{args.workers} worker(s)"
         pending: list[tuple[dict, object]] = []  # (request, future-or-error)
         served = 0
+        interrupted = None
+        # SIGTERM/SIGINT drain: intake stops (the handler raises Cancelled
+        # out of the read loop), but everything already read is answered
+        # and the metrics exporter still flushes its final snapshot on the
+        # way out.  Handlers are restored before the drain so a second
+        # signal escalates to the default (hard) behaviour.
+        old_handlers = []
+        with contextlib.suppress(ValueError):  # non-main thread
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                old_handlers.append(
+                    (signum, signal.signal(signum, _sigterm))
+                )
         try:
-            for lineno, line in enumerate(in_fh, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    request = parse_request(line, lineno)
-                except Exception as exc:
-                    rid = _line_id(line)
-                    pending.append(({"id": rid} if rid is not None else {}, exc))
-                    continue
-                try:
-                    pending.append((request, service.submit(request)))
-                except Exception as exc:
-                    # Overloaded sheds, ParameterError rejects a bad field
-                    # (e.g. timeout_ms): either way the failure belongs to
-                    # this one request, never to the serving session.
-                    pending.append((request, exc))
+            try:
+                for lineno, line in enumerate(in_fh, start=1):
+                    if not line.strip():
+                        continue
+                    try:
+                        request = parse_request(line, lineno)
+                    except Exception as exc:
+                        rid = _line_id(line)
+                        pending.append(
+                            ({"id": rid} if rid is not None else {}, exc)
+                        )
+                        continue
+                    try:
+                        pending.append((request, service.submit(request)))
+                    except Exception as exc:
+                        # Overloaded sheds, ParameterError rejects a bad
+                        # field (e.g. timeout_ms): either way the failure
+                        # belongs to this one request, never to the
+                        # serving session.
+                        pending.append((request, exc))
+            except Cancelled as exc:
+                interrupted = exc
+            finally:
+                for signum, handler in old_handlers:
+                    signal.signal(signum, handler)
             for request, outcome in pending:
                 if isinstance(outcome, BaseException):
                     doc = error_response(request, outcome)
@@ -543,13 +593,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service.close()
     print(
         f"served {served}/{len(pending)} request(s) "
-        f"({args.workers} worker(s), queue depth {args.queue_depth})",
+        f"({pool_desc}, queue depth {args.queue_depth})",
         file=sys.stderr,
     )
     if args.metrics_file:
         print(f"wrote metrics {args.metrics_file}", file=sys.stderr)
     if observing:
         _obs_end(args, file=sys.stderr)
+    if interrupted is not None:
+        print(
+            f"{_interrupt_reason(interrupted)}; drained "
+            f"{len(pending)} admitted request(s)",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -652,6 +709,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write responses to FILE instead of stdout")
     srv.add_argument("--workers", type=int, default=2, metavar="N",
                      help="worker threads (default 2)")
+    srv.add_argument("--processes", type=int, default=0, metavar="N",
+                     help="serve from N supervised worker *processes* "
+                          "instead of threads: dead workers restart with "
+                          "capped exponential backoff, in-flight idempotent "
+                          "requests fail over, poison requests are "
+                          "quarantined (0 = threaded; see "
+                          "docs/resilience.md)")
+    srv.add_argument("--max-restarts", type=int, default=3, metavar="M",
+                     help="restarts a worker slot may need in a row before "
+                          "its storm circuit opens and the slot degrades "
+                          "(default 3; only with --processes)")
+    srv.add_argument("--restart-window-s", type=float, default=5.0,
+                     metavar="W",
+                     help="cool-down window of the restart-storm circuit "
+                          "(default 5.0; only with --processes)")
     srv.add_argument("--queue-depth", type=int, default=8, metavar="M",
                      help="admission queue bound; beyond it requests are "
                           "shed with Overloaded (default 8)")

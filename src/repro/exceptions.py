@@ -27,6 +27,8 @@ __all__ = [
     "Cancelled",
     "Overloaded",
     "CircuitOpenError",
+    "WorkerCrashed",
+    "PoisonRequest",
     "StorageError",
     "PageError",
     "ChecksumError",
@@ -271,6 +273,57 @@ class CircuitOpenError(ReproError):
         self.name = name
         self.site = site
         self.retry_after_s = retry_after_s
+
+
+class WorkerCrashed(ReproError):
+    """The worker process executing a request died before answering.
+
+    Raised by the supervised multi-process pool
+    (:class:`repro.serve.SupervisedPool`) when a worker exits — SIGKILL,
+    OOM, segfault-class bug — while holding a request that cannot be
+    safely retried on another worker (or whose one failover retry is not
+    available).  The request may or may not have had side effects on the
+    worker; nothing was corrupted in the shared store, which is opened
+    read-only by every worker.
+
+    Attributes
+    ----------
+    request_id:
+        The client-chosen ``id`` of the doomed request, if any.
+    pid:
+        Process id of the worker that died, when known.
+    """
+
+    def __init__(self, detail: str, request_id: object = None,
+                 pid: int | None = None) -> None:
+        super().__init__(f"worker crashed while executing request: {detail}")
+        self.request_id = request_id
+        self.pid = pid
+
+
+class PoisonRequest(ReproError):
+    """A request whose execution has repeatedly killed worker processes.
+
+    The supervised pool fingerprints every request that is in flight when
+    a worker dies; once the same fingerprint has killed workers twice it
+    is *quarantined* — rejected immediately with this error instead of
+    being allowed to cycle the whole pool through crash/restart.
+
+    Attributes
+    ----------
+    fingerprint:
+        The canonical request fingerprint (id/trace fields stripped).
+    deaths:
+        How many worker deaths this fingerprint has caused.
+    """
+
+    def __init__(self, fingerprint: str, deaths: int) -> None:
+        super().__init__(
+            f"request quarantined as poison after killing {deaths} "
+            f"worker(s): {fingerprint}"
+        )
+        self.fingerprint = fingerprint
+        self.deaths = deaths
 
 
 class StorageError(ReproError):

@@ -24,6 +24,7 @@ from repro.faults.core import (
     FaultState,
     InjectedIOError,
     STATE,
+    WorkerKilled,
     clear,
     default_seed,
     fire,
@@ -43,6 +44,7 @@ __all__ = [
     "InjectedIOError",
     "OpBudget",
     "STATE",
+    "WorkerKilled",
     "active_budget",
     "clear",
     "default_seed",

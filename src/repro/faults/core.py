@@ -57,6 +57,7 @@ from repro.obs.core import add as _obs_add
 __all__ = [
     "CrashPoint",
     "InjectedIOError",
+    "WorkerKilled",
     "FaultRule",
     "FaultState",
     "STATE",
@@ -107,6 +108,28 @@ class InjectedIOError(OSError):
         self.transient = transient
 
 
+class WorkerKilled(BaseException):
+    """A *simulated* worker-process death at an injection site.
+
+    The in-process stand-in for ``kill -9``: when a ``"kill"`` rule fires
+    and :attr:`FaultState.kill_real` is off, this is raised instead of
+    actually signalling the process.  It deliberately subclasses
+    ``BaseException`` — no library ``except Exception`` handler (request
+    isolation, cleanup paths) may swallow it, exactly as none of them
+    could survive a real SIGKILL.  Only a worker *harness* that models a
+    whole process (the supervised pool's simulated workers, test fakes)
+    catches it and reports the death upward.
+
+    With ``kill_real`` set — worker subprocesses of the supervised pool
+    arm it on startup — the rule instead sends ``SIGKILL`` to the current
+    process and nothing is ever raised.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated worker kill at injection site {site!r}")
+        self.site = site
+
+
 def default_seed() -> int:
     """The fault seed from ``REPRO_FAULT_SEED`` (0 when unset/garbage)."""
     try:
@@ -126,8 +149,11 @@ class FaultRule:
     kind:
         ``"error"`` (raise :class:`InjectedIOError`), ``"crash"`` (raise
         :class:`CrashPoint`), ``"torn"`` (write sites persist a partial
-        payload, then crash), or ``"delay"`` (stall ``delay_s`` seconds via
-        the plan's sleep function, then continue normally).
+        payload, then crash), ``"delay"`` (stall ``delay_s`` seconds via
+        the plan's sleep function, then continue normally), or ``"kill"``
+        (die as a whole process: SIGKILL the current process when
+        ``STATE.kill_real`` is armed — worker subprocesses arm it — else
+        raise the simulated :class:`WorkerKilled`).
     after:
         Trigger on the N-th matching hit (1-based) counted from rule
         installation.  Mutually exclusive with ``probability``.
@@ -150,7 +176,7 @@ class FaultRule:
     __slots__ = ("site", "kind", "after", "probability", "times", "tear_fraction",
                  "transient", "delay_s", "hits", "fired")
 
-    KINDS = ("error", "crash", "torn", "delay")
+    KINDS = ("error", "crash", "torn", "delay", "kill")
 
     def __init__(
         self,
@@ -195,6 +221,39 @@ class FaultRule:
         self.hits = 0
         self.fired = 0
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the rule's immutable configuration.
+
+        The supervised pool ships fault plans to worker subprocesses as
+        JSON; hit/fire counters are *not* carried — every fresh worker
+        process starts counting its own hits from zero, which is what
+        makes per-worker kill schedules deterministic across restarts.
+        """
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "after": self.after,
+            "probability": self.probability,
+            "times": self.times,
+            "tear_fraction": self.tear_fraction,
+            "transient": self.transient,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultRule":
+        """Rebuild a rule from :meth:`to_dict` output (validates again)."""
+        return cls(
+            doc["site"],
+            doc.get("kind", "crash"),
+            after=doc.get("after"),
+            probability=doc.get("probability"),
+            times=doc.get("times", 1),
+            tear_fraction=doc.get("tear_fraction", 0.5),
+            transient=doc.get("transient", False),
+            delay_s=doc.get("delay_s", 0.0),
+        )
+
     def matches(self, site: str) -> bool:
         return site == self.site or fnmatch.fnmatchcase(site, self.site)
 
@@ -224,7 +283,7 @@ class FaultState:
     """
 
     __slots__ = ("enabled", "rules", "rng", "seed", "site_hits", "budget",
-                 "engaged", "sleep")
+                 "engaged", "sleep", "kill_real")
 
     def __init__(self) -> None:
         self.enabled = False
@@ -239,6 +298,9 @@ class FaultState:
         #: how ``"delay"`` rules sleep; tests install a virtual clock's
         #: ``sleep`` so injected latency is deterministic and instant
         self.sleep = time.sleep
+        #: armed by worker subprocesses: ``"kill"`` rules then SIGKILL the
+        #: real process instead of raising the simulated WorkerKilled
+        self.kill_real = False
 
     def refresh(self) -> None:
         self.enabled = bool(self.rules)
@@ -349,9 +411,11 @@ def fire(site: str) -> None:
 
     Error/crash rules raise; delay rules sleep ``delay_s`` seconds via
     ``STATE.sleep`` and fall through to the remaining rules, so a plan can
-    combine latency with errors at one site.  Torn rules are ignored here
-    (they only make sense where a payload is being persisted; see
-    :func:`tear`).
+    combine latency with errors at one site.  Kill rules end the whole
+    process: SIGKILL for real with ``STATE.kill_real`` armed (worker
+    subprocesses), the uncatchable-by-library-code :class:`WorkerKilled`
+    otherwise.  Torn rules are ignored here (they only make sense where a
+    payload is being persisted; see :func:`tear`).
     """
     st = STATE
     if not st.enabled:
@@ -367,6 +431,15 @@ def fire(site: str) -> None:
                 continue
             if rule.kind == "error":
                 raise InjectedIOError(site, transient=rule.transient)
+            if rule.kind == "kill":
+                if st.kill_real:
+                    import signal
+
+                    os.kill(os.getpid(), signal.SIGKILL)
+                    # Unreachable: SIGKILL cannot be handled or delayed —
+                    # but keep the simulated raise as a backstop on
+                    # platforms where the signal could not be delivered.
+                raise WorkerKilled(site)
             raise CrashPoint(site)
 
 

@@ -9,6 +9,15 @@ deadlines observed by the cooperative checkpoints of
 drain.  The line-delimited JSON wire format and the exception → error-name
 taxonomy live in :mod:`repro.serve.protocol`; the ``repro serve``
 subcommand (see ``docs/resilience.md``) wraps it all for the shell.
+
+``repro serve --processes N`` swaps the threaded pool for a
+:class:`SupervisedPool` of worker *processes* (:mod:`repro.serve.worker`
+over the framed pipes of :mod:`repro.serve.frames`): same wire surface,
+same results bit-for-bit, but workers can be SIGKILLed at any
+instruction and the supervisor restarts them with capped exponential
+backoff, fails over in-flight idempotent requests, quarantines poison
+requests, and degrades through a per-slot restart-storm circuit — see
+the "Process supervision" section of ``docs/resilience.md``.
 """
 
 from repro.serve.protocol import (
@@ -18,14 +27,20 @@ from repro.serve.protocol import (
     parse_request,
     result_response,
 )
-from repro.serve.service import QueryService, build_algorithm
+from repro.serve.remote import RemoteRequestError
+from repro.serve.service import QueryService, build_algorithm, run_query
+from repro.serve.supervisor import ProcessWorker, SupervisedPool
 
 __all__ = [
     "OPS",
+    "ProcessWorker",
     "QueryService",
+    "RemoteRequestError",
+    "SupervisedPool",
     "build_algorithm",
     "error_name",
     "error_response",
     "parse_request",
     "result_response",
+    "run_query",
 ]

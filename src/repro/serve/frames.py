@@ -1,0 +1,89 @@
+"""Length-prefixed JSON framing for the supervised worker pipes.
+
+The supervisor and its worker processes speak frames over byte pipes
+(the worker's stdin/stdout): a 4-byte big-endian unsigned length followed
+by that many bytes of UTF-8 JSON.  The framing is deliberately primitive —
+no pickling, no versioned envelope — because the failure model demands it:
+a worker can be SIGKILLed *mid-write*, and the reader must classify every
+possible prefix of a valid stream as either a complete frame or a death,
+never as garbage data.
+
+:func:`read_frame` therefore returns ``None`` for every flavour of dead
+peer — clean EOF, a torn length prefix, a torn payload, or a payload that
+does not decode — instead of raising.  A ``None`` from the supervisor's
+reader thread *is* the death signal that triggers failover and restart.
+
+Frame sizes are capped (:data:`MAX_FRAME`): a corrupt length prefix must
+not make the reader attempt a multi-gigabyte allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO
+
+__all__ = ["MAX_FRAME", "read_frame", "write_frame"]
+
+#: Upper bound on one frame's payload; larger prefixes read as death.
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def write_frame(fh: BinaryIO, doc: dict) -> None:
+    """Write one framed JSON document and flush it.
+
+    Raises ``OSError`` (``BrokenPipeError`` included) when the peer is
+    gone — the caller treats that exactly like discovering the death via
+    the read side.
+    """
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ValueError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    fh.write(_LEN.pack(len(payload)) + payload)
+    fh.flush()
+
+
+def _read_exact(fh: BinaryIO, n: int) -> bytes | None:
+    """Exactly ``n`` bytes, or ``None`` on EOF / short read / I/O error."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = fh.read(remaining)
+        except (OSError, ValueError):  # ValueError: file already closed
+            return None
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(fh: BinaryIO) -> dict | None:
+    """Read one framed JSON document; ``None`` means the peer is dead.
+
+    Every torn/truncated/undecodable stream state maps to ``None`` — with
+    a SIGKILL-able peer there is no difference worth distinguishing
+    between "closed cleanly" and "died mid-frame": either way no further
+    frames are coming.
+    """
+    header = _read_exact(fh, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        return None
+    payload = _read_exact(fh, length)
+    if payload is None:
+        return None
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    return doc

@@ -87,6 +87,12 @@ def parse_request(line: str, lineno: int = 0) -> dict:
 
 def error_name(exc: BaseException) -> str:
     """Wire name of an exception: the service's error taxonomy."""
+    # Errors that already crossed a worker pipe carry their original wire
+    # name; honouring it keeps the taxonomy transport-invariant (a
+    # BadRequest inside a worker process is still a BadRequest here).
+    wire_name = getattr(exc, "wire_name", None)
+    if wire_name is not None:
+        return wire_name
     if isinstance(exc, DeadlineExceeded):
         return "DeadlineExceeded"
     if isinstance(exc, Cancelled):

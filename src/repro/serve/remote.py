@@ -1,0 +1,38 @@
+"""Reconstruction of typed errors that crossed a worker pipe.
+
+A worker process answers a failed request with its taxonomy name and
+message (``{"ok": false, "error": "BadRequest", "message": ...}``).  The
+supervisor cannot re-raise the original exception class — the wire
+carries only the name — so it raises :class:`RemoteRequestError`
+instead, which *preserves the wire name*:
+:func:`repro.serve.protocol.error_name` honours ``wire_name`` first, so
+a ``BadRequest`` that happened inside a worker process serialises back
+to the client as ``BadRequest``, not as a generic internal error.  The
+taxonomy is thereby transport-invariant: threaded service and
+supervised pool produce byte-identical error responses.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+__all__ = ["RemoteRequestError"]
+
+
+class RemoteRequestError(ReproError):
+    """A request failed inside a worker process with a typed wire error.
+
+    Attributes
+    ----------
+    wire_name:
+        The taxonomy name the worker reported (``BadRequest``,
+        ``DeadlineExceeded``, ...); :func:`~repro.serve.protocol.error_name`
+        passes it through unchanged.
+    remote_message:
+        The worker-side message, also used as this exception's message.
+    """
+
+    def __init__(self, wire_name: str, message: str) -> None:
+        super().__init__(message or f"worker reported {wire_name}")
+        self.wire_name = str(wire_name)
+        self.remote_message = message

@@ -72,7 +72,7 @@ from repro.resilience.breaker import installed_state_code as _breaker_state
 from repro.resilience.deadline import Deadline
 from repro.serve.protocol import OPS
 
-__all__ = ["QueryService", "build_algorithm"]
+__all__ = ["QueryService", "build_algorithm", "run_query"]
 
 _STOP = object()
 _UNSET = object()
@@ -144,6 +144,55 @@ def _build_algorithm(spec: dict, network, points):
                           stop_k=int(stop_k) if stop_k is not None else None,
                           stop_distance=spec.get("stop_distance"))
     raise ParameterError(f"unknown algorithm {name!r}")
+
+
+def _request_point(request: dict, points):
+    """The anchor point of a range/knn request, as :class:`ParameterError`
+    (wire ``BadRequest``) when the id is missing, unconvertible, or absent
+    from the served point set."""
+    point_id = _field(request, "point_id", int)
+    try:
+        return points.get(point_id)
+    except PointNotFoundError:
+        raise ParameterError(f"unknown point_id {point_id}") from None
+
+
+def run_query(request: dict, aug: AugmentedView, *, accel=None):
+    """Execute one ``range`` / ``knn`` / ``cluster`` request over ``aug``.
+
+    The single execution path shared by the threaded
+    :class:`QueryService` workers and the supervised pool's worker
+    *processes* — sharing it is what makes the multi-process tier's
+    results bit-identical to the threaded oracle by construction.  The
+    ``stats`` op is not handled here: it reads service-local telemetry,
+    so each tier answers it from its own state.
+    """
+    op = request.get("op")
+    if op == "range":
+        point = _request_point(request, aug.points)
+        eps = _field(request, "eps", float)
+        if accel is not None:
+            hits = accel.range_query(point, eps)
+        else:
+            hits = range_query(aug, point, eps)
+        return [[p.point_id, d] for p, d in hits]
+    if op == "knn":
+        point = _request_point(request, aug.points)
+        k = _field(request, "k", int)
+        if accel is not None:
+            hits = accel.knn_query(point, k)
+        else:
+            hits = knn_query(aug, point, k)
+        return [[p.point_id, d] for p, d in hits]
+    if op == "cluster":
+        result = build_algorithm(request, aug.network, aug.points).run()
+        return {
+            "algorithm": result.algorithm,
+            "num_clusters": result.num_clusters,
+            "outliers": len(result.outliers()),
+            "assignment": {str(k): v for k, v in result.assignment.items()},
+        }
+    raise ParameterError(f"op must be one of {list(OPS)}, got {op!r}")
 
 
 class QueryService:
@@ -381,35 +430,14 @@ class QueryService:
             return self._execute(request, aug)
 
     def _execute(self, request: dict, aug: AugmentedView) -> object:
-        accel = getattr(self._worker_state, "accel", None)
-        op = request.get("op")
-        if op == "range":
-            point = self._query_point(request)
-            eps = _field(request, "eps", float)
-            if accel is not None:
-                hits = accel.range_query(point, eps)
-            else:
-                hits = range_query(aug, point, eps)
-            return [[p.point_id, d] for p, d in hits]
-        if op == "knn":
-            point = self._query_point(request)
-            k = _field(request, "k", int)
-            if accel is not None:
-                hits = accel.knn_query(point, k)
-            else:
-                hits = knn_query(aug, point, k)
-            return [[p.point_id, d] for p, d in hits]
-        if op == "cluster":
-            result = build_algorithm(request, self.network, self.points).run()
-            return {
-                "algorithm": result.algorithm,
-                "num_clusters": result.num_clusters,
-                "outliers": len(result.outliers()),
-                "assignment": {str(k): v for k, v in result.assignment.items()},
-            }
-        if op == "stats":
+        # ``stats`` reads *this* service's telemetry, so it is answered
+        # here; everything else runs through the shared module-level
+        # executor — the same code path the supervised pool's worker
+        # processes run, which is what keeps the two tiers bit-identical.
+        if request.get("op") == "stats":
             return self.stats_snapshot()
-        raise ParameterError(f"op must be one of {list(OPS)}, got {op!r}")
+        accel = getattr(self._worker_state, "accel", None)
+        return run_query(request, aug, accel=accel)
 
     def stats_snapshot(self) -> dict:
         """The live telemetry document served by the ``stats`` wire op.
@@ -428,13 +456,6 @@ class QueryService:
             "histograms": metrics["histograms"],
             "gauges": metrics["gauges"],
         }
-
-    def _query_point(self, request: dict):
-        point_id = _field(request, "point_id", int)
-        try:
-            return self.points.get(point_id)
-        except PointNotFoundError:
-            raise ParameterError(f"unknown point_id {point_id}") from None
 
     # -- lifecycle -------------------------------------------------------
 

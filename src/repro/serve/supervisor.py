@@ -1,0 +1,821 @@
+"""Supervised multi-process worker pool for the serve tier.
+
+:class:`SupervisedPool` is the process-level sibling of the threaded
+:class:`~repro.serve.QueryService`: the same bounded-admission,
+deadline-stamped request surface, but each worker is a separate OS
+process (:mod:`repro.serve.worker`) that opens the served workload
+itself, read-only, and speaks length-prefixed JSON frames
+(:mod:`repro.serve.frames`) over its stdin/stdout.  A worker can
+therefore die at *any instruction* — SIGKILL, OOM, segfault-class bug —
+without corrupting anything shared, and the supervisor turns that death
+into typed, bounded behaviour:
+
+* **Death detection.**  Each slot's supervising thread blocks on the
+  worker's pipe; EOF (``read_frame`` → ``None``) *is* the death signal,
+  with no polling lag.  A monitor thread additionally heartbeats idle
+  workers with ping frames and SIGKILLs workers that sit on one request
+  past ``hang_timeout_s``, converting hangs into the same EOF path.
+* **Restart with backoff, storm-circuited.**  A dead worker is restarted
+  after ``min(backoff_cap_s, backoff_base_s * 2**(k-1))`` for its k-th
+  consecutive failure.  Each slot gates restarts through its own
+  :class:`~repro.resilience.CircuitBreaker` (``failure_threshold =
+  max_restarts + 1``, ``reset_timeout_s = restart_window_s``): a slot
+  whose worker keeps dying trips the breaker and *degrades* — the pool
+  runs on the surviving slots, shedding overflow with the existing
+  :class:`~repro.exceptions.Overloaded`.  Degradation is sticky until
+  :meth:`close`; the breaker's ``breaker.*`` counters are the storm's
+  audit trail, and :attr:`restart_log` records every restart's timing.
+* **In-flight failover.**  A request that was on a dead worker is
+  retried once on another worker when idempotent-safe (``range`` /
+  ``knn`` / ``stats`` — read-only by construction); a ``cluster``
+  request, or a second failure, surfaces as a typed
+  :class:`~repro.exceptions.WorkerCrashed`.
+* **Poison quarantine.**  Every in-flight request at a death is
+  fingerprinted (canonical JSON, ``id``/``trace`` stripped).  A
+  fingerprint that kills workers ``poison_threshold`` times (default 2)
+  is quarantined: resolved — and thereafter rejected at submission —
+  with :class:`~repro.exceptions.PoisonRequest`, so one poisonous
+  request cannot cycle the whole pool through crash/restart.
+
+Determinism: the clock, the backoff sleep, and the worker factory are
+injectable.  Chaos tests drive the pool with in-process fake workers
+under a :class:`~repro.resilience.VirtualClock` (restart spacing becomes
+exact arithmetic), and with real subprocesses whose ``kill``-fault plans
+(:meth:`~repro.faults.FaultRule.to_dict`, shipped in the worker spec)
+SIGKILL them at seeded execution sites — every worker installs the same
+plan and counts hits from zero, so the k-th request a fresh worker
+executes is deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable
+
+from repro.exceptions import (
+    Cancelled,
+    DeadlineExceeded,
+    Overloaded,
+    ParameterError,
+    PoisonRequest,
+    WorkerCrashed,
+)
+from repro.obs.core import STATE as _OBS
+from repro.obs.core import add as _obs_add
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.serve.frames import read_frame, write_frame
+
+__all__ = ["ProcessWorker", "SupervisedPool"]
+
+_STOP = object()
+_UNSET = object()
+
+#: Ops that are safe to replay on another worker after a death: read-only
+#: queries whose single execution cannot have had side effects a retry
+#: would double.  ``cluster`` is excluded not because it mutates (workers
+#: are read-only) but because replaying a long run doubles its cost and a
+#: crash mid-cluster is the poison signature worth surfacing eagerly.
+IDEMPOTENT_OPS = frozenset({"range", "knn", "stats"})
+
+# Slot states.
+_STARTING = "starting"
+_IDLE = "idle"
+_BUSY = "busy"
+_DEAD = "dead"
+
+
+def request_fingerprint(request: dict) -> str:
+    """Canonical fingerprint of a request's *work*, for poison tracking.
+
+    ``id`` and ``trace`` are stripped: two submissions of the same query
+    under different client ids are the same poison.
+    """
+    work = {k: v for k, v in request.items() if k not in ("id", "trace")}
+    blob = json.dumps(work, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class ProcessWorker:
+    """Frame-pipe handle over one worker subprocess.
+
+    The protocol a worker handle implements (``pid`` / ``send`` /
+    ``recv`` / ``close_stdin`` / ``kill`` / ``join`` / ``alive``) is what
+    the pool's ``worker_factory`` must return; chaos tests substitute
+    in-process fakes with scripted death.
+    """
+
+    def __init__(self, proc: subprocess.Popen) -> None:
+        self._proc = proc
+        self.pid = proc.pid
+
+    def send(self, doc: dict) -> None:
+        write_frame(self._proc.stdin, doc)
+
+    def recv(self) -> dict | None:
+        return read_frame(self._proc.stdout)
+
+    def close_stdin(self) -> None:
+        try:
+            self._proc.stdin.close()
+        except OSError:
+            pass
+
+    def kill(self) -> None:
+        try:
+            self._proc.kill()
+        except OSError:  # pragma: no cover - already reaped
+            pass
+
+    def join(self, timeout_s: float | None = None) -> bool:
+        try:
+            self._proc.wait(timeout_s)
+        except subprocess.TimeoutExpired:
+            return False
+        return True
+
+    def alive(self) -> bool:
+        return self._proc.poll() is None
+
+
+class _Item:
+    """One admitted request riding through the pool."""
+
+    __slots__ = (
+        "request", "deadline", "future", "admitted_at", "retried", "seq",
+        "dispatched_at", "started",
+    )
+
+    def __init__(self, request, deadline, future, admitted_at) -> None:
+        self.request = request
+        self.deadline = deadline
+        self.future = future
+        self.admitted_at = admitted_at
+        self.retried = False
+        self.seq = -1
+        self.dispatched_at = None
+        self.started = False
+
+    def begin(self) -> bool:
+        """Move the future to RUNNING exactly once (idempotent: a failover
+        re-dispatch must not trip the future's one-shot state machine).
+        Returns False when the client cancelled the future first."""
+        if self.started:
+            return True
+        if not self.future.set_running_or_notify_cancel():
+            return False
+        self.started = True
+        return True
+
+
+class _Slot:
+    """One supervised worker position: handle + breaker + restart state."""
+
+    __slots__ = (
+        "index", "state", "handle", "breaker", "busy", "send_lock",
+        "consecutive_failures", "seq", "last_seen", "thread",
+    )
+
+    def __init__(self, index: int, breaker: CircuitBreaker) -> None:
+        self.index = index
+        self.state = _STARTING
+        self.handle = None
+        self.breaker = breaker
+        self.busy: _Item | None = None
+        self.send_lock = threading.Lock()
+        self.consecutive_failures = 0
+        self.seq = 0
+        self.last_seen = 0.0
+        self.thread: threading.Thread | None = None
+
+
+class SupervisedPool:
+    """A multi-process query pool with restart, failover, and quarantine.
+
+    Parameters
+    ----------
+    workload:
+        Path to the served workload JSON; every worker process opens it
+        itself, read-only.
+    processes / queue_depth / default_timeout_s / landmarks /
+    distance_cache_mb:
+        As on :class:`~repro.serve.QueryService`, but per *process*:
+        each worker builds its own accelerator state.
+    max_restarts / restart_window_s:
+        The restart-storm circuit: a slot may be restarted at most
+        ``max_restarts`` times in a row before its breaker
+        (``failure_threshold = max_restarts + 1``) trips and the slot
+        degrades; a completed request resets the run of failures, and
+        ``restart_window_s`` is the breaker's cool-down bookkeeping.
+    backoff_base_s / backoff_cap_s:
+        Capped exponential restart spacing for consecutive failures.
+    hang_timeout_s:
+        When set, a worker holding one request longer than this is
+        SIGKILLed by the monitor (the death then follows the normal
+        failover path).  ``None`` disables hang detection.
+    monitor_interval_s:
+        Heartbeat cadence of the monitor thread (pings idle workers,
+        checks hangs).  The monitor only runs when ``hang_timeout_s``
+        is set.
+    poison_threshold:
+        Worker deaths a request fingerprint may cause before quarantine.
+    fault_rules / fault_seed:
+        A :class:`~repro.faults.FaultRule` plan shipped to every worker
+        (each installs it fresh, seeded identically, ``kill_real``
+        armed) — the chaos-test lever.
+    clock / sleep / worker_factory:
+        Injectables for deterministic tests: the pool's monotonic clock,
+        the backoff sleep, and a ``worker_factory(slot_index)`` that
+        returns a worker handle (defaults to spawning
+        ``python -m repro.serve.worker``).
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        *,
+        processes: int = 2,
+        queue_depth: int = 8,
+        default_timeout_s: float | None = None,
+        landmarks: int = 0,
+        distance_cache_mb: float = 0.0,
+        max_restarts: int = 3,
+        restart_window_s: float = 5.0,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        hang_timeout_s: float | None = None,
+        monitor_interval_s: float = 0.05,
+        poison_threshold: int = 2,
+        fault_rules: tuple = (),
+        fault_seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        worker_factory: Callable[[int], object] | None = None,
+    ) -> None:
+        if processes < 1:
+            raise ParameterError(f"processes must be >= 1, got {processes}")
+        if queue_depth < 1:
+            raise ParameterError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_restarts < 0:
+            raise ParameterError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
+        if poison_threshold < 1:
+            raise ParameterError(
+                f"poison_threshold must be >= 1, got {poison_threshold}"
+            )
+        self._workload = workload
+        self._landmarks = landmarks
+        self._distance_cache_mb = distance_cache_mb
+        self.default_timeout_s = default_timeout_s
+        self.max_restarts = max_restarts
+        self.restart_window_s = restart_window_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.hang_timeout_s = hang_timeout_s
+        self.monitor_interval_s = monitor_interval_s
+        self.poison_threshold = poison_threshold
+        self._fault_rules = tuple(fault_rules)
+        self._fault_seed = fault_seed
+        self._clock = clock
+        self._sleep = sleep
+        self._worker_factory = worker_factory or self._spawn_process_worker
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self._stopping = False
+        self._started_at = clock()
+        self._inflight = 0
+        #: fingerprint -> worker deaths it was in flight for
+        self._death_counts: dict[str, int] = {}
+        self._quarantined: set[str] = set()
+        #: every restart attempt: {"t", "slot", "attempt", "delay_s"} on
+        #: the pool clock — the audit trail the storm tests assert against.
+        self.restart_log: list[dict] = []
+        #: pid of every worker that reached readiness, in spawn order; the
+        #: no-orphans tests assert every one is gone after close().
+        self.spawned_pids: list[int] = []
+        self._h_latency = _METRICS.histogram("serve.latency")
+        self._h_queue_wait = _METRICS.histogram("serve.queue_wait")
+        self._h_exec = _METRICS.histogram("serve.exec")
+        self._gauge_fns = [
+            ("serve.queue_depth", self._queue.qsize),
+            ("serve.workers_live", self._live_workers),
+            ("serve.inflight", lambda: self._inflight),
+        ]
+        self._gauges = [
+            _METRICS.gauge(name, fn) for name, fn in self._gauge_fns
+        ]
+        self._slots = [
+            _Slot(i, CircuitBreaker(
+                failure_threshold=max_restarts + 1,
+                reset_timeout_s=restart_window_s,
+                clock=clock,
+                name=f"serve.slot{i}",
+            ))
+            for i in range(processes)
+        ]
+        for slot in self._slots:
+            slot.thread = threading.Thread(
+                target=self._slot_loop, args=(slot,),
+                name=f"repro-supervise-{slot.index}", daemon=True,
+            )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatch", daemon=True
+        )
+        self._monitor: threading.Thread | None = None
+        self._monitor_stop = threading.Event()
+        if hang_timeout_s is not None:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="repro-monitor", daemon=True
+            )
+        for slot in self._slots:
+            slot.thread.start()
+        self._dispatcher.start()
+        if self._monitor is not None:
+            self._monitor.start()
+
+    # -- client side -----------------------------------------------------
+
+    def submit(self, request: dict, timeout_s: object = _UNSET) -> Future:
+        """Admit a request; its future resolves to exactly one terminal
+        outcome — a result, or one typed error from the taxonomy
+        (``Overloaded`` / ``PoisonRequest`` raised here synchronously)."""
+        if timeout_s is _UNSET:
+            timeout_s = self._request_timeout_s(request)
+        fingerprint = request_fingerprint(request)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SupervisedPool is closed")
+            if fingerprint in self._quarantined:
+                raise PoisonRequest(
+                    fingerprint, self._death_counts.get(fingerprint, 0)
+                )
+            if not any(s.state != _DEAD for s in self._slots):
+                # Fully degraded: every slot's restart circuit is open.
+                _obs_add("serve.shed")
+                raise Overloaded(self._queue.maxsize)
+            deadline = Deadline(timeout_s, clock=self._clock)
+            future: Future = Future()
+            admitted_at = self._clock() if _OBS.enabled else None
+            is_stats = request.get("op") == "stats"
+            if not is_stats:
+                try:
+                    self._queue.put_nowait(
+                        _Item(request, deadline, future, admitted_at)
+                    )
+                except queue.Full:
+                    _obs_add("serve.shed")
+                    raise Overloaded(self._queue.maxsize) from None
+        if is_stats:
+            # Answered from supervisor state (outside the pool lock —
+            # stats_snapshot takes it): workers have no view of pool
+            # telemetry, and stats must work even mid-storm.
+            future.set_result(self.stats_snapshot())
+            _obs_add("serve.submitted")
+            _obs_add("serve.completed")
+            return future
+        _obs_add("serve.submitted")
+        return future
+
+    def _request_timeout_s(self, request: dict) -> float | None:
+        raw = request.get("timeout_ms")
+        if raw is None:
+            return self.default_timeout_s
+        if (
+            isinstance(raw, bool)
+            or not isinstance(raw, (int, float))
+            or raw != raw  # NaN
+            or raw < 0
+        ):
+            raise ParameterError(
+                f"timeout_ms must be a number >= 0, got {raw!r}"
+            )
+        return float(raw) / 1000.0
+
+    def call(self, request: dict, timeout_s: object = _UNSET) -> object:
+        return self.submit(request, timeout_s).result()
+
+    # -- dispatcher ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            if not item.begin():
+                continue
+            try:
+                item.deadline.check("serve.dequeue")
+            except DeadlineExceeded as exc:
+                self._resolve_error(item, exc)
+                continue
+            with self._cond:
+                slot = None
+                while not self._stopping:
+                    live = [s for s in self._slots if s.state != _DEAD]
+                    if not live:
+                        break
+                    idle = [s for s in live if s.state == _IDLE]
+                    if idle:
+                        slot = min(idle, key=lambda s: s.index)
+                        break
+                    self._cond.wait()
+                if slot is None:
+                    # Fully degraded (or closing): nobody will ever run it.
+                    self._resolve_error(item, Overloaded(self._queue.maxsize))
+                    continue
+                slot.state = _BUSY
+                slot.busy = item
+                slot.seq += 1
+                item.seq = slot.seq
+                item.dispatched_at = self._clock()
+                self._inflight += 1
+                if item.admitted_at is not None:
+                    self._h_queue_wait.observe(
+                        item.dispatched_at - item.admitted_at
+                    )
+                handle = slot.handle
+            frame = {"seq": item.seq, "request": item.request}
+            remaining = item.deadline.remaining()
+            if remaining is not None:
+                frame["deadline_s"] = remaining
+            try:
+                with slot.send_lock:
+                    handle.send(frame)
+            except (OSError, ValueError):
+                # Worker died between readiness and dispatch; its slot
+                # thread will observe the EOF and run the death path,
+                # which fails over / resolves this very item.
+                pass
+
+    # -- slot supervision ------------------------------------------------
+
+    def _slot_loop(self, slot: _Slot) -> None:
+        while not self._stopping:
+            if slot.handle is None:
+                if not self._start_worker(slot):
+                    return  # degraded: the slot retires until close()
+                continue
+            doc = slot.handle.recv()
+            if self._stopping:
+                return
+            if doc is None:
+                self._on_worker_death(slot)
+                continue
+            if doc.get("pong"):
+                slot.last_seen = self._clock()
+                continue
+            self._on_answer(slot, doc)
+
+    def _start_worker(self, slot: _Slot) -> bool:
+        """(Re)start ``slot``'s worker, gated by its storm breaker.
+
+        Returns False when the breaker is open: the slot degrades.
+        """
+        while not self._stopping:
+            try:
+                slot.breaker.allow("serve.supervisor.restart")
+            except Exception:
+                with self._cond:
+                    slot.state = _DEAD
+                    self._cond.notify_all()
+                _obs_add("serve.supervisor.degraded")
+                self._shed_if_dead()
+                return False
+            attempt = slot.consecutive_failures
+            if attempt > 0:
+                # Capped exponential spacing for the k-th consecutive
+                # failure, logged as an *attempt* (a worker that never even
+                # reaches readiness still leaves the storm's audit trail).
+                delay = min(
+                    self.backoff_cap_s,
+                    self.backoff_base_s * (2 ** (attempt - 1)),
+                )
+                self._sleep(delay)
+                if self._stopping:
+                    return False
+                self.restart_log.append({
+                    "t": self._clock(), "slot": slot.index,
+                    "attempt": attempt, "delay_s": delay,
+                })
+                _obs_add("serve.supervisor.restarts")
+            handle = self._worker_factory(slot.index)
+            ready = handle.recv()
+            if ready is None or not ready.get("ready"):
+                handle.kill()
+                handle.join(5.0)
+                slot.consecutive_failures += 1
+                slot.breaker.record_failure()
+                _obs_add("serve.supervisor.worker_deaths")
+                continue
+            if handle.pid is not None:
+                self.spawned_pids.append(handle.pid)
+            if attempt > 0:
+                # Gauges registered at construction may have been replaced
+                # by another component since; re-assert them on every
+                # worker replacement so `serve.workers_live` and friends
+                # reflect the pool that actually owns the workers now.
+                self._reregister_gauges()
+            with self._cond:
+                slot.handle = handle
+                slot.state = _IDLE
+                slot.last_seen = self._clock()
+                self._cond.notify_all()
+            return True
+        return False
+
+    def _on_worker_death(self, slot: _Slot) -> None:
+        with self._cond:
+            item, slot.busy = slot.busy, None
+            handle, slot.handle = slot.handle, None
+            slot.state = _STARTING
+            if item is not None:
+                self._inflight -= 1
+            self._cond.notify_all()
+        pid = getattr(handle, "pid", None)
+        handle.kill()  # idempotent: ensures hung-but-writable dies too
+        handle.join(5.0)
+        slot.consecutive_failures += 1
+        slot.breaker.record_failure()
+        _obs_add("serve.supervisor.worker_deaths")
+        if item is None:
+            return
+        fingerprint = request_fingerprint(item.request)
+        with self._lock:
+            deaths = self._death_counts.get(fingerprint, 0) + 1
+            self._death_counts[fingerprint] = deaths
+            if deaths >= self.poison_threshold:
+                self._quarantined.add(fingerprint)
+                quarantine = True
+            else:
+                quarantine = False
+        if quarantine:
+            _obs_add("serve.supervisor.quarantined")
+            self._resolve_error(item, PoisonRequest(fingerprint, deaths))
+            return
+        if item.request.get("op") in IDEMPOTENT_OPS and not item.retried:
+            item.retried = True
+            requeued = False
+            with self._lock:
+                if not self._closed:
+                    try:
+                        self._queue.put_nowait(item)
+                        requeued = True
+                    except queue.Full:
+                        pass
+            if requeued:
+                _obs_add("serve.supervisor.failovers")
+                return
+        self._resolve_error(
+            item,
+            WorkerCrashed(
+                f"pid {pid} died at seq {item.seq}",
+                request_id=item.request.get("id"),
+                pid=pid,
+            ),
+        )
+
+    def _on_answer(self, slot: _Slot, doc: dict) -> None:
+        with self._cond:
+            item = slot.busy
+            if item is None or doc.get("seq") != item.seq:
+                return  # stale frame: never match it to newer work
+            slot.busy = None
+            slot.state = _IDLE
+            slot.last_seen = self._clock()
+            self._inflight -= 1
+            self._cond.notify_all()
+        slot.consecutive_failures = 0
+        slot.breaker.record_success()
+        if doc.get("ok"):
+            _obs_add("serve.completed")
+            item.future.set_result(doc.get("result"))
+            self._observe_done(item)
+        else:
+            from repro.serve.remote import RemoteRequestError
+
+            exc = RemoteRequestError(
+                doc.get("error", "InternalError"), doc.get("message", "")
+            )
+            if exc.wire_name == "DeadlineExceeded":
+                _obs_add("serve.deadline_exceeded")
+            _obs_add("serve.errors")
+            item.future.set_exception(exc)
+            self._observe_done(item)
+
+    def _resolve_error(self, item: _Item, exc: Exception) -> None:
+        _obs_add("serve.errors")
+        if isinstance(exc, DeadlineExceeded):
+            _obs_add("serve.deadline_exceeded")
+        if not item.begin():
+            return
+        item.future.set_exception(exc)
+        self._observe_done(item)
+
+    def _observe_done(self, item: _Item) -> None:
+        if item.admitted_at is None:
+            return
+        done = self._clock()
+        if item.dispatched_at is not None:
+            self._h_exec.observe(done - item.dispatched_at)
+        self._h_latency.observe(done - item.admitted_at)
+
+    def _shed_if_dead(self) -> None:
+        """Fail everything queued once no slot can ever run it."""
+        with self._lock:
+            if any(s.state != _DEAD for s in self._slots):
+                return
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                self._queue.put(item)
+                return
+            self._resolve_error(item, Overloaded(self._queue.maxsize))
+
+    # -- monitor ---------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.wait(self.monitor_interval_s):
+            now = self._clock()
+            for slot in self._slots:
+                with self._cond:
+                    state = slot.state
+                    handle = slot.handle
+                    item = slot.busy
+                if handle is None:
+                    continue
+                if (
+                    state == _BUSY
+                    and item is not None
+                    and item.dispatched_at is not None
+                    and now - item.dispatched_at > self.hang_timeout_s
+                ):
+                    # Hung worker: SIGKILL converts the hang into the
+                    # ordinary EOF death path (failover, poison, restart).
+                    _obs_add("serve.supervisor.hangs")
+                    handle.kill()
+                    continue
+                if state == _IDLE:
+                    slot.seq += 1
+                    try:
+                        with slot.send_lock:
+                            handle.send({"seq": slot.seq, "ping": True})
+                    except (OSError, ValueError):
+                        pass  # EOF will surface in the slot thread
+
+    # -- telemetry -------------------------------------------------------
+
+    def _live_workers(self) -> int:
+        return sum(1 for s in self._slots if s.state in (_IDLE, _BUSY))
+
+    def _reregister_gauges(self) -> None:
+        """Re-assert this pool's gauges (see close() for ownership rules)."""
+        self._gauges = [
+            _METRICS.gauge(name, fn) for name, fn in self._gauge_fns
+        ]
+
+    def stats_snapshot(self) -> dict:
+        from repro.obs.report import snapshot as _obs_snapshot
+
+        metrics = _METRICS.snapshot()
+        with self._lock:
+            supervisor = {
+                "processes": len(self._slots),
+                "live": self._live_workers(),
+                "degraded": [
+                    s.index for s in self._slots if s.state == _DEAD
+                ],
+                "restarts": len(self.restart_log),
+                "restart_log": [dict(e) for e in self.restart_log],
+                "quarantined": len(self._quarantined),
+                "worker_deaths": sum(self._death_counts.values()),
+            }
+        return {
+            "uptime_s": max(self._clock() - self._started_at, 0.0),
+            "counters": _obs_snapshot()["counters"],
+            "histograms": metrics["histograms"],
+            "gauges": metrics["gauges"],
+            "supervisor": supervisor,
+        }
+
+    # -- worker spawning -------------------------------------------------
+
+    def _spawn_process_worker(self, slot_index: int) -> ProcessWorker:
+        spec = {
+            "workload": self._workload,
+            "landmarks": self._landmarks,
+            "distance_cache_mb": self._distance_cache_mb,
+        }
+        if self._fault_rules:
+            spec["faults"] = {
+                "seed": self._fault_seed,
+                "kill_real": True,
+                "rules": [rule.to_dict() for rule in self._fault_rules],
+            }
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__
+        )))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_dir + (os.pathsep + existing if existing else "")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve.worker", json.dumps(spec)],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        return ProcessWorker(proc)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout_s: float = 30.0) -> bool:
+        """Stop admissions, drain (or cancel) queued work, reap every
+        worker process.  Returns True when no worker survived — the
+        no-orphans guarantee the chaos CI job asserts with a ``ps`` delta.
+        """
+        with self._lock:
+            if self._closed:
+                return self._reaped()
+            self._closed = True
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    continue
+                if item.begin():
+                    item.future.set_exception(Cancelled("service shutdown"))
+        self._queue.put(_STOP)
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            self._cond.wait_for(
+                lambda: all(s.busy is None for s in self._slots),
+                timeout=timeout_s,
+            )
+            self._stopping = True
+            self._cond.notify_all()
+        self._monitor_stop.set()
+        # EOF on stdin is the workers' clean-retirement signal; the slot
+        # threads see the mirrored stdout EOF and exit (stopping is set).
+        for slot in self._slots:
+            if slot.handle is not None:
+                slot.handle.close_stdin()
+        self._dispatcher.join(max(deadline - time.monotonic(), 0.1))
+        for slot in self._slots:
+            if slot.thread is not None:
+                slot.thread.join(max(deadline - time.monotonic(), 0.1))
+        if self._monitor is not None:
+            self._monitor.join(max(deadline - time.monotonic(), 0.1))
+        for slot in self._slots:
+            handle = slot.handle
+            if handle is None:
+                continue
+            if not handle.join(max(deadline - time.monotonic(), 0.1)):
+                handle.kill()  # no worker outlives its supervisor
+                handle.join(5.0)
+        # Whatever is still queued (racing submissions, failovers that
+        # crossed the close) must not leave futures unresolved forever.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            if item.begin():
+                item.future.set_exception(Cancelled("service shutdown"))
+        for gauge in self._gauges:
+            _METRICS.unregister_gauge(gauge.name, owner=gauge)
+        return self._reaped()
+
+    def _reaped(self) -> bool:
+        return all(
+            slot.handle is None or not slot.handle.alive()
+            for slot in self._slots
+        )
+
+    def __enter__(self) -> SupervisedPool:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,152 @@
+"""Worker process entry point for the supervised serve pool.
+
+Each worker is a separate OS process launched by
+:class:`repro.serve.SupervisedPool` as ``python -m repro.serve.worker
+'<spec-json>'``.  It opens the served workload itself (read-only — a
+worker can die at any instruction without corrupting shared state),
+arms any fault-injection plan shipped in the spec, then answers framed
+requests over its stdin/stdout pipes until EOF.
+
+Frames (see :mod:`repro.serve.frames`) are supervisor→worker::
+
+    {"seq": 7, "request": {...}, "deadline_s": 0.25}
+    {"seq": 8, "ping": true}
+
+and worker→supervisor::
+
+    {"seq": 7, "ok": true, "result": ...}
+    {"seq": 7, "ok": false, "error": "BadRequest", "message": "..."}
+    {"seq": 8, "pong": true, "pid": 1234}
+
+``seq`` is the supervisor's per-worker sequence number; the worker
+echoes it verbatim so answers can never be mis-matched across a
+restart (a fresh worker starts a fresh pipe).  ``deadline_s`` is the
+request's *remaining* budget at dispatch time — the supervisor already
+charged queue wait against it — enforced here with a local
+:class:`~repro.resilience.Deadline` on the real monotonic clock.
+
+The spec also carries the fault plan: rule dicts
+(:meth:`~repro.faults.FaultRule.to_dict`), the deterministic seed, and
+``kill_real`` — which arms :data:`repro.faults.STATE.kill_real` so a
+fired ``kill`` fault delivers a *real* ``SIGKILL`` to this process,
+exercising the supervisor's death detection with genuine worker death
+rather than a simulated one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.faults import FaultRule, STATE, WorkerKilled, clear, install, reseed
+from repro.io import load_workload_file
+from repro.network.augmented import AugmentedView
+from repro.resilience.deadline import Deadline
+from repro.serve.frames import read_frame, write_frame
+from repro.serve.protocol import error_name
+from repro.serve.service import run_query
+
+__all__ = ["worker_entry"]
+
+
+def _arm_faults(spec: dict) -> None:
+    fault_spec = spec.get("faults")
+    if not fault_spec:
+        return
+    clear()
+    reseed(int(fault_spec.get("seed", 0)))
+    if fault_spec.get("kill_real"):
+        STATE.kill_real = True
+    for rule in fault_spec.get("rules", ()):
+        install(FaultRule.from_dict(rule))
+
+
+def _build_view(spec: dict):
+    """The workload view plus its (optional) per-process accelerator."""
+    network, points = load_workload_file(spec["workload"])
+    aug = AugmentedView(network, points)
+    accel = None
+    landmarks = int(spec.get("landmarks", 0))
+    cache_mb = float(spec.get("distance_cache_mb", 0.0))
+    if landmarks > 0 or cache_mb > 0:
+        from repro.perf import DistanceAccelerator
+
+        accel = DistanceAccelerator(aug, landmarks=landmarks, cache_mb=cache_mb)
+    return aug, accel
+
+
+def _serve_one(doc: dict, aug, accel) -> dict:
+    seq = doc.get("seq")
+    if doc.get("ping"):
+        return {"seq": seq, "pong": True, "pid": os.getpid()}
+    request = doc.get("request")
+    if not isinstance(request, dict):
+        return {
+            "seq": seq,
+            "ok": False,
+            "error": "BadRequest",
+            "message": f"malformed worker frame: {doc!r}",
+        }
+    deadline_s = doc.get("deadline_s")
+    try:
+        if deadline_s is not None:
+            deadline = Deadline(float(deadline_s))
+            with deadline.activate():
+                deadline.check("serve.worker.dispatch")
+                result = run_query(request, aug, accel=accel)
+        else:
+            result = run_query(request, aug, accel=accel)
+    except Exception as exc:
+        return {
+            "seq": seq,
+            "ok": False,
+            "error": error_name(exc),
+            "message": str(exc),
+        }
+    return {"seq": seq, "ok": True, "result": result}
+
+
+def worker_entry(spec: dict, stdin=None, stdout=None) -> int:
+    """Run the worker loop until the supervisor closes the pipe.
+
+    Returns the intended process exit code.  Kept importable (pipes are
+    injectable) so tests can drive a worker in-process without forking.
+    """
+    in_fh = stdin if stdin is not None else sys.stdin.buffer
+    out_fh = stdout if stdout is not None else sys.stdout.buffer
+    _arm_faults(spec)
+    aug, accel = _build_view(spec)
+    # Ready handshake: the supervisor waits for this frame, so a worker
+    # that dies during workload load is detected before it is dispatched
+    # any request.
+    write_frame(out_fh, {"ready": True, "pid": os.getpid()})
+    while True:
+        doc = read_frame(in_fh)
+        if doc is None:  # supervisor closed the pipe: clean retirement
+            return 0
+        try:
+            answer = _serve_one(doc, aug, accel)
+        except WorkerKilled:
+            # Simulated kill (kill_real unarmed): die like SIGKILL would,
+            # without flushing an answer — the supervisor must see EOF.
+            os._exit(137)
+        try:
+            write_frame(out_fh, answer)
+        except (OSError, ValueError):
+            return 0  # supervisor is gone; nothing left to serve
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.serve.worker '<spec-json>'",
+              file=sys.stderr)
+        return 2
+    spec = json.loads(args[0])
+    return worker_entry(spec)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

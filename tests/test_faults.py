@@ -445,3 +445,69 @@ class TestPlanLifecycle:
         assert faults.reseed(None) == 42
         monkeypatch.delenv("REPRO_FAULT_SEED")
         assert faults.reseed(None) == 0
+
+
+# ----------------------------------------------------------------------
+# The "kill" kind and plan serialisation (supervised-pool chaos lever)
+# ----------------------------------------------------------------------
+class TestKillKind:
+    def test_kill_raises_workerkilled_when_not_armed(self):
+        from repro.faults import WorkerKilled
+
+        assert faults.STATE.kill_real is False  # simulated by default
+        with faults.plan(FaultRule("site.k", "kill", after=1)):
+            with pytest.raises(WorkerKilled) as exc:
+                faults.fire("site.k")
+            assert exc.value.site == "site.k"
+
+    def test_workerkilled_is_uncatchable_as_exception(self):
+        """SIGKILL semantics: ``except Exception`` recovery paths must not
+        swallow a simulated kill — only the process boundary handles it."""
+        from repro.faults import WorkerKilled
+
+        assert issubclass(WorkerKilled, BaseException)
+        assert not issubclass(WorkerKilled, Exception)
+        with faults.plan(FaultRule("site.k", "kill", after=1)):
+            with pytest.raises(WorkerKilled):
+                try:
+                    faults.fire("site.k")
+                except Exception:  # the quietly-recovering worker bug
+                    pytest.fail("WorkerKilled was caught as Exception")
+
+    def test_kill_fires_once_per_plan_with_after(self):
+        from repro.faults import WorkerKilled
+
+        with faults.plan(FaultRule("site.k", "kill", after=2, times=None)):
+            faults.fire("site.k")  # hit 1: below the trigger
+            with pytest.raises(WorkerKilled):
+                faults.fire("site.k")
+            # ``after=N`` matches the N-th hit exactly: a process that
+            # somehow survives (simulated kills in-process) is not
+            # re-killed on later hits, mirroring one SIGKILL per worker.
+            faults.fire("site.k")
+
+    def test_rule_roundtrips_through_dict(self):
+        rule = FaultRule(
+            "queries.settle", "kill", after=7, times=None
+        )
+        doc = rule.to_dict()
+        import json
+
+        rebuilt = FaultRule.from_dict(json.loads(json.dumps(doc)))
+        assert rebuilt.site == rule.site
+        assert rebuilt.kind == rule.kind
+        assert rebuilt.after == rule.after
+        assert rebuilt.times is None
+        # Config only: hit/fire counters never travel with the plan, so a
+        # restarted worker counts from zero (per-worker determinism).
+        assert "hits" not in doc and "fired" not in doc
+        assert rebuilt.hits == 0 and rebuilt.fired == 0
+
+    def test_roundtrip_preserves_every_kind(self):
+        for kind in FaultRule.KINDS:
+            extra = {"delay_s": 0.25} if kind == "delay" else {}
+            rule = FaultRule("site.x", kind, after=3, times=2, **extra)
+            rebuilt = FaultRule.from_dict(rule.to_dict())
+            assert rebuilt.kind == kind
+            assert rebuilt.times == 2
+            assert rebuilt.delay_s == rule.delay_s

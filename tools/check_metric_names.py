@@ -65,6 +65,30 @@ ALLOWED_NAMESPACES = frozenset({
     "storage",
 })
 
+#: Second segments allowed under ``serve.`` — the serve tier's names are a
+#: wire contract (the stats op and dashboards key on them), so this one
+#: namespace is pinned a level deeper than the rest.  ``supervisor`` covers
+#: the process-supervision counters (``serve.supervisor.worker_deaths``,
+#: ``.restarts``, ``.failovers``, ``.quarantined``, ``.degraded``,
+#: ``.hangs``).
+SERVE_SEGMENTS = frozenset({
+    "completed",
+    "deadline_exceeded",
+    "dequeue",
+    "errors",
+    "exec",
+    "inflight",
+    "latency",
+    "queue_depth",
+    "queue_wait",
+    "request",
+    "shed",
+    "submitted",
+    "supervisor",
+    "worker",
+    "workers_live",
+})
+
 #: Full-name shape: lowercase dotted segments; segments may carry ``_`` and
 #: ``-`` (algorithm names like ``eps-link`` appear in span names).
 NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_-]+)*$")
@@ -143,6 +167,14 @@ def _check_name(
             f"{kind} name {name!r} needs a dotted subsystem prefix "
             f"(single-segment names are reserved for spans)"
         )
+    if first == "serve" and "." in text:
+        second = text.split(".")[1]
+        if second and second not in SERVE_SEGMENTS:
+            return (
+                f"metric name {name!r} uses unknown serve.* segment "
+                f"{second!r} (document it in docs/observability.md and add "
+                f"it to SERVE_SEGMENTS in {Path(__file__).name})"
+            )
     return None
 
 
