@@ -358,31 +358,105 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _finding_doc(f) -> dict:
+    return {
+        "severity": f.severity,
+        "kind": f.kind,
+        "page_id": f.page_id,
+        "offset": f.offset,
+        "message": f.message,
+    }
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.storage.verify import verify_store
 
     findings = verify_store(args.store)
-    code = 0 if not findings else 2
+    index_findings = None
+    if args.index:
+        from repro.perf import verify_index
+
+        # Fingerprint validation needs the stored network; only a store
+        # that just verified clean can provide it — against a condemned
+        # store the index is checked structurally (header + every CRC).
+        network = None
+        if not findings:
+            from repro.storage.netstore import NetworkStore
+
+            network = NetworkStore(args.store)
+        try:
+            index_findings = verify_index(args.index, network)
+        finally:
+            if network is not None:
+                network.close()
+    code = 0 if not findings and not index_findings else 2
     if args.json:
-        print(json.dumps({
+        doc = {
             "store": args.store,
             "exit_code": code,
-            "findings": [
-                {
-                    "severity": f.severity,
-                    "kind": f.kind,
-                    "page_id": f.page_id,
-                    "offset": f.offset,
-                    "message": f.message,
-                }
-                for f in findings
-            ],
-        }, indent=2))
+            "findings": [_finding_doc(f) for f in findings],
+        }
+        if index_findings is not None:
+            doc["index"] = {
+                "path": args.index,
+                "findings": [_finding_doc(f) for f in index_findings],
+            }
+        print(json.dumps(doc, indent=2))
     else:
         for f in findings:
             print(f)
         print(
             f"{args.store}: "
+            + ("OK" if not findings else f"{len(findings)} problem(s) found")
+        )
+        if index_findings is not None:
+            for f in index_findings:
+                print(f)
+            print(
+                f"{args.index}: "
+                + ("OK" if not index_findings
+                   else f"{len(index_findings)} problem(s) found")
+            )
+    return code
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.perf import build_index_file
+
+    network, _points = load_workload_file(args.workload)
+    observing = _obs_begin(args)
+    summary = build_index_file(
+        args.out, network, num_landmarks=args.landmarks, seed=args.seed
+    )
+    print(
+        f"wrote {args.out}: {summary['landmarks']} landmark(s) over "
+        f"{summary['nodes']} nodes ({summary['bytes']} bytes, "
+        f"fingerprint {summary['fingerprint'][:12]}…)"
+    )
+    if observing:
+        _obs_end(args)
+    return 0
+
+
+def _cmd_index_check(args: argparse.Namespace) -> int:
+    from repro.perf import verify_index
+
+    network = None
+    if args.workload:
+        network, _points = load_workload_file(args.workload)
+    findings = verify_index(args.index, network)
+    code = 0 if not findings else 2
+    if args.json:
+        print(json.dumps({
+            "index": args.index,
+            "exit_code": code,
+            "findings": [_finding_doc(f) for f in findings],
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f)
+        print(
+            f"{args.index}: "
             + ("OK" if not findings else f"{len(findings)} problem(s) found")
         )
     return code
@@ -525,6 +599,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 default_timeout_s=default_timeout_s,
                 landmarks=args.landmarks,
                 distance_cache_mb=args.distance_cache_mb,
+                index_path=args.index,
                 max_restarts=args.max_restarts,
                 restart_window_s=args.restart_window_s,
             )
@@ -537,8 +612,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 default_timeout_s=default_timeout_s,
                 landmarks=args.landmarks,
                 distance_cache_mb=args.distance_cache_mb,
+                index_path=args.index,
             )
             pool_desc = f"{args.workers} worker(s)"
+            if args.index and service.index_source == "degraded":
+                print(
+                    f"landmark index degraded: "
+                    f"{service.index_degrade_reason}",
+                    file=sys.stderr,
+                )
         pending: list[tuple[dict, object]] = []  # (request, future-or-error)
         served = 0
         interrupted = None
@@ -747,6 +829,12 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="MB",
                      help="serve repeated queries from an MB-bounded memo "
                           "shared across workers (0 = off)")
+    srv.add_argument("--index", default=None, metavar="FILE",
+                     help="mmap a persisted landmark index (repro index "
+                          "build) read-only instead of building one per "
+                          "process; a missing/corrupt/stale artifact "
+                          "degrades to the unaccelerated path instead of "
+                          "refusing to serve")
     srv.add_argument("--stats", action="store_true",
                      help="print the repro.obs per-phase time/counter table")
     srv.add_argument("--trace", default=None, metavar="FILE",
@@ -785,9 +873,48 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="verify a disk network store's integrity"
     )
     chk.add_argument("store", help="network-store file built by NetworkStore")
+    chk.add_argument("--index", default=None, metavar="FILE",
+                     help="also verify a persisted landmark index: header, "
+                          "every section CRC, and (when the store is "
+                          "healthy) the content fingerprint binding it to "
+                          "this store")
     chk.add_argument("--json", action="store_true",
                      help="emit findings as JSON instead of text")
     chk.set_defaults(func=_cmd_check)
+
+    idx = sub.add_parser(
+        "index",
+        help="build / verify persisted landmark indexes (RLIX files)",
+    )
+    idx_sub = idx.add_subparsers(dest="index_command", required=True)
+    idxb = idx_sub.add_parser(
+        "build",
+        help="precompute a landmark index once, offline, for --index",
+    )
+    idxb.add_argument("workload", help="workload JSON from `generate`")
+    idxb.add_argument("--out", required=True, metavar="FILE",
+                      help="output index file (written atomically)")
+    idxb.add_argument("--landmarks", type=int, default=8, metavar="L",
+                      help="landmarks to select (default 8; one Dijkstra "
+                           "each at build time)")
+    idxb.add_argument("--seed", type=int, default=0,
+                      help="selection seed recorded in the artifact")
+    idxb.add_argument("--stats", action="store_true",
+                      help="print the repro.obs per-phase time/counter table")
+    idxb.add_argument("--trace", default=None, metavar="FILE",
+                      help="write hierarchical timing spans as JSONL to FILE")
+    idxb.set_defaults(func=_cmd_index_build)
+    idxc = idx_sub.add_parser(
+        "check", help="verify a persisted landmark index's integrity"
+    )
+    idxc.add_argument("index", help="index file from `repro index build`")
+    idxc.add_argument("--workload", default=None, metavar="FILE",
+                      help="also validate the content fingerprint against "
+                           "this workload JSON (without it the check is "
+                           "structural only)")
+    idxc.add_argument("--json", action="store_true",
+                      help="emit findings as JSON instead of text")
+    idxc.set_defaults(func=_cmd_index_check)
 
     rep = sub.add_parser(
         "repair", help="salvage a damaged network store into a clean copy"

@@ -15,12 +15,27 @@ from repro.perf.landmarks import (
     vector_lower_bound,
     vector_upper_bound,
 )
+from repro.perf.persist import (
+    PersistedLandmarkIndex,
+    build_index_file,
+    load_index,
+    load_index_or_degrade,
+    network_fingerprint,
+    save_index,
+    verify_index,
+)
 
 __all__ = [
     "DistanceAccelerator",
     "DistanceCache",
     "ENTRY_BYTES",
     "LandmarkIndex",
+    "PersistedLandmarkIndex",
+    "build_index_file",
+    "load_index",
+    "load_index_or_degrade",
+    "network_fingerprint",
+    "save_index",
     "unaccelerated_point_distance",
     "vector_lower_bound",
     "vector_upper_bound",

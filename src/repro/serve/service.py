@@ -225,6 +225,16 @@ class QueryService:
         answered from memory across all workers.  Results are bit-identical
         either way; with both at zero the request path runs the plain,
         uninstrumented primitives.
+    index_path:
+        Path to a persisted landmark index (``repro index build``), mapped
+        read-only instead of running the landmark Dijkstras at startup.
+        Overrides ``landmarks``: with an artifact supplied the service
+        never builds an index in-process.  A missing, corrupt, stale, or
+        version-skewed artifact *degrades* — the service starts and serves
+        the unaccelerated bit-identical path, ``perf.index.degraded`` is
+        bumped, and :attr:`index_source` reads ``"degraded"`` (with the
+        cause in :attr:`index_degrade_reason`) — it never refuses to
+        serve.
     """
 
     def __init__(
@@ -238,6 +248,7 @@ class QueryService:
         clock: Callable[[], float] = time.monotonic,
         landmarks: int = 0,
         distance_cache_mb: float = 0.0,
+        index_path: str | None = None,
     ) -> None:
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -259,10 +270,32 @@ class QueryService:
         self._landmark_index = None
         self._distance_cache = None
         self._accelerated = landmarks > 0 or distance_cache_mb > 0
-        if landmarks > 0:
+        #: "mmap" / "degraded" / "built" / "none" — where the landmark
+        #: acceleration state came from (mirrors the worker-process ready
+        #: frames, so both tiers audit identically).
+        self.index_source = "none"
+        self.index_degrade_reason: str | None = None
+        if index_path is not None:
+            # A supplied artifact replaces the in-process build outright:
+            # loading it costs one checksummed read, and when it cannot be
+            # trusted the service degrades rather than silently re-paying
+            # the landmark Dijkstras it exists to avoid.
+            from repro.perf import load_index_or_degrade
+
+            index, reason = load_index_or_degrade(index_path, network)
+            if index is not None:
+                self._landmark_index = index
+                self._accelerated = True
+                self.index_source = "mmap"
+            else:
+                self._accelerated = distance_cache_mb > 0
+                self.index_source = "degraded"
+                self.index_degrade_reason = reason
+        elif landmarks > 0:
             from repro.perf import LandmarkIndex
 
             self._landmark_index = LandmarkIndex(network, landmarks)
+            self.index_source = "built"
         if distance_cache_mb > 0:
             from repro.perf import DistanceCache
 

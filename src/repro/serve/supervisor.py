@@ -210,6 +210,17 @@ class SupervisedPool:
     distance_cache_mb:
         As on :class:`~repro.serve.QueryService`, but per *process*:
         each worker builds its own accelerator state.
+    index_path:
+        Path to a persisted landmark index (``repro index build``).
+        Shipped in every worker's spec: workers mmap the artifact
+        read-only instead of running landmark Dijkstras — one offline
+        build shared by all processes and by every crash-restart — and
+        degrade to the unaccelerated bit-identical path (bumping
+        ``perf.index.degraded``) when the artifact is missing, corrupt,
+        or stale.  Overrides ``landmarks``: with an artifact supplied,
+        no worker ever builds an index in-process.  Each worker's ready
+        frame reports its index source, collected in
+        :attr:`index_sources`.
     max_restarts / restart_window_s:
         The restart-storm circuit: a slot may be restarted at most
         ``max_restarts`` times in a row before its breaker
@@ -248,6 +259,7 @@ class SupervisedPool:
         default_timeout_s: float | None = None,
         landmarks: int = 0,
         distance_cache_mb: float = 0.0,
+        index_path: str | None = None,
         max_restarts: int = 3,
         restart_window_s: float = 5.0,
         backoff_base_s: float = 0.05,
@@ -276,6 +288,7 @@ class SupervisedPool:
         self._workload = workload
         self._landmarks = landmarks
         self._distance_cache_mb = distance_cache_mb
+        self._index_path = index_path
         self.default_timeout_s = default_timeout_s
         self.max_restarts = max_restarts
         self.restart_window_s = restart_window_s
@@ -305,6 +318,11 @@ class SupervisedPool:
         #: pid of every worker that reached readiness, in spawn order; the
         #: no-orphans tests assert every one is gone after close().
         self.spawned_pids: list[int] = []
+        #: index source each ready worker reported ("mmap" / "degraded" /
+        #: "built" / "none"), in spawn order — the zero-rebuild audit
+        #: trail: with a persisted index no entry may ever read "built",
+        #: including entries appended by kill-fault restarts.
+        self.index_sources: list[str] = []
         self._h_latency = _METRICS.histogram("serve.latency")
         self._h_queue_wait = _METRICS.histogram("serve.queue_wait")
         self._h_exec = _METRICS.histogram("serve.exec")
@@ -521,6 +539,7 @@ class SupervisedPool:
                 continue
             if handle.pid is not None:
                 self.spawned_pids.append(handle.pid)
+            self.index_sources.append(str(ready.get("index", "none")))
             if attempt > 0:
                 # Gauges registered at construction may have been replaced
                 # by another component since; re-assert them on every
@@ -703,6 +722,7 @@ class SupervisedPool:
                 "restart_log": [dict(e) for e in self.restart_log],
                 "quarantined": len(self._quarantined),
                 "worker_deaths": sum(self._death_counts.values()),
+                "index_sources": list(self.index_sources),
             }
         return {
             "uptime_s": max(self._clock() - self._started_at, 0.0),
@@ -720,6 +740,8 @@ class SupervisedPool:
             "landmarks": self._landmarks,
             "distance_cache_mb": self._distance_cache_mb,
         }
+        if self._index_path is not None:
+            spec["index_path"] = self._index_path
         if self._fault_rules:
             spec["faults"] = {
                 "seed": self._fault_seed,

@@ -63,17 +63,45 @@ def _arm_faults(spec: dict) -> None:
 
 
 def _build_view(spec: dict):
-    """The workload view plus its (optional) per-process accelerator."""
+    """The workload view, its (optional) accelerator, and the index source.
+
+    The returned source string lands in the ready frame so the supervisor
+    can audit how every worker got its acceleration: ``"mmap"`` (persisted
+    index mapped read-only), ``"degraded"`` (an ``index_path`` was supplied
+    but failed to load — the worker serves the unaccelerated bit-identical
+    path and ``perf.index.degraded`` was bumped), ``"built"`` (landmark
+    Dijkstras ran in-process), or ``"none"``.
+
+    When ``index_path`` is set the worker *never* builds a landmark index
+    from scratch: the whole point of the persisted artifact is that one
+    offline build is shared by every process, including restarts, so a bad
+    artifact degrades rather than silently re-paying N build costs.
+    """
     network, points = load_workload_file(spec["workload"])
     aug = AugmentedView(network, points)
     accel = None
     landmarks = int(spec.get("landmarks", 0))
     cache_mb = float(spec.get("distance_cache_mb", 0.0))
+    index_path = spec.get("index_path")
+    if index_path:
+        from repro.perf import DistanceAccelerator, load_index_or_degrade
+
+        index, reason = load_index_or_degrade(index_path, network)
+        if index is not None:
+            accel = DistanceAccelerator(
+                aug, landmarks=0, cache_mb=cache_mb, index=index
+            )
+            return aug, accel, "mmap"
+        print(f"landmark index degraded: {reason}", file=sys.stderr)
+        if cache_mb > 0:
+            accel = DistanceAccelerator(aug, landmarks=0, cache_mb=cache_mb)
+        return aug, accel, "degraded"
     if landmarks > 0 or cache_mb > 0:
         from repro.perf import DistanceAccelerator
 
         accel = DistanceAccelerator(aug, landmarks=landmarks, cache_mb=cache_mb)
-    return aug, accel
+        return aug, accel, "built" if landmarks > 0 else "none"
+    return aug, accel, "none"
 
 
 def _serve_one(doc: dict, aug, accel) -> dict:
@@ -116,11 +144,15 @@ def worker_entry(spec: dict, stdin=None, stdout=None) -> int:
     in_fh = stdin if stdin is not None else sys.stdin.buffer
     out_fh = stdout if stdout is not None else sys.stdout.buffer
     _arm_faults(spec)
-    aug, accel = _build_view(spec)
+    aug, accel, index_source = _build_view(spec)
     # Ready handshake: the supervisor waits for this frame, so a worker
     # that dies during workload load is detected before it is dispatched
-    # any request.
-    write_frame(out_fh, {"ready": True, "pid": os.getpid()})
+    # any request.  ``index`` reports where the acceleration state came
+    # from ("mmap" / "degraded" / "built" / "none") — the supervisor logs
+    # it, and the zero-rebuild tests assert on it.
+    write_frame(
+        out_fh, {"ready": True, "pid": os.getpid(), "index": index_source}
+    )
     while True:
         doc = read_frame(in_fh)
         if doc is None:  # supervisor closed the pipe: clean retirement
