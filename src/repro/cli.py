@@ -57,7 +57,7 @@ from repro.datagen import (
 )
 from repro.datagen.clusters import well_separated_seed_edges
 from repro.eval import adjusted_rand_index, normalized_mutual_information, purity
-from repro.exceptions import Cancelled, Interrupted
+from repro.exceptions import Cancelled, Interrupted, WalCorruptError
 from repro.io import (
     load_result_file,
     load_workload_file,
@@ -462,6 +462,67 @@ def _cmd_index_check(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_wal_verify(args: argparse.Namespace) -> int:
+    from repro.live import verify_wal
+
+    findings = verify_wal(args.log)
+    code = 0 if not findings else 2
+    if args.json:
+        print(json.dumps({
+            "log": args.log,
+            "exit_code": code,
+            "findings": [_finding_doc(f) for f in findings],
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f)
+        print(
+            f"{args.log}: "
+            + ("OK" if not findings else f"{len(findings)} problem(s) found")
+        )
+    return code
+
+
+def _cmd_wal_replay(args: argparse.Namespace) -> int:
+    from repro.exceptions import ReplayError
+    from repro.live import LiveSession, WriteAheadLog
+
+    network, points = load_workload_file(args.workload)
+    try:
+        wal = WriteAheadLog(args.log, read_only=True)
+    except OSError as exc:
+        raise SystemExit(f"cannot open mutation log {args.log}: {exc}")
+    except WalCorruptError as exc:
+        print(f"{args.log}: corrupt — {exc}", file=sys.stderr)
+        return 2
+    session = LiveSession(network, points, eps=args.eps, wal=wal)
+    try:
+        replayed = session.replay_wal()
+    except (WalCorruptError, ReplayError) as exc:
+        print(f"{args.log}: replay failed — {exc}", file=sys.stderr)
+        return 2
+    finally:
+        session.close()
+    snap = session.snapshot()
+    doc = {
+        "log": args.log,
+        "replayed": replayed,
+        "epoch": snap["epoch"],
+        "points": snap["num_points"],
+        "clusters": snap["num_clusters"],
+    }
+    if args.json:
+        doc["assignment"] = snap["assignment"]
+        print(json.dumps(doc, indent=2))
+    else:
+        print(
+            f"{args.log}: replayed {replayed} mutation(s) to epoch "
+            f"{doc['epoch']}: {doc['points']} point(s) in "
+            f"{doc['clusters']} cluster(s) at eps={args.eps}"
+        )
+    return 0
+
+
 def _cmd_repair(args: argparse.Namespace) -> int:
     from repro.recovery import repair_store
 
@@ -589,22 +650,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stack.enter_context(open(args.output, "w", encoding="utf-8"))
             if args.output else sys.stdout
         )
+        session = None
         if args.processes > 0:
             from repro.serve import SupervisedPool
 
-            service = SupervisedPool(
-                args.workload,
-                processes=args.processes,
-                queue_depth=args.queue_depth,
-                default_timeout_s=default_timeout_s,
-                landmarks=args.landmarks,
-                distance_cache_mb=args.distance_cache_mb,
-                index_path=args.index,
-                max_restarts=args.max_restarts,
-                restart_window_s=args.restart_window_s,
-            )
+            try:
+                service = SupervisedPool(
+                    args.workload,
+                    processes=args.processes,
+                    queue_depth=args.queue_depth,
+                    default_timeout_s=default_timeout_s,
+                    landmarks=args.landmarks,
+                    distance_cache_mb=args.distance_cache_mb,
+                    index_path=args.index,
+                    max_restarts=args.max_restarts,
+                    restart_window_s=args.restart_window_s,
+                    wal_path=args.wal,
+                    live_eps=args.live_eps,
+                )
+            except WalCorruptError as exc:
+                raise SystemExit(
+                    f"cannot open mutation log {args.wal}: {exc}"
+                )
+            if args.wal:
+                print(
+                    f"mutation log {args.wal} at epoch "
+                    f"{service.session.epoch}",
+                    file=sys.stderr,
+                )
             pool_desc = f"{args.processes} process(es)"
         else:
+            if args.wal:
+                from repro.live import LiveSession, WriteAheadLog
+
+                try:
+                    wal = WriteAheadLog(args.wal)
+                except (OSError, WalCorruptError) as exc:
+                    raise SystemExit(
+                        f"cannot open mutation log {args.wal}: {exc}"
+                    )
+                session = LiveSession(
+                    network, points, eps=args.live_eps, wal=wal
+                )
+                replayed = session.replay_wal()
+                print(
+                    f"mutation log {args.wal} at epoch {session.epoch} "
+                    f"({replayed} mutation(s) replayed)",
+                    file=sys.stderr,
+                )
             service = QueryService(
                 network, points,
                 workers=args.workers,
@@ -613,6 +706,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 landmarks=args.landmarks,
                 distance_cache_mb=args.distance_cache_mb,
                 index_path=args.index,
+                session=session,
             )
             pool_desc = f"{args.workers} worker(s)"
             if args.index and service.index_source == "degraded":
@@ -673,6 +767,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(json.dumps(doc), file=out_fh)
         finally:
             service.close()
+            if session is not None:
+                session.close()  # releases the threaded tier's WAL handle
     print(
         f"served {served}/{len(pending)} request(s) "
         f"({pool_desc}, queue depth {args.queue_depth})",
@@ -835,6 +931,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "process; a missing/corrupt/stale artifact "
                           "degrades to the unaccelerated path instead of "
                           "refusing to serve")
+    srv.add_argument("--wal", default=None, metavar="FILE",
+                     help="enable the live mutation ops (mutate / "
+                          "subscribe_epoch / snapshot) backed by an "
+                          "append-only write-ahead mutation log at FILE; "
+                          "an existing log is replayed before serving, so "
+                          "every previously acknowledged mutation survives "
+                          "a crash (see docs/robustness.md)")
+    srv.add_argument("--live-eps", type=float, default=1.0, metavar="E",
+                     help="eps of the incrementally maintained ε-Link "
+                          "clustering served by snapshot (default 1.0; "
+                          "only with --wal, and must match across "
+                          "restarts of the same log)")
     srv.add_argument("--stats", action="store_true",
                      help="print the repro.obs per-phase time/counter table")
     srv.add_argument("--trace", default=None, metavar="FILE",
@@ -915,6 +1023,36 @@ def build_parser() -> argparse.ArgumentParser:
     idxc.add_argument("--json", action="store_true",
                       help="emit findings as JSON instead of text")
     idxc.set_defaults(func=_cmd_index_check)
+
+    walp = sub.add_parser(
+        "wal",
+        help="verify / replay serve-tier mutation logs (RWAL files)",
+    )
+    wal_sub = walp.add_subparsers(dest="wal_command", required=True)
+    walv = wal_sub.add_parser(
+        "verify",
+        help="check a mutation log's integrity (header, per-record CRCs, "
+             "sequence continuity, torn tail)",
+    )
+    walv.add_argument("log", help="mutation log from `repro serve --wal`")
+    walv.add_argument("--json", action="store_true",
+                      help="emit findings as JSON instead of text")
+    walv.set_defaults(func=_cmd_wal_verify)
+    walr = wal_sub.add_parser(
+        "replay",
+        help="replay a mutation log over a workload and report the "
+             "resulting epoch and clustering",
+    )
+    walr.add_argument("log", help="mutation log from `repro serve --wal`")
+    walr.add_argument("--workload", required=True, metavar="FILE",
+                      help="the workload JSON the log's mutations apply to")
+    walr.add_argument("--eps", type=float, default=1.0, metavar="E",
+                      help="eps of the maintained ε-Link clustering "
+                           "(default 1.0; must match the serving value)")
+    walr.add_argument("--json", action="store_true",
+                      help="emit the final state (including the full "
+                           "cluster assignment) as JSON")
+    walr.set_defaults(func=_cmd_wal_replay)
 
     rep = sub.add_parser(
         "repair", help="salvage a damaged network store into a clean copy"

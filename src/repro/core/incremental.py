@@ -11,6 +11,12 @@ maintained under updates:
 * **remove** — deleting an object can *split* its cluster (it may have been
   the bridge), so the affected component — and only it — is re-clustered by
   local expansions; every other cluster is untouched.
+* **reweigh** — an edge's traversal cost changes (traffic).  Links can
+  appear or vanish only between points within ε of the edge: the objects
+  on the edge itself plus everything within ε of either endpoint, in the
+  old *or* the new network.  Those points' components — and only those —
+  are re-linked; objects on the edge keep their relative position (offsets
+  rescale by ``new/old``).
 
 The maintained clustering is always identical to running
 :class:`~repro.core.epslink.EpsLink` from scratch on the current point set
@@ -19,12 +25,15 @@ The maintained clustering is always identical to running
 
 from __future__ import annotations
 
+import heapq
+import math
+
 from repro.core.epslink import EpsLink
 from repro.core.result import ClusteringResult
 from repro.core.unionfind import UnionFind
 from repro.eval.metrics import NOISE
-from repro.exceptions import ParameterError
-from repro.network.augmented import AugmentedView
+from repro.exceptions import InvalidWeightError, ParameterError
+from repro.network.augmented import POINT, AugmentedView, node_vertex
 from repro.network.points import NetworkPoint, PointSet
 from repro.network.queries import range_query
 
@@ -44,6 +53,11 @@ class IncrementalEpsLink:
         Minimum cluster size below which clusters are reported as noise
         (applied at :meth:`result` time, so it never interferes with
         maintenance).
+    points:
+        An existing :class:`~repro.network.points.PointSet` to *adopt*
+        (the live serve tier passes its served set so mutations maintain
+        the world queries run against).  The initial clustering is
+        derived from it; omitted, maintenance starts from an empty set.
 
     Examples
     --------
@@ -62,7 +76,8 @@ class IncrementalEpsLink:
     2
     """
 
-    def __init__(self, network, eps: float, min_sup: int = 1) -> None:
+    def __init__(self, network, eps: float, min_sup: int = 1,
+                 points: PointSet | None = None) -> None:
         if eps <= 0:
             raise ParameterError(f"eps must be positive, got {eps!r}")
         if min_sup < 1:
@@ -70,8 +85,14 @@ class IncrementalEpsLink:
         self.network = network
         self.eps = float(eps)
         self.min_sup = int(min_sup)
-        self._points = PointSet(network)
-        self._uf = UnionFind()
+        self._points = PointSet(network) if points is None else points
+        self._uf = UnionFind(self._points.point_ids())
+        #: Point ids whose cluster membership the last update *may* have
+        #: changed — the precise invalidation region for downstream
+        #: distance caches.
+        self.last_affected: set[int] = set()
+        if points is not None and len(self._points):
+            self._relink(list(self._points.point_ids()))
 
     # ------------------------------------------------------------------
     @property
@@ -101,9 +122,12 @@ class IncrementalEpsLink:
         """Add an object; it joins/bridges every cluster within ε."""
         point = self._points.add(u, v, offset, point_id=point_id, label=label)
         self._uf.add(point.point_id)
+        affected = {point.point_id}
         aug = AugmentedView(self.network, self._points)
         for neighbor, _ in range_query(aug, point, self.eps, include_query=False):
             self._uf.union(point.point_id, neighbor.point_id)
+            affected.add(neighbor.point_id)
+        self.last_affected = affected
         return point
 
     def remove(self, point_id: int) -> None:
@@ -111,6 +135,7 @@ class IncrementalEpsLink:
         self._points.get(point_id)  # raises PointNotFoundError when absent
         root = self._uf.find(point_id)
         affected = [pid for pid in self._component_members(root) if pid != point_id]
+        self.last_affected = set(affected) | {point_id}
         self._points.remove(point_id)
         # Rebuild the union-find: untouched components keep their unions,
         # the affected component is re-linked by local expansions.
@@ -122,6 +147,81 @@ class IncrementalEpsLink:
                 rebuilt.union(members[0], other)
         self._uf = rebuilt
         self._relink(affected)
+
+    def reweigh(self, u: int, v: int, weight: float) -> None:
+        """Change an edge's traversal cost, re-linking only what can move.
+
+        A ≤ε link can appear or vanish under a reweigh only if its
+        witness path crosses the edge, which puts both endpoints of the
+        link within ε of the edge — i.e. among the objects *on* the edge
+        or within ε of either endpoint node, measured in the old or the
+        new network.  Those points' whole components are re-linked (a
+        vanished link can split a component anywhere inside it); every
+        other component is provably unchanged.  Objects on the edge keep
+        their relative position: offsets rescale by ``weight / old``.
+        """
+        if not (isinstance(weight, (int, float)) and math.isfinite(weight)
+                and weight > 0):
+            raise InvalidWeightError(
+                f"edge weight must be a positive finite number, "
+                f"got {weight!r}"
+            )
+        old = self.network.edge_weight(u, v)  # raises EdgeNotFoundError
+        on_edge = list(self._points.points_on_edge(u, v))
+        affected: set[int] = {p.point_id for p in on_edge}
+        # Range in the OLD network: links that may vanish.
+        affected |= self._points_within_eps_of_node(u)
+        affected |= self._points_within_eps_of_node(v)
+        for p in on_edge:
+            self._points.remove(p.point_id)
+        self.network.add_edge(u, v, float(weight))  # re-add replaces weight
+        for p in on_edge:
+            # points_on_edge offsets are canonical (from the smaller
+            # endpoint), so re-adding with (p.u, p.v) keeps orientation.
+            self._points.add(
+                p.u, p.v, p.offset / old * float(weight),
+                point_id=p.point_id, label=p.label,
+            )
+        # Range in the NEW network: links that may appear.
+        affected |= self._points_within_eps_of_node(u)
+        affected |= self._points_within_eps_of_node(v)
+        # Expand to whole components: a vanished link can split a
+        # component at any depth, so everything reachable from an
+        # affected point must be re-discovered.
+        members: set[int] = set()
+        roots = {self._uf.find(pid) for pid in affected}
+        for comp_root, comp in self._uf.sets().items():
+            if comp_root in roots:
+                members.update(comp)
+        self.last_affected = members
+        rebuilt = UnionFind(self._points.point_ids())
+        for comp_root, comp in self._uf.sets().items():
+            if comp_root in roots:
+                continue
+            for other in comp[1:]:
+                rebuilt.union(comp[0], other)
+        self._uf = rebuilt
+        self._relink(sorted(members))
+
+    def _points_within_eps_of_node(self, node: int) -> set[int]:
+        """Ids of objects within ε network distance of ``node``."""
+        aug = AugmentedView(self.network, self._points)
+        start = node_vertex(node)
+        dist: dict = {start: 0.0}
+        heap: list[tuple[float, tuple[int, int]]] = [(0.0, start)]
+        found: set[int] = set()
+        while heap:
+            d, vertex = heapq.heappop(heap)
+            if d > dist.get(vertex, math.inf):
+                continue
+            if vertex[0] == POINT:
+                found.add(vertex[1])
+            for nbr, seg in aug.neighbors(vertex):
+                nd = d + seg
+                if nd <= self.eps and nd < dist.get(nbr, math.inf):
+                    dist[nbr] = nd
+                    heapq.heappush(heap, (nd, nbr))
+        return found
 
     def _component_members(self, root) -> list[int]:
         return self._uf.sets().get(root, [])

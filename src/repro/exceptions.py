@@ -40,6 +40,9 @@ __all__ = [
     "RecoveryError",
     "CheckpointError",
     "RepairError",
+    "WalCorruptError",
+    "MutationConflict",
+    "ReplayError",
 ]
 
 
@@ -416,3 +419,45 @@ class CheckpointError(RecoveryError):
 
 class RepairError(RecoveryError):
     """A store salvage pass could not produce a usable result."""
+
+
+class WalCorruptError(ChecksumError):
+    """A write-ahead mutation log (``RWAL`` file) failed integrity checks.
+
+    Raised by :class:`repro.live.WriteAheadLog` when the header or a record
+    CRC32 does not match *before* the final record, the magic is foreign,
+    the format version skews, or record sequence numbers are discontinuous.
+    Damage confined to the final record is not corruption — fsync-before-ack
+    means a torn tail is the expected residue of a crash, and it is
+    truncated away on open instead of raising.
+    """
+
+
+class MutationConflict(ReproError):
+    """A live mutation references state that contradicts the served world.
+
+    Raised *before* the mutation reaches the write-ahead log — inserting a
+    point with an id that already exists, removing an unknown point, or
+    reweighing an edge that is not in the network.  Nothing was logged or
+    applied; the serve tier maps it to a client error, not a crash.
+
+    Attributes
+    ----------
+    kind:
+        The mutation kind (``"insert_point"`` / ``"remove_point"`` /
+        ``"reweigh_edge"``).
+    """
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(f"{kind} conflicts with the served state: {detail}")
+        self.kind = kind
+
+
+class ReplayError(RecoveryError):
+    """WAL replay could not bring a session to the required epoch.
+
+    Raised when applying a logged mutation fails against the rebuilt state,
+    when a replay observes a sequence gap, or when a worker's log ends
+    before the pool epoch it was told to reach — the worker must not report
+    ready (and never serve) from a stale world.
+    """

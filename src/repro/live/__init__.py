@@ -1,0 +1,41 @@
+"""Durable live mutations for the serve tier (:mod:`repro.live`).
+
+The pieces, bottom-up:
+
+* :class:`WriteAheadLog` — the append-only, CRC-trailed ``RWAL`` mutation
+  log; every append is fsynced before its sequence number (the
+  acknowledgement) is returned, and opening truncates a torn tail back to
+  exactly the acknowledged prefix.
+* :func:`validate_mutation` / :func:`check_conflict` — the typed mutation
+  schema (``insert_point`` / ``remove_point`` / ``reweigh_edge``) and its
+  conflict rules, applied *before* anything reaches the log.
+* :class:`LiveSession` — one process's mutable world: WAL-backed
+  mutation, idempotent sequenced apply, crash-consistent replay,
+  incremental ε-Link maintenance, precise cache invalidation, and the
+  epoch/snapshot read side that ``mutate`` / ``subscribe_epoch`` /
+  ``snapshot`` wire ops are built on.
+"""
+
+from repro.live.mutate import (
+    MUTATION_KINDS,
+    check_conflict,
+    validate_mutation,
+)
+from repro.live.session import LiveSession
+from repro.live.wal import (
+    APPEND_WRITE_SITES,
+    REPLAY_SITES,
+    WriteAheadLog,
+    verify_wal,
+)
+
+__all__ = [
+    "APPEND_WRITE_SITES",
+    "LiveSession",
+    "MUTATION_KINDS",
+    "REPLAY_SITES",
+    "WriteAheadLog",
+    "check_conflict",
+    "validate_mutation",
+    "verify_wal",
+]

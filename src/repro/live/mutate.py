@@ -1,0 +1,172 @@
+"""Typed live mutations: validation and conflict detection.
+
+Three mutation kinds cover the moving-object scenario from the
+trajectory-clustering literature — objects appear, disappear, and edge
+traversal costs shift under traffic:
+
+``insert_point``
+    ``{"kind": "insert_point", "u": int, "v": int, "offset": float,
+    "point_id": int?, "label": str?}`` — place an object ``offset`` along
+    edge ``(u, v)``.  Omitting ``point_id`` lets the point set assign the
+    next free id deterministically, so WAL replay reproduces the same id
+    the original apply acknowledged.
+
+``remove_point``
+    ``{"kind": "remove_point", "point_id": int}``
+
+``reweigh_edge``
+    ``{"kind": "reweigh_edge", "u": int, "v": int, "weight": float}`` —
+    replace the edge's traversal cost; objects on the edge keep their
+    *relative* position (offsets rescale by ``new/old``).
+
+:func:`validate_mutation` checks shape and value ranges only — it needs
+no network and is what the wire layer calls before anything is logged.
+:func:`check_conflict` compares a shape-valid mutation against the served
+world and raises :class:`~repro.exceptions.MutationConflict` when the
+mutation references state that does not exist (or an id that already
+does).  Conflicts are detected *before* the WAL append, so a doomed
+mutation is never logged and replay can apply every record
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import (
+    MutationConflict,
+    ParameterError,
+    PointNotFoundError,
+)
+
+__all__ = [
+    "MUTATION_KINDS",
+    "check_conflict",
+    "validate_mutation",
+]
+
+#: Every mutation kind the live tier accepts, in wire-schema order.
+MUTATION_KINDS = ("insert_point", "remove_point", "reweigh_edge")
+
+
+def _require_int(doc: dict, key: str, kind: str) -> int:
+    value = doc.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ParameterError(
+            f"{kind} mutation field {key!r} must be an integer, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _require_number(doc: dict, key: str, kind: str) -> float:
+    value = doc.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ParameterError(
+            f"{kind} mutation field {key!r} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def validate_mutation(doc) -> dict:
+    """Shape-check one mutation document; returns its canonical form.
+
+    Raises :class:`~repro.exceptions.ParameterError` on any structural
+    problem: unknown kind, missing or mistyped fields, non-positive or
+    non-finite weights, negative offsets.  The returned dict contains
+    exactly the recognised fields — unknown keys are dropped so the WAL
+    never records junk the applier would ignore.
+    """
+    if not isinstance(doc, dict):
+        raise ParameterError(
+            f"mutation must be an object, got {type(doc).__name__}"
+        )
+    kind = doc.get("kind")
+    if kind not in MUTATION_KINDS:
+        raise ParameterError(
+            f"unknown mutation kind {kind!r} "
+            f"(expected one of {', '.join(MUTATION_KINDS)})"
+        )
+    if kind == "insert_point":
+        out = {
+            "kind": kind,
+            "u": _require_int(doc, "u", kind),
+            "v": _require_int(doc, "v", kind),
+            "offset": _require_number(doc, "offset", kind),
+        }
+        if not math.isfinite(out["offset"]) or out["offset"] < 0.0:
+            raise ParameterError(
+                f"insert_point offset must be finite and >= 0, "
+                f"got {out['offset']!r}"
+            )
+        if doc.get("point_id") is not None:
+            out["point_id"] = _require_int(doc, "point_id", kind)
+        if doc.get("label") is not None:
+            label = doc["label"]
+            if not isinstance(label, str):
+                raise ParameterError(
+                    f"insert_point label must be a string, got {label!r}"
+                )
+            out["label"] = label
+        return out
+    if kind == "remove_point":
+        return {"kind": kind, "point_id": _require_int(doc, "point_id", kind)}
+    out = {
+        "kind": kind,
+        "u": _require_int(doc, "u", kind),
+        "v": _require_int(doc, "v", kind),
+        "weight": _require_number(doc, "weight", kind),
+    }
+    if not math.isfinite(out["weight"]) or out["weight"] <= 0.0:
+        raise ParameterError(
+            f"reweigh_edge weight must be finite and > 0, "
+            f"got {out['weight']!r}"
+        )
+    return out
+
+
+def _has_point(points, point_id: int) -> bool:
+    try:
+        points.get(point_id)
+    except PointNotFoundError:
+        return False
+    return True
+
+
+def check_conflict(mutation: dict, network, points) -> None:
+    """Raise :class:`MutationConflict` if ``mutation`` contradicts state.
+
+    Called under the session lock *before* the WAL append, so the log
+    only ever contains mutations that applied cleanly — replay needs no
+    conflict handling of its own.
+    """
+    kind = mutation["kind"]
+    if kind == "insert_point":
+        u, v = mutation["u"], mutation["v"]
+        if not network.has_edge(u, v):
+            raise MutationConflict(
+                kind, f"edge ({u}, {v}) does not exist in the network"
+            )
+        point_id = mutation.get("point_id")
+        if point_id is not None and _has_point(points, point_id):
+            raise MutationConflict(
+                kind, f"point id {point_id} already exists"
+            )
+        weight = network.edge_weight(u, v)
+        if mutation["offset"] > weight:
+            raise MutationConflict(
+                kind,
+                f"offset {mutation['offset']!r} exceeds the length "
+                f"{weight!r} of edge ({u}, {v})",
+            )
+    elif kind == "remove_point":
+        if not _has_point(points, mutation["point_id"]):
+            raise MutationConflict(
+                kind, f"point {mutation['point_id']} does not exist"
+            )
+    else:
+        u, v = mutation["u"], mutation["v"]
+        if not network.has_edge(u, v):
+            raise MutationConflict(
+                kind, f"edge ({u}, {v}) does not exist in the network"
+            )

@@ -185,9 +185,36 @@ class AugmentedView:
 
     def invalidate(self) -> None:
         """Drop cached edge indexes (call after mutating the point set) and
-        notify every registered invalidation hook."""
+        notify every registered invalidation hook.
+
+        Every hook runs even when an earlier one raises — a raising hook
+        must not leave later caches silently stale — and the first error
+        is re-raised once all hooks have been notified.
+        """
         self._index_cache.clear()
         self._indexed_edges.clear()
         self._points_version = getattr(self._points, "version", None)
+        first_error: BaseException | None = None
         for hook in self._invalidation_hooks:
-            hook()
+            try:
+                hook()
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def refresh(self) -> None:
+        """Resynchronize with the point set *without* firing hooks.
+
+        The precise-invalidation path used by the live-mutation tier: the
+        mutator has already told each downstream cache exactly which
+        region changed (see ``LiveSession.apply``), so only the view's
+        own edge indexes and version watermark need resetting here.
+        Firing the registered hooks as well would escalate the targeted
+        invalidation into a global one (the accelerator's hook clears the
+        whole distance cache).
+        """
+        self._index_cache.clear()
+        self._indexed_edges.clear()
+        self._points_version = getattr(self._points, "version", None)

@@ -190,6 +190,45 @@ class DistanceAccelerator:
         if version != self._points_version:
             self._aug.invalidate()
 
+    def note_mutation(self, point_ids, *, reweigh: bool = False) -> None:
+        """Precise staleness handling for one applied live mutation.
+
+        The live tier knows exactly which point ids a mutation can have
+        affected, so instead of letting the version-drift auto-check
+        escalate to a global ``invalidate()`` (which clears the whole
+        shared cache), it calls this: the version watermark is advanced,
+        only the affected landmark point vectors are dropped, and the
+        shared cache keeps every entry the mutation provably left valid
+        (see :meth:`DistanceCache.invalidate_region`).  A ``reweigh``
+        changes network distances globally: every point vector and cache
+        entry goes, and the landmark index itself must be degraded or
+        replaced by the caller (node tables bind to edge weights).
+        """
+        self._points_version = getattr(self._aug.points, "version", None)
+        if reweigh:
+            self._point_vectors.clear()
+            if self._cache is not None:
+                self._cache.clear()
+            return
+        for pid in point_ids:
+            self._point_vectors.pop(pid, None)
+        if self._cache is not None:
+            self._cache.invalidate_region(point_ids)
+
+    def degrade_index(self) -> None:
+        """Drop the landmark index (bounds machinery) permanently.
+
+        Called when the network mutated under a persisted or in-memory
+        index: serving its bounds could return wrong results, and the
+        policy is *degrade, never silently rebuild* — an operator rebuilds
+        with ``repro index build`` when they choose to.  Queries keep
+        working through the plain (bit-identical) primitives.  The index
+        object itself is only unreferenced, not closed — it may be shared
+        by other accelerators; whoever opened it closes it.
+        """
+        self._index = None
+        self._point_vectors.clear()
+
     # ------------------------------------------------------------------
     # Landmark coordinates and bounds
     # ------------------------------------------------------------------

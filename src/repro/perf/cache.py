@@ -126,6 +126,42 @@ class DistanceCache:
                 if dropped:
                     _obs_add("perf.cache.invalidated_entries", dropped)
 
+    def invalidate_region(self, point_ids) -> int:
+        """Drop only what a localized point mutation can have changed.
+
+        Point insertions/removals never alter the network distance
+        between two *surviving* points (objects do not carry weight in
+        the augmented view), so a pair-distance entry stays valid unless
+        one of its endpoints is in ``point_ids``.  Every other entry kind
+        — range and kNN result sets, or anything this cache does not
+        recognise — is dropped conservatively: a result set can gain or
+        lose a member for any anchor, and the cached ε values are not
+        recoverable from the key alone.  Returns the number of entries
+        dropped.  Edge reweighs must use :meth:`clear` instead — they
+        change distances globally.
+        """
+        affected = frozenset(point_ids)
+        with self._lock:
+            doomed = []
+            for key in self._data:
+                if (
+                    isinstance(key, tuple)
+                    and len(key) == 3
+                    and key[0] == "p2p"
+                    and key[1] not in affected
+                    and key[2] not in affected
+                ):
+                    continue
+                doomed.append(key)
+            for key in doomed:
+                del self._data[key]
+            self.invalidations += 1
+            if _OBS.enabled:
+                _obs_add("perf.cache.region_invalidations")
+                if doomed:
+                    _obs_add("perf.cache.invalidated_entries", len(doomed))
+            return len(doomed)
+
     def hit_ratio(self) -> float | None:
         """Hits / (hits + misses) over the cache's lifetime, or ``None``
         before the first lookup — the ``perf.cache.hit_ratio`` gauge."""

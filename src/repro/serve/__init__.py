@@ -18,6 +18,12 @@ instruction and the supervisor restarts them with capped exponential
 backoff, fails over in-flight idempotent requests, quarantines poison
 requests, and degrades through a per-slot restart-storm circuit — see
 the "Process supervision" section of ``docs/resilience.md``.
+
+``repro serve --wal LOG`` adds the durable live-mutation ops on either
+tier: ``mutate`` (acknowledged only after the write-ahead-log fsync),
+``subscribe_epoch``, and ``snapshot``, with the maintained ε-Link
+clustering kept incrementally and replayed crash-consistently from the
+log — see ``docs/robustness.md`` and :mod:`repro.live`.
 """
 
 from repro.serve.protocol import (
@@ -28,10 +34,16 @@ from repro.serve.protocol import (
     result_response,
 )
 from repro.serve.remote import RemoteRequestError
-from repro.serve.service import QueryService, build_algorithm, run_query
+from repro.serve.service import (
+    LIVE_OPS,
+    QueryService,
+    build_algorithm,
+    run_query,
+)
 from repro.serve.supervisor import ProcessWorker, SupervisedPool
 
 __all__ = [
+    "LIVE_OPS",
     "OPS",
     "ProcessWorker",
     "QueryService",

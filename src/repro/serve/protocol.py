@@ -7,6 +7,10 @@ One request per line, one response per line, matched by the caller-chosen
     {"id": "r2", "op": "knn", "point_id": 3, "k": 5}
     {"id": "r3", "op": "cluster", "algorithm": "eps-link", "eps": 1.0}
     {"id": "r4", "op": "stats"}
+    {"id": "r5", "op": "mutate",
+     "mutation": {"kind": "insert_point", "u": 1, "v": 2, "offset": 0.5}}
+    {"id": "r6", "op": "subscribe_epoch", "from_epoch": 41}
+    {"id": "r7", "op": "snapshot"}
 
 ``op`` selects the work: ``range`` / ``knn`` anchor at an existing object
 (``point_id``) of the served workload; ``cluster`` runs one of the paper's
@@ -16,6 +20,15 @@ returns the service's live telemetry snapshot — uptime, the ``serve.*``
 counters, latency histograms with p50/p90/p99, and the queue-depth /
 worker / breaker-state / cache-hit-ratio gauges (see
 ``docs/observability.md`` for the schema).
+
+The three live ops require the service to have been started with a
+mutation log (``repro serve --wal``) and otherwise fail with
+``BadRequest``: ``mutate`` applies one typed mutation (``insert_point`` /
+``remove_point`` / ``reweigh_edge`` — schema in ``docs/robustness.md``)
+and answers ``{"epoch": n, ...}`` only after the write-ahead-log fsync;
+``subscribe_epoch`` blocks until the served epoch exceeds ``from_epoch``
+(bounded by the request deadline); ``snapshot`` returns the epoch and the
+full maintained cluster assignment.
 ``timeout_ms`` overrides the service's default per-request deadline
 (measured from *admission*, so queue wait counts against it).
 Any request may also carry ``"trace": true`` to opt into request-scoped
@@ -55,7 +68,8 @@ __all__ = [
     "result_response",
 ]
 
-OPS = ("range", "knn", "cluster", "stats")
+OPS = ("range", "knn", "cluster", "stats", "mutate", "subscribe_epoch",
+       "snapshot")
 
 
 def parse_request(line: str, lineno: int = 0) -> dict:

@@ -69,10 +69,13 @@ from repro.obs.core import sampled as _obs_sampled
 from repro.obs.core import span as _obs_span
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.resilience.breaker import installed_state_code as _breaker_state
-from repro.resilience.deadline import Deadline
+from repro.resilience.deadline import Deadline, current as _active_deadline
 from repro.serve.protocol import OPS
 
-__all__ = ["QueryService", "build_algorithm", "run_query"]
+#: Wire ops that require a live-mutation session (``repro serve --wal``).
+LIVE_OPS = frozenset({"mutate", "subscribe_epoch", "snapshot"})
+
+__all__ = ["LIVE_OPS", "QueryService", "build_algorithm", "run_query"]
 
 _STOP = object()
 _UNSET = object()
@@ -235,6 +238,16 @@ class QueryService:
         bumped, and :attr:`index_source` reads ``"degraded"`` (with the
         cause in :attr:`index_degrade_reason`) — it never refuses to
         serve.
+    session:
+        A :class:`~repro.live.LiveSession` enabling the ``mutate`` /
+        ``subscribe_epoch`` / ``snapshot`` wire ops.  Queries and
+        mutations are then serialized on the session lock (the threaded
+        tier trades mutation-window parallelism for a consistent world;
+        the supervised pool keeps full parallelism because each worker
+        process applies between requests).  A reweigh degrades the
+        landmark acceleration through the session's reweigh hook — the
+        fingerprint-checked ``load_index_or_degrade`` path for a
+        persisted artifact — never a silent rebuild.
     """
 
     def __init__(
@@ -249,6 +262,7 @@ class QueryService:
         landmarks: int = 0,
         distance_cache_mb: float = 0.0,
         index_path: str | None = None,
+        session=None,
     ) -> None:
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -300,6 +314,14 @@ class QueryService:
             from repro.perf import DistanceCache
 
             self._distance_cache = DistanceCache(distance_cache_mb)
+        self._session = session
+        self._index_path = index_path
+        # Bumped when the shared acceleration state changes (a reweigh
+        # degrading the landmark index); worker threads compare their
+        # per-thread generation against it and rebuild their accelerator.
+        self._accel_gen = 0
+        if session is not None:
+            session.add_reweigh_hook(self._on_reweigh)
         self._worker_state = threading.local()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._closed = False
@@ -329,6 +351,10 @@ class QueryService:
                 _METRICS.gauge(
                     "perf.cache.hit_ratio", self._distance_cache.hit_ratio
                 )
+            )
+        if session is not None:
+            self._gauges.append(
+                _METRICS.gauge("serve.epoch", lambda: self._session.epoch)
             )
         self._threads = [
             threading.Thread(
@@ -392,23 +418,78 @@ class QueryService:
 
     # -- worker side -----------------------------------------------------
 
-    def _worker(self) -> None:
-        aug = AugmentedView(self.network, self.points)
+    def _ensure_accel(self, aug: AugmentedView):
+        """The calling thread's accelerator, rebuilt on generation bumps.
+
+        Per-worker facade over the shared index/cache: the view and the
+        vector memo stay thread-local, the expensive state is shared warm
+        across the pool.  When a reweigh degrades the shared index
+        (:meth:`_on_reweigh` bumps :attr:`_accel_gen`), each thread
+        rebuilds its facade lazily on its next request — no coordination
+        on the hot path beyond one integer comparison.
+        """
+        state = self._worker_state
+        if getattr(state, "accel_gen", None) == self._accel_gen:
+            return state.accel
+        accel = None
         if self._accelerated:
             from repro.perf import DistanceAccelerator
 
-            # Per-worker facade over the shared index/cache: the view and
-            # the vector memo stay thread-local, the expensive state is
-            # shared warm across the pool.  Stored in a thread-local so
-            # ``_execute`` keeps its two-argument signature (callers may
-            # wrap it).
-            self._worker_state.accel = DistanceAccelerator(
+            accel = DistanceAccelerator(
                 aug,
                 landmarks=0,
                 cache_mb=0.0,
                 index=self._landmark_index,
                 cache=self._distance_cache,
             )
+        state.accel = accel
+        state.accel_gen = self._accel_gen
+        attachment = getattr(state, "attachment", None)
+        if attachment is not None:
+            attachment.accel = accel
+        return accel
+
+    def _on_reweigh(self, u: int, v: int) -> None:
+        """Session reweigh hook: the landmark index binds to edge weights,
+        so it must not serve bounds over the reweighed network.
+
+        A persisted artifact is re-checked through the one honest path —
+        :func:`repro.perf.load_index_or_degrade` against the *current*
+        network, whose fingerprint the reweigh changed — and degrades; an
+        in-process build degrades directly.  Never a silent rebuild: the
+        operator rebuilds with ``repro index build`` when they choose to.
+        Runs under the session lock, with queries serialized out.
+        """
+        if self._landmark_index is None:
+            return
+        if self._index_path is not None:
+            from repro.perf import load_index_or_degrade
+
+            index, reason = load_index_or_degrade(
+                self._index_path, self.network
+            )
+            if index is not None:  # pragma: no cover - fingerprint changed
+                index.close()
+            self.index_degrade_reason = reason or (
+                "network reweighed under the mapped index"
+            )
+            old = self._landmark_index
+            if hasattr(old, "close"):
+                old.close()
+        else:
+            self.index_degrade_reason = (
+                f"edge ({u}, {v}) reweighed under the built index"
+            )
+        self._landmark_index = None
+        self._accelerated = self._distance_cache is not None
+        self.index_source = "degraded"
+        self._accel_gen += 1
+
+    def _worker(self) -> None:
+        aug = AugmentedView(self.network, self.points)
+        if self._session is not None:
+            self._worker_state.attachment = self._session.attach(aug)
+        self._ensure_accel(aug)
         while True:
             item = self._queue.get()
             if item is _STOP:
@@ -467,10 +548,40 @@ class QueryService:
         # here; everything else runs through the shared module-level
         # executor — the same code path the supervised pool's worker
         # processes run, which is what keeps the two tiers bit-identical.
-        if request.get("op") == "stats":
+        op = request.get("op")
+        if op == "stats":
             return self.stats_snapshot()
-        accel = getattr(self._worker_state, "accel", None)
-        return run_query(request, aug, accel=accel)
+        session = self._session
+        if session is None:
+            if op in LIVE_OPS:
+                raise ParameterError(
+                    f"op {op!r} requires live mutations — start the "
+                    "service with a --wal mutation log"
+                )
+            return run_query(request, aug, accel=self._ensure_accel(aug))
+        if op == "mutate":
+            return session.mutate(request.get("mutation"))
+        if op == "snapshot":
+            return session.snapshot()
+        if op == "subscribe_epoch":
+            return self._subscribe_epoch(request, session)
+        # Queries run under the session lock: a mutation in another
+        # worker thread must not change the world mid-traversal.
+        with session.lock:
+            return run_query(request, aug, accel=self._ensure_accel(aug))
+
+    @staticmethod
+    def _subscribe_epoch(request: dict, session) -> dict:
+        from_epoch = request.get("from_epoch", 0)
+        if isinstance(from_epoch, bool) or not isinstance(from_epoch, int):
+            raise ParameterError(
+                f"from_epoch must be an integer, got {from_epoch!r}"
+            )
+        deadline = _active_deadline()
+        timeout_s = None
+        if deadline is not None and deadline.timeout_s is not None:
+            timeout_s = max(deadline.remaining(), 0.0)
+        return session.wait_for_epoch(from_epoch, timeout_s=timeout_s)
 
     def stats_snapshot(self) -> dict:
         """The live telemetry document served by the ``stats`` wire op.
@@ -483,12 +594,15 @@ class QueryService:
         from repro.obs.report import snapshot as _obs_snapshot
 
         metrics = _METRICS.snapshot()
-        return {
+        doc = {
             "uptime_s": max(self._clock() - self._started_at, 0.0),
             "counters": _obs_snapshot()["counters"],
             "histograms": metrics["histograms"],
             "gauges": metrics["gauges"],
         }
+        if self._session is not None:
+            doc.update(self._session.stats())
+        return doc
 
     # -- lifecycle -------------------------------------------------------
 
@@ -506,6 +620,11 @@ class QueryService:
             if self._closed:
                 return self._joined()
             self._closed = True
+        if self._session is not None:
+            # Wake blocked subscribe_epoch waiters (they raise Cancelled)
+            # so the drain below cannot deadlock on a worker parked in a
+            # condition wait.
+            self._session.shutdown()
         if not drain:
             while True:
                 try:

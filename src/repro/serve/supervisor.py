@@ -37,6 +37,21 @@ into typed, bounded behaviour:
   with :class:`~repro.exceptions.PoisonRequest`, so one poisonous
   request cannot cycle the whole pool through crash/restart.
 
+* **Durable live mutations.**  With ``wal_path`` set the supervisor owns
+  the pool's :class:`~repro.live.LiveSession` and its single-writer
+  write-ahead log: a ``mutate`` request is conflict-checked, fsynced,
+  applied to the supervisor's oracle state, and *broadcast* as an apply
+  frame to every live worker — all under the session lock, so every
+  worker sees mutations in epoch order, and all before the request's
+  future resolves, so a query submitted after the ack is pipe-ordered
+  behind the apply on whichever worker serves it.  A restarted or
+  replacement worker replays the log before its ready frame (which
+  carries its ``epoch``) and is caught up to the pool epoch before it is
+  marked idle — failover never answers from a stale world.
+  ``subscribe_epoch`` is answered from the supervisor's session;
+  ``snapshot`` is dispatched to workers (and is how the convergence
+  tests cross-check worker state against the oracle).
+
 Determinism: the clock, the backoff sleep, and the worker factory are
 injectable.  Chaos tests drive the pool with in-process fake workers
 under a :class:`~repro.resilience.VirtualClock` (restart spacing becomes
@@ -85,7 +100,10 @@ _UNSET = object()
 #: would double.  ``cluster`` is excluded not because it mutates (workers
 #: are read-only) but because replaying a long run doubles its cost and a
 #: crash mid-cluster is the poison signature worth surfacing eagerly.
-IDEMPOTENT_OPS = frozenset({"range", "knn", "stats"})
+#: ``snapshot`` reads the worker's maintained clustering — pure, cheap,
+#: retry-safe.  ``mutate`` is deliberately absent: it is answered by the
+#: supervisor itself and never rides the dispatch queue at all.
+IDEMPOTENT_OPS = frozenset({"range", "knn", "stats", "snapshot"})
 
 # Slot states.
 _STARTING = "starting"
@@ -183,6 +201,7 @@ class _Slot:
     __slots__ = (
         "index", "state", "handle", "breaker", "busy", "send_lock",
         "consecutive_failures", "seq", "last_seen", "thread",
+        "applied_epoch",
     )
 
     def __init__(self, index: int, breaker: CircuitBreaker) -> None:
@@ -196,6 +215,9 @@ class _Slot:
         self.seq = 0
         self.last_seen = 0.0
         self.thread: threading.Thread | None = None
+        #: Epoch of the worker's last acknowledged apply frame — lag
+        #: telemetry only; correctness rests on pipe FIFO ordering.
+        self.applied_epoch = 0
 
 
 class SupervisedPool:
@@ -243,6 +265,14 @@ class SupervisedPool:
         A :class:`~repro.faults.FaultRule` plan shipped to every worker
         (each installs it fresh, seeded identically, ``kill_real``
         armed) — the chaos-test lever.
+    wal_path / live_eps / live_min_sup:
+        ``wal_path`` enables the live-mutation ops: the supervisor opens
+        (or creates) the write-ahead log there as its single writer,
+        replays it into the pool's oracle :class:`~repro.live.LiveSession`
+        before any worker starts, and ships the path in every worker
+        spec so workers replay it read-only.  ``live_eps`` /
+        ``live_min_sup`` are the maintained ε-Link clustering's
+        parameters and must match across restarts of the same log.
     clock / sleep / worker_factory:
         Injectables for deterministic tests: the pool's monotonic clock,
         the backoff sleep, and a ``worker_factory(slot_index)`` that
@@ -269,6 +299,9 @@ class SupervisedPool:
         poison_threshold: int = 2,
         fault_rules: tuple = (),
         fault_seed: int = 0,
+        wal_path: str | None = None,
+        live_eps: float = 1.0,
+        live_min_sup: int = 1,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         worker_factory: Callable[[int], object] | None = None,
@@ -299,6 +332,26 @@ class SupervisedPool:
         self.poison_threshold = poison_threshold
         self._fault_rules = tuple(fault_rules)
         self._fault_seed = fault_seed
+        self._wal_path = wal_path
+        self._live_eps = live_eps
+        self._live_min_sup = live_min_sup
+        #: The pool's oracle live state (``None`` without ``wal_path``):
+        #: the supervisor applies every mutation here first, and worker
+        #: convergence is always measured against this session.
+        self.session = None
+        if wal_path is not None:
+            from repro.io import load_workload_file
+            from repro.live import LiveSession, WriteAheadLog
+
+            network, points = load_workload_file(workload)
+            self.session = LiveSession(
+                network, points, eps=live_eps, min_sup=live_min_sup,
+                wal=WriteAheadLog(wal_path),
+            )
+            # Crash-consistent startup: whatever a previous incarnation
+            # acknowledged is in the log; replay it before any worker can
+            # be spawned (their specs pin this epoch).
+            self.session.replay_wal()
         self._clock = clock
         self._sleep = sleep
         self._worker_factory = worker_factory or self._spawn_process_worker
@@ -331,6 +384,10 @@ class SupervisedPool:
             ("serve.workers_live", self._live_workers),
             ("serve.inflight", lambda: self._inflight),
         ]
+        if self.session is not None:
+            self._gauge_fns.append(
+                ("serve.epoch", lambda: self.session.epoch)
+            )
         self._gauges = [
             _METRICS.gauge(name, fn) for name, fn in self._gauge_fns
         ]
@@ -371,6 +428,30 @@ class SupervisedPool:
         (``Overloaded`` / ``PoisonRequest`` raised here synchronously)."""
         if timeout_s is _UNSET:
             timeout_s = self._request_timeout_s(request)
+        op = request.get("op")
+        if self.session is None and op in (
+            "mutate", "subscribe_epoch", "snapshot"
+        ):
+            raise ParameterError(
+                f"op {op!r} requires live mutations — start the pool "
+                "with a --wal mutation log"
+            )
+        if op in ("mutate", "subscribe_epoch"):
+            # Centralised ops: the supervisor owns the log and the epoch,
+            # so neither rides the dispatch queue.  ``mutate`` is answered
+            # synchronously (append + apply + broadcast, all under the
+            # session lock); ``subscribe_epoch`` parks on a waiter thread
+            # so it never occupies a worker process.
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("SupervisedPool is closed")
+            _obs_add("serve.submitted")
+            future: Future = Future()
+            if op == "mutate":
+                self._answer_mutate(request, future)
+            else:
+                self._subscribe_epoch(request, timeout_s, future)
+            return future
         fingerprint = request_fingerprint(request)
         with self._lock:
             if self._closed:
@@ -477,6 +558,149 @@ class SupervisedPool:
                 # which fails over / resolves this very item.
                 pass
 
+    # -- live mutations --------------------------------------------------
+
+    def _answer_mutate(self, request: dict, future: Future) -> None:
+        """Append, apply, broadcast, then resolve — in that order.
+
+        The session lock is held from the conflict check through the
+        broadcast: mutations reach every worker pipe in epoch order, and
+        the future resolves only after the last send, so any query the
+        client submits after seeing the ack is FIFO-ordered behind the
+        apply frame on whichever worker pipe carries it.  Worker acks are
+        *not* awaited — they only feed lag telemetry.
+        """
+        if not future.set_running_or_notify_cancel():
+            return
+        session = self.session
+        try:
+            with session.lock:
+                ack = session.mutate(request.get("mutation"))
+                self._broadcast_apply(session.last_mutation, session.epoch)
+        except Exception as exc:
+            _obs_add("serve.errors")
+            future.set_exception(exc)
+        else:
+            _obs_add("serve.completed")
+            future.set_result(ack)
+
+    def _broadcast_apply(self, mutation: dict, epoch: int) -> None:
+        """Send one apply frame to every live worker (caller holds the
+        session lock).  A send failure is deliberately ignored: the pipe
+        is breaking because the worker is dying, and the restart path
+        replays the durable log past this very mutation."""
+        with self._cond:
+            targets = []
+            for slot in self._slots:
+                if slot.state in (_IDLE, _BUSY) and slot.handle is not None:
+                    slot.seq += 1
+                    targets.append((slot, slot.handle, {
+                        "seq": slot.seq, "apply": mutation, "epoch": epoch,
+                    }))
+        for slot, handle, frame in targets:
+            try:
+                with slot.send_lock:
+                    handle.send(frame)
+            except (OSError, ValueError):
+                pass
+
+    def _subscribe_epoch(self, request: dict, timeout_s, future) -> None:
+        """Answer ``subscribe_epoch`` from the supervisor's session on a
+        dedicated waiter thread (worker processes are single-threaded
+        request loops — parking one on a condition would stall its
+        slot)."""
+        session = self.session
+
+        def _wait() -> None:
+            if not future.set_running_or_notify_cancel():
+                return
+            try:
+                from_epoch = request.get("from_epoch", 0)
+                if isinstance(from_epoch, bool) or not isinstance(
+                    from_epoch, int
+                ):
+                    raise ParameterError(
+                        f"from_epoch must be an integer, got {from_epoch!r}"
+                    )
+                result = session.wait_for_epoch(
+                    from_epoch, timeout_s=timeout_s
+                )
+            except Exception as exc:
+                _obs_add("serve.errors")
+                if isinstance(exc, DeadlineExceeded):
+                    _obs_add("serve.deadline_exceeded")
+                future.set_exception(exc)
+            else:
+                _obs_add("serve.completed")
+                future.set_result(result)
+
+        threading.Thread(
+            target=_wait, name="repro-subscribe", daemon=True
+        ).start()
+
+    def _catch_up(self, slot: _Slot, handle, worker_epoch: int) -> bool:
+        """Bring a freshly-ready worker to the pool epoch, then mark it
+        idle — atomically against broadcasts.
+
+        The worker replayed the log before its ready frame, but mutations
+        acknowledged between its spawn and now were only broadcast to
+        workers that were live then.  Catch-up frames (flagged
+        ``"replay"`` — they re-deliver durably-logged records, so the
+        ``live.apply`` chaos site must not fire) are sent and
+        acknowledged synchronously on this slot's thread.  The
+        idle-marking runs under the pool condition: a concurrent mutate
+        broadcasts under the same condition, so every mutation is either
+        seen by the final epoch comparison here or broadcast to the slot
+        after it turns idle — never neither.
+        """
+        session = self.session
+        while not self._stopping:
+            with self._cond:
+                if session.epoch <= worker_epoch:
+                    slot.handle = handle
+                    slot.state = _IDLE
+                    slot.applied_epoch = worker_epoch
+                    slot.last_seen = self._clock()
+                    self._cond.notify_all()
+                    return True
+            for seq, mutation in session.mutations_since(worker_epoch):
+                slot.seq += 1
+                frame = {
+                    "seq": slot.seq, "apply": mutation, "epoch": seq,
+                    "replay": True,
+                }
+                try:
+                    handle.send(frame)
+                    ack = handle.recv()
+                except (OSError, ValueError):
+                    return False
+                if ack is None or int(ack.get("applied", -1)) < seq:
+                    return False
+                worker_epoch = int(ack.get("applied"))
+        return False
+
+    def _on_applied(self, slot: _Slot, doc: dict) -> None:
+        """Route one broadcast-apply ack.
+
+        A successful ack updates the slot's lag telemetry and counts as
+        proof of life for its storm breaker.  A failed apply (sequence
+        gap — a broadcast was lost) means the worker's world can no
+        longer be trusted: SIGKILL it and let the ordinary death path
+        restart it through replay + catch-up.
+        """
+        applied = doc.get("applied", -1)
+        if isinstance(applied, int) and not isinstance(applied, bool) \
+                and applied >= 0:
+            with self._cond:
+                slot.applied_epoch = max(slot.applied_epoch, applied)
+                slot.last_seen = self._clock()
+            slot.consecutive_failures = 0
+            slot.breaker.record_success()
+            return
+        handle = slot.handle
+        if handle is not None:
+            handle.kill()
+
     # -- slot supervision ------------------------------------------------
 
     def _slot_loop(self, slot: _Slot) -> None:
@@ -493,6 +717,9 @@ class SupervisedPool:
                 continue
             if doc.get("pong"):
                 slot.last_seen = self._clock()
+                continue
+            if "applied" in doc:
+                self._on_applied(slot, doc)
                 continue
             self._on_answer(slot, doc)
 
@@ -546,6 +773,26 @@ class SupervisedPool:
                 # worker replacement so `serve.workers_live` and friends
                 # reflect the pool that actually owns the workers now.
                 self._reregister_gauges()
+            if self.session is not None:
+                # The ready frame's epoch is how far the worker's own WAL
+                # replay got; close the gap to the pool epoch before any
+                # request can be dispatched to it (idle-marking happens
+                # inside _catch_up, atomically against broadcasts).
+                if self._catch_up(slot, handle, int(ready.get("epoch", 0))):
+                    return True
+                if self._stopping:
+                    # The pool is closing and this worker was never
+                    # registered on the slot: reap it here or nobody will
+                    # (close() only walks slot handles).
+                    handle.kill()
+                    handle.join(5.0)
+                    return False
+                handle.kill()
+                handle.join(5.0)
+                slot.consecutive_failures += 1
+                slot.breaker.record_failure()
+                _obs_add("serve.supervisor.worker_deaths")
+                continue
             with self._cond:
                 slot.handle = handle
                 slot.state = _IDLE
@@ -724,13 +971,20 @@ class SupervisedPool:
                 "worker_deaths": sum(self._death_counts.values()),
                 "index_sources": list(self.index_sources),
             }
-        return {
+            if self.session is not None:
+                supervisor["worker_epochs"] = [
+                    s.applied_epoch for s in self._slots
+                ]
+        doc = {
             "uptime_s": max(self._clock() - self._started_at, 0.0),
             "counters": _obs_snapshot()["counters"],
             "histograms": metrics["histograms"],
             "gauges": metrics["gauges"],
             "supervisor": supervisor,
         }
+        if self.session is not None:
+            doc.update(self.session.stats())
+        return doc
 
     # -- worker spawning -------------------------------------------------
 
@@ -742,6 +996,14 @@ class SupervisedPool:
         }
         if self._index_path is not None:
             spec["index_path"] = self._index_path
+        if self._wal_path is not None:
+            # Pin the pool epoch at spawn time: the worker must replay at
+            # least this far before reporting ready (mutations landing
+            # after the snapshot of this field are closed by catch-up).
+            spec["wal"] = self._wal_path
+            spec["epoch"] = self.session.epoch
+            spec["live_eps"] = self._live_eps
+            spec["live_min_sup"] = self._live_min_sup
         if self._fault_rules:
             spec["faults"] = {
                 "seed": self._fault_seed,
@@ -777,6 +1039,10 @@ class SupervisedPool:
             if self._closed:
                 return self._reaped()
             self._closed = True
+        if self.session is not None:
+            # Wake every parked subscribe_epoch waiter (they raise
+            # Cancelled) before anything below can block on them.
+            self.session.shutdown()
         if not drain:
             while True:
                 try:
@@ -828,6 +1094,8 @@ class SupervisedPool:
                 item.future.set_exception(Cancelled("service shutdown"))
         for gauge in self._gauges:
             _METRICS.unregister_gauge(gauge.name, owner=gauge)
+        if self.session is not None:
+            self.session.close()  # releases the single-writer WAL handle
         return self._reaped()
 
     def _reaped(self) -> bool:

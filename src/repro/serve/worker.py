@@ -25,6 +25,23 @@ request's *remaining* budget at dispatch time — the supervisor already
 charged queue wait against it — enforced here with a local
 :class:`~repro.resilience.Deadline` on the real monotonic clock.
 
+When the pool serves live mutations the spec also carries ``wal`` (the
+supervisor's mutation-log path), ``epoch`` (the pool epoch at spawn
+time), and the clustering parameters.  The worker opens the log
+*read-only*, replays it into an apply-only
+:class:`~repro.live.LiveSession`, and must reach at least the spec's
+epoch before the ready frame (which then carries ``"epoch"``) goes out
+— a restarted or replacement worker never answers from a stale world.
+After that, mutations arrive as broadcast apply frames::
+
+    {"seq": 9, "apply": {"kind": ...}, "epoch": 42}
+
+answered with ``{"seq": 9, "applied": 42}`` (idempotent: a frame at or
+below the worker's epoch acks without re-applying; a sequence *gap*
+answers ``"applied": -1`` with the error, and the supervisor restarts
+the worker rather than let it drift).
+
+
 The spec also carries the fault plan: rule dicts
 (:meth:`~repro.faults.FaultRule.to_dict`), the deterministic seed, and
 ``kill_real`` — which arms :data:`repro.faults.STATE.kill_real` so a
@@ -39,6 +56,7 @@ import json
 import os
 import sys
 
+from repro.exceptions import ParameterError
 from repro.faults import FaultRule, STATE, WorkerKilled, clear, install, reseed
 from repro.io import load_workload_file
 from repro.network.augmented import AugmentedView
@@ -104,10 +122,134 @@ def _build_view(spec: dict):
     return aug, accel, "none"
 
 
-def _serve_one(doc: dict, aug, accel) -> dict:
+def _build_session(spec: dict, aug, accel):
+    """The worker's apply-only live session, replayed from the WAL.
+
+    Opens the supervisor's mutation log read-only, replays *every*
+    acknowledged record (the log never runs ahead of the pool epoch —
+    the supervisor is the single writer and fsyncs before advancing),
+    and refuses to come up stale: if the log cannot reach the epoch
+    pinned in the spec the :class:`~repro.exceptions.ReplayError`
+    propagates, the process exits nonzero, and the supervisor's
+    failed-ready path takes over.  The log is closed after replay —
+    later mutations arrive as broadcast apply frames, and idempotent
+    :meth:`~repro.live.LiveSession.apply` absorbs any overlap between
+    what was replayed and what the supervisor re-sends as catch-up.
+    """
+    from repro.exceptions import ReplayError
+    from repro.live import LiveSession, WriteAheadLog
+
+    wal = WriteAheadLog(spec["wal"], read_only=True)
+    session = LiveSession(
+        aug.network,
+        aug.points,
+        eps=float(spec.get("live_eps", 1.0)),
+        min_sup=int(spec.get("live_min_sup", 1)),
+        wal=wal,
+    )
+    session.attach(aug, accel)
+    session.replay_wal()
+    target = int(spec.get("epoch", 0))
+    if session.epoch < target:
+        raise ReplayError(
+            f"mutation log replayed to epoch {session.epoch}, cannot "
+            f"reach the pool epoch {target}"
+        )
+    wal.close()
+    session.wal = None
+
+    def _degrade_on_reweigh(u: int, v: int) -> None:
+        # Landmark node tables bind to edge weights: after a reweigh the
+        # index must not serve bounds.  A persisted artifact is re-checked
+        # through the honest fingerprint path (the reweigh changed the
+        # network fingerprint, so it degrades and bumps
+        # ``perf.index.degraded``); either way the worker drops — never
+        # silently rebuilds — its bounds machinery and keeps serving the
+        # plain bit-identical primitives.
+        if accel is None or accel.index is None:
+            return
+        index = accel.index
+        index_path = spec.get("index_path")
+        if index_path:
+            from repro.perf import load_index_or_degrade
+
+            reloaded, reason = load_index_or_degrade(index_path, aug.network)
+            if reloaded is not None:  # pragma: no cover - fingerprint changed
+                reloaded.close()
+            print(
+                "landmark index degraded: "
+                f"{reason or f'edge ({u}, {v}) reweighed under the index'}",
+                file=sys.stderr,
+            )
+        accel.degrade_index()
+        if hasattr(index, "close"):
+            index.close()
+
+    session.add_reweigh_hook(_degrade_on_reweigh)
+    return session
+
+
+def _apply_frame(doc: dict, session) -> dict:
+    """Apply one broadcast mutation; always answers with ``"applied"``.
+
+    ``applied`` is the worker's epoch after the frame — the supervisor's
+    lag telemetry — or ``-1`` with the error when the frame cannot be
+    applied (a sequence gap means a broadcast was lost and this worker
+    must be restarted, not allowed to drift).  A ``WorkerKilled`` from
+    the ``live.apply`` fault site propagates: the worker dies without
+    answering, exactly like a real mid-apply SIGKILL, and replay of the
+    durable log makes the restarted worker whole.
+    """
+    seq = doc.get("seq")
+    if session is None:
+        return {
+            "seq": seq,
+            "applied": -1,
+            "error": "BadRequest",
+            "message": "worker has no live session for apply frames",
+        }
+    try:
+        # Catch-up frames are flagged ``replay``: they re-deliver records
+        # already durable in the log, so the ``live.apply`` chaos site
+        # must not fire for them (mirroring WAL replay) — otherwise a
+        # kill-mid-apply plan would re-kill every restarted worker during
+        # its catch-up and no restart could ever succeed.
+        session.apply(
+            int(doc.get("epoch")), doc["apply"],
+            replaying=bool(doc.get("replay")),
+        )
+    except Exception as exc:
+        return {
+            "seq": seq,
+            "applied": -1,
+            "error": error_name(exc),
+            "message": str(exc),
+        }
+    return {"seq": seq, "applied": session.epoch}
+
+
+def _run_request(request: dict, aug, accel, session):
+    op = request.get("op")
+    if op in ("mutate", "subscribe_epoch"):
+        # Centralised ops: the supervisor owns the log and the epoch
+        # waiters; dispatching them here is a routing bug upstream.
+        raise ParameterError(f"op {op!r} is answered by the supervisor")
+    if op == "snapshot":
+        if session is None:
+            raise ParameterError(
+                "op 'snapshot' requires live mutations — start the pool "
+                "with a --wal mutation log"
+            )
+        return session.snapshot()
+    return run_query(request, aug, accel=accel)
+
+
+def _serve_one(doc: dict, aug, accel, session=None) -> dict:
     seq = doc.get("seq")
     if doc.get("ping"):
         return {"seq": seq, "pong": True, "pid": os.getpid()}
+    if "apply" in doc:
+        return _apply_frame(doc, session)
     request = doc.get("request")
     if not isinstance(request, dict):
         return {
@@ -122,9 +264,9 @@ def _serve_one(doc: dict, aug, accel) -> dict:
             deadline = Deadline(float(deadline_s))
             with deadline.activate():
                 deadline.check("serve.worker.dispatch")
-                result = run_query(request, aug, accel=accel)
+                result = _run_request(request, aug, accel, session)
         else:
-            result = run_query(request, aug, accel=accel)
+            result = _run_request(request, aug, accel, session)
     except Exception as exc:
         return {
             "seq": seq,
@@ -145,20 +287,24 @@ def worker_entry(spec: dict, stdin=None, stdout=None) -> int:
     out_fh = stdout if stdout is not None else sys.stdout.buffer
     _arm_faults(spec)
     aug, accel, index_source = _build_view(spec)
+    session = _build_session(spec, aug, accel) if spec.get("wal") else None
     # Ready handshake: the supervisor waits for this frame, so a worker
     # that dies during workload load is detected before it is dispatched
     # any request.  ``index`` reports where the acceleration state came
     # from ("mmap" / "degraded" / "built" / "none") — the supervisor logs
-    # it, and the zero-rebuild tests assert on it.
-    write_frame(
-        out_fh, {"ready": True, "pid": os.getpid(), "index": index_source}
-    )
+    # it, and the zero-rebuild tests assert on it.  With a live session
+    # the frame also carries the replayed ``epoch``: the supervisor
+    # catches the worker up to the pool epoch before dispatching to it.
+    ready = {"ready": True, "pid": os.getpid(), "index": index_source}
+    if session is not None:
+        ready["epoch"] = session.epoch
+    write_frame(out_fh, ready)
     while True:
         doc = read_frame(in_fh)
         if doc is None:  # supervisor closed the pipe: clean retirement
             return 0
         try:
-            answer = _serve_one(doc, aug, accel)
+            answer = _serve_one(doc, aug, accel, session)
         except WorkerKilled:
             # Simulated kill (kill_real unarmed): die like SIGKILL would,
             # without flushing an answer — the supervisor must see EOF.

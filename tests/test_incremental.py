@@ -120,6 +120,42 @@ class TestMinSup:
         assert result.num_clusters == 1
 
 
+class TestReweigh:
+    def test_reweigh_rescales_offsets_and_relinks(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        live.insert(1, 2, 4.0, point_id=0)
+        live.insert(1, 2, 8.0, point_id=1)
+        assert live.num_clusters == 2
+        # Shrinking the edge to a quarter pulls the points within eps.
+        live.reweigh(1, 2, 5.0)
+        assert live.points.get(0).offset == pytest.approx(1.0)
+        assert live.points.get(1).offset == pytest.approx(2.0)
+        assert live.num_clusters == 1
+
+    def test_reweigh_splits_cluster(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        live.insert(1, 2, 4.0, point_id=0)
+        live.insert(1, 2, 4.5, point_id=1)
+        assert live.num_clusters == 1
+        live.reweigh(1, 2, 80.0)
+        assert live.num_clusters == 2
+
+    def test_reweigh_invalid_weight(self, line):
+        from repro.exceptions import InvalidWeightError
+
+        live = IncrementalEpsLink(line, eps=1.0)
+        with pytest.raises(InvalidWeightError):
+            live.reweigh(1, 2, 0.0)
+
+    def test_reweigh_matches_scratch(self, line):
+        live = IncrementalEpsLink(line, eps=1.0)
+        for off in (1.0, 2.5, 9.0, 15.0):
+            live.insert(1, 2, off)
+        live.reweigh(1, 2, 7.0)
+        scratch = EpsLink(line, live.points, eps=1.0).run()
+        assert live.result().same_clustering(scratch)
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.integers(min_value=0, max_value=2**31),
@@ -149,4 +185,51 @@ def test_property_matches_scratch_after_any_update_sequence(seed, ops):
         scratch = EpsLink(net, live.points, eps=eps).run()
         assert live.result().same_clustering(scratch), (
             f"seed={seed} after op ({is_insert}, {op_seed})"
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_property_matches_scratch_with_reweighs(seed, ops):
+    """Insert/remove/reweigh in any order still equals EpsLink from scratch.
+
+    Half the generated networks carry a disconnected side component, so
+    the sweep also covers clusters split across components, bridge-point
+    removals, and reweighs of edges no point sits on.
+    """
+    rng = random.Random(seed)
+    net = make_random_connected_network(rng, rng.randint(3, 12), extra_edges=6)
+    if rng.random() < 0.5:
+        # A disconnected island: two nodes joined only to each other.
+        base = max(net.nodes()) + 1
+        net.add_node(base, x=-50.0, y=-50.0)
+        net.add_node(base + 1, x=-60.0, y=-50.0)
+        net.add_edge(base, base + 1, rng.uniform(0.1, 10.0))
+    eps = rng.uniform(0.5, 8.0)
+    live = IncrementalEpsLink(net, eps=eps)
+    for op, op_seed in ops:
+        op_rng = random.Random(op_seed)
+        edges = [(u, v) for u, v, _w in net.edges()]
+        u, v = edges[op_rng.randrange(len(edges))]
+        if op == 2:
+            live.reweigh(u, v, op_rng.uniform(0.2, 12.0))
+        elif op == 1 and len(live) > 0:
+            live.remove(op_rng.choice(sorted(live.points.point_ids())))
+        else:
+            live.insert(u, v, op_rng.uniform(0.0, net.edge_weight(u, v)))
+        if len(live) == 0:
+            continue
+        scratch = EpsLink(net, live.points, eps=eps).run()
+        assert live.result().same_clustering(scratch), (
+            f"seed={seed} after op ({op}, {op_seed})"
         )

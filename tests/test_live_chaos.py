@@ -1,0 +1,406 @@
+"""Chaos tests for the durable live-mutation tier.
+
+Three fault families, all seeded and deterministic:
+
+* **crash / torn mid-append** — the serve-facing durability contract:
+  every mutation whose ``mutate`` call returned (the WAL fsync happened)
+  survives the crash; every one that raised vanishes atomically on the
+  next open.
+* **kill mid-apply** — a worker (or the in-process applier) dies between
+  the WAL fsync and the in-memory apply; the durable log rebuilds the
+  lost state on replay.
+* **kill mid-replay** — a restarted worker dies while replaying the log;
+  the pool degrades rather than ever serving from a stale world, and a
+  later pool over the same log recovers completely.
+
+The pool-level acceptance test: a 3-process :class:`SupervisedPool`
+under seeded SIGKILLs mid-apply converges to the supervisor's epoch with
+a clustering bit-identical to a single-threaded oracle replaying the
+same log.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+
+import pytest
+
+from repro import faults
+from repro.exceptions import Overloaded
+from repro.faults import CrashPoint, FaultRule, WorkerKilled
+from repro.io import load_workload_file, workload_to_dict
+from repro.live import LiveSession, WriteAheadLog
+from repro.serve import SupervisedPool
+from tests.conftest import make_random_connected_network, scatter_points
+
+import random
+
+CONVERGE_TIMEOUT_S = 60.0
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    rng = random.Random(11)
+    net = make_random_connected_network(rng, 16, extra_edges=6)
+    pts = scatter_points(rng, net, 12)
+    path = tmp_path_factory.mktemp("live_chaos") / "w.json"
+    path.write_text(json.dumps(workload_to_dict(net, pts)))
+    return str(path)
+
+
+def mutation_plan(workload_path: str, seed: int, n: int = 10) -> list[dict]:
+    """A deterministic mixed insert/reweigh/remove sequence for one seed.
+
+    Only mutations that are conflict-free by construction: inserts use
+    live edge weights, reweighs stay positive, removes target ids the
+    plan inserted earlier (workers know nothing of the plan — they just
+    apply the sequence).
+    """
+    net, _pts = load_workload_file(workload_path)
+    rng = random.Random(1000 + seed)
+    edges = sorted((u, v) for u, v, _w in net.edges())
+    plan: list[dict] = []
+    inserted_slots: list[int] = []
+    next_id = 10_000  # clear of the workload's own point ids
+    for i in range(n):
+        u, v = edges[rng.randrange(len(edges))]
+        roll = rng.random()
+        if roll < 0.2 and inserted_slots:
+            plan.append({
+                "kind": "remove_point",
+                "point_id": inserted_slots.pop(rng.randrange(
+                    len(inserted_slots)
+                )),
+            })
+        elif roll < 0.45:
+            plan.append({
+                "kind": "reweigh_edge", "u": u, "v": v,
+                "weight": round(rng.uniform(0.5, 9.0), 3),
+            })
+        else:
+            plan.append({
+                "kind": "insert_point", "u": u, "v": v,
+                # Offsets below the smallest weight any edge can ever
+                # have (seed weights >= 0.1, reweighs >= 0.5), so the
+                # insert is conflict-free whatever came before it.
+                "offset": round(rng.uniform(0.0, 0.09), 3),
+                "point_id": next_id,
+            })
+            inserted_slots.append(next_id)
+            next_id += 1
+    return plan
+
+
+def oracle_snapshot(workload_path: str, wal_path: str, eps: float) -> dict:
+    """A single-threaded oracle: replay the log from scratch, snapshot."""
+    net, pts = load_workload_file(workload_path)
+    session = LiveSession(
+        net, pts, eps=eps, wal=WriteAheadLog(wal_path, read_only=True)
+    )
+    try:
+        session.replay_wal()
+        return session.snapshot()
+    finally:
+        session.close()
+
+
+def wait_for_live_workers(pool, n: int) -> None:
+    """Poll until ``n`` workers are up (mutations broadcast only to live
+    workers — sent before any spawn finishes they all arrive as replay
+    catch-up, which the chaos sites deliberately skip)."""
+    deadline = time.monotonic() + CONVERGE_TIMEOUT_S
+    while pool.stats_snapshot()["supervisor"]["live"] < n:
+        assert time.monotonic() < deadline, "workers never came up"
+        time.sleep(0.05)
+
+
+def wait_for_worker_epochs(pool, epoch: int) -> dict:
+    """Poll until every non-degraded slot has applied ``epoch``."""
+    deadline = time.monotonic() + CONVERGE_TIMEOUT_S
+    while True:
+        snap = pool.stats_snapshot()
+        sup = snap["supervisor"]
+        lagging = [
+            e for i, e in enumerate(sup["worker_epochs"])
+            if i not in sup["degraded"] and e < epoch
+        ]
+        if not lagging and len(sup["degraded"]) < sup["processes"]:
+            return snap
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"pool never converged to epoch {epoch}: {sup}"
+            )
+        time.sleep(0.05)
+
+
+def _assert_reaped(pids):
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue
+        time.sleep(0.2)
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            continue
+        raise AssertionError(f"worker pid {pid} survived close()")
+
+
+# ----------------------------------------------------------------------
+# Crash / torn mid-append through the session mutation path
+# ----------------------------------------------------------------------
+class TestCrashMidAppend:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("kind", ["crash", "torn"])
+    def test_acked_mutations_survive_unacked_vanish(
+        self, tmp_path, workload, seed, kind
+    ):
+        wal_path = str(tmp_path / f"append_{kind}_{seed}.wal")
+        plan = mutation_plan(workload, seed)
+        fail_at = 2 + seed  # the (fail_at)-th append dies mid-write
+        net, pts = load_workload_file(workload)
+        session = LiveSession(
+            net, pts, eps=2.0, wal=WriteAheadLog(wal_path)
+        )
+        acked: list[dict] = []
+        rule = FaultRule(
+            "wal.append.record", kind, after=fail_at, tear_fraction=0.5
+        )
+        with faults.plan(rule, seed=seed):
+            with pytest.raises(CrashPoint):
+                for mutation in plan:
+                    session.mutate(mutation)
+                    acked.append(mutation)
+        session.close()
+        assert len(acked) == fail_at - 1
+        # Recovery: exactly the acknowledged prefix, nothing else.
+        recovered = WriteAheadLog(wal_path)
+        assert recovered.last_seq == len(acked)
+        assert [m for _s, m in recovered.records()] == acked
+        recovered.close()
+        # And the replayed world equals an oracle applying that prefix.
+        net2, pts2 = load_workload_file(workload)
+        expected = LiveSession(net2, pts2, eps=2.0)
+        for mutation in acked:
+            expected.mutate(mutation)
+        assert oracle_snapshot(workload, wal_path, 2.0) == \
+            expected.snapshot()
+        expected.close()
+
+
+# ----------------------------------------------------------------------
+# Kill mid-apply / mid-replay, single process
+# ----------------------------------------------------------------------
+class TestKillSingleProcess:
+    def test_kill_mid_apply_is_rebuilt_by_replay(self, tmp_path, workload):
+        """A kill lands after the fsync but before the in-memory apply:
+        the mutation is durable-but-unacknowledged and replay restores
+        it — nothing acknowledged is lost, nothing durable is dropped."""
+        wal_path = str(tmp_path / "apply_kill.wal")
+        plan = mutation_plan(workload, 0)
+        net, pts = load_workload_file(workload)
+        session = LiveSession(net, pts, eps=2.0, wal=WriteAheadLog(wal_path))
+        rule = FaultRule("live.apply", "kill", after=3)
+        applied = 0
+        with faults.plan(rule, seed=0):
+            with pytest.raises(WorkerKilled):
+                for mutation in plan:
+                    session.mutate(mutation)
+                    applied += 1
+        session.close()
+        assert applied == 2
+        # The third mutation hit the log before the kill ...
+        with WriteAheadLog(wal_path, read_only=True) as wal:
+            assert wal.last_seq == 3
+        # ... and a replayed successor world contains it.
+        net2, pts2 = load_workload_file(workload)
+        expected = LiveSession(net2, pts2, eps=2.0)
+        for mutation in plan[:3]:
+            expected.mutate(mutation)
+        assert oracle_snapshot(workload, wal_path, 2.0) == \
+            expected.snapshot()
+        expected.close()
+
+    def test_kill_mid_replay_retries_idempotently(self, tmp_path, workload):
+        wal_path = str(tmp_path / "replay_kill.wal")
+        plan = mutation_plan(workload, 1)
+        net, pts = load_workload_file(workload)
+        writer = LiveSession(net, pts, eps=2.0, wal=WriteAheadLog(wal_path))
+        for mutation in plan:
+            writer.mutate(mutation)
+        expected = writer.snapshot()
+        writer.close()
+        net2, pts2 = load_workload_file(workload)
+        replica = LiveSession(
+            net2, pts2, eps=2.0, wal=WriteAheadLog(wal_path, read_only=True)
+        )
+        rule = FaultRule("wal.replay.record", "kill", after=4)
+        with faults.plan(rule, seed=0):
+            with pytest.raises(WorkerKilled):
+                replica.replay_wal()
+        assert replica.epoch == 3
+        # The retry resumes from the epoch; already-applied records are
+        # no-op acks, so the second pass lands on the same world.
+        replica.replay_wal()
+        assert replica.snapshot() == expected
+        replica.close()
+
+
+# ----------------------------------------------------------------------
+# The supervised pool under kill chaos (acceptance)
+# ----------------------------------------------------------------------
+class TestPoolKillMidApply:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pool_converges_bit_identical_to_oracle(
+        self, tmp_path, workload, seed
+    ):
+        """3 worker processes, seeded SIGKILLs mid-apply: every death is
+        restarted through WAL replay + catch-up, the pool converges to
+        the supervisor's epoch, and every worker's snapshot is
+        bit-identical to a single-threaded oracle replaying the log."""
+        wal_path = str(tmp_path / f"pool_seed{seed}.wal")
+        plan = mutation_plan(workload, seed, n=10)
+        rule = FaultRule("live.apply", "kill", after=3 + seed, times=None)
+        pool = SupervisedPool(
+            workload, processes=3, wal_path=wal_path, live_eps=2.0,
+            fault_rules=(rule,), fault_seed=seed,
+            backoff_base_s=0.01, backoff_cap_s=0.05, max_restarts=8,
+        )
+        try:
+            wait_for_live_workers(pool, 3)
+            acks = [
+                pool.call({"op": "mutate", "mutation": m}) for m in plan
+            ]
+            assert [a["epoch"] for a in acks] == list(range(1, len(plan) + 1))
+            snap = wait_for_worker_epochs(pool, len(plan))
+            sup = snap["supervisor"]
+            # Apply-frame deaths carry no in-flight request, so they show
+            # up as slot restarts rather than request-attributed deaths.
+            assert sup["restarts"] >= 1, "no kill fired; dead sweep"
+            assert snap["epoch"] == len(plan)
+            assert snap["wal"]["last_seq"] == len(plan)
+            oracle = pool.session.snapshot()
+            # Each snapshot is answered by some worker process; several
+            # calls cover the pool, and all must match the oracle exactly.
+            for _ in range(6):
+                assert pool.call({"op": "snapshot"}) == oracle
+        finally:
+            closed = pool.close()
+        assert closed, "close() left a worker running"
+        _assert_reaped(pool.spawned_pids)
+        # The durable log alone rebuilds the same world.
+        replayed = oracle_snapshot(workload, wal_path, 2.0)
+        assert replayed == oracle
+        assert replayed["epoch"] == len(plan)
+        # CI uploads the per-seed mutation log as the sweep artifact.
+        artifact = os.environ.get("REPRO_WAL_ARTIFACT")
+        if artifact:
+            shutil.copyfile(wal_path, f"{artifact}_seed{seed}.wal")
+            with open(f"{artifact}_seed{seed}.json", "w",
+                      encoding="utf-8") as fh:
+                json.dump(
+                    {"seed": seed, "plan": plan, "snapshot": oracle,
+                     "supervisor": sup},
+                    fh, indent=1, sort_keys=True, default=str,
+                )
+
+    def test_restarted_pool_replays_to_the_logged_epoch(
+        self, tmp_path, workload
+    ):
+        """Crash-consistent pool restart: a second pool over the same log
+        starts at the logged epoch with the identical clustering."""
+        wal_path = str(tmp_path / "restart.wal")
+        plan = mutation_plan(workload, 2, n=6)
+        pool = SupervisedPool(
+            workload, processes=2, wal_path=wal_path, live_eps=2.0,
+        )
+        try:
+            for m in plan:
+                pool.call({"op": "mutate", "mutation": m})
+            before = pool.session.snapshot()
+        finally:
+            assert pool.close()
+        pool2 = SupervisedPool(
+            workload, processes=2, wal_path=wal_path, live_eps=2.0,
+        )
+        try:
+            assert pool2.session.epoch == len(plan)
+            assert pool2.session.snapshot() == before
+            wait_for_worker_epochs(pool2, len(plan))
+            assert pool2.call({"op": "snapshot"}) == before
+            # The log stays writable: mutations continue past the replay.
+            ack = pool2.call({"op": "mutate", "mutation": {
+                "kind": "insert_point", "u": plan[0]["u"],
+                "v": plan[0]["v"], "offset": 0.0, "point_id": 77_000,
+            }})
+            assert ack["epoch"] == len(plan) + 1
+        finally:
+            assert pool2.close()
+        _assert_reaped(pool.spawned_pids + pool2.spawned_pids)
+
+
+class TestPoolKillMidReplay:
+    def test_degrade_then_recover(self, tmp_path, workload):
+        """Workers that die mid-replay can never report ready, so the
+        pool degrades — it never answers from a stale world — and a
+        later pool over the same intact log recovers completely."""
+        wal_path = str(tmp_path / "midreplay.wal")
+        plan = mutation_plan(workload, 0, n=6)
+        net, pts = load_workload_file(workload)
+        writer = LiveSession(net, pts, eps=2.0, wal=WriteAheadLog(wal_path))
+        for m in plan:
+            writer.mutate(m)
+        expected = writer.snapshot()
+        writer.close()
+        rule = FaultRule("wal.replay.record", "kill", after=2, times=None)
+        pool = SupervisedPool(
+            workload, processes=2, wal_path=wal_path, live_eps=2.0,
+            fault_rules=(rule,), fault_seed=0,
+            backoff_base_s=0.01, backoff_cap_s=0.02, max_restarts=1,
+        )
+        try:
+            # Every spawn dies replaying record 2; both slots exhaust
+            # their storm breaker and retire.
+            deadline = time.monotonic() + CONVERGE_TIMEOUT_S
+            while True:
+                sup = pool.stats_snapshot()["supervisor"]
+                if len(sup["degraded"]) == sup["processes"]:
+                    break
+                assert time.monotonic() < deadline, sup
+                time.sleep(0.05)
+            # No worker ever served: a query is shed typed, not answered
+            # from a half-replayed world.
+            with pytest.raises(Overloaded):
+                pool.call({"op": "snapshot"})
+            # The supervisor's own durable oracle still acknowledges.
+            ack = pool.call({"op": "mutate", "mutation": {
+                "kind": "insert_point", "u": plan[0]["u"],
+                "v": plan[0]["v"], "offset": 0.0, "point_id": 88_000,
+            }})
+            assert ack["epoch"] == len(plan) + 1
+        finally:
+            assert pool.close()
+        # Same log, no faults: full recovery including the extra record.
+        pool2 = SupervisedPool(
+            workload, processes=2, wal_path=wal_path, live_eps=2.0,
+        )
+        try:
+            assert pool2.session.epoch == len(plan) + 1
+            wait_for_worker_epochs(pool2, len(plan) + 1)
+            snap = pool2.call({"op": "snapshot"})
+            assert snap["epoch"] == len(plan) + 1
+            assert snap["num_points"] == expected["num_points"] + 1
+        finally:
+            assert pool2.close()
+        _assert_reaped(pool2.spawned_pids)

@@ -1,0 +1,425 @@
+"""Durability tests for the ``RWAL`` write-ahead mutation log.
+
+The contract under test: every *acknowledged* mutation (``append``
+returned its sequence number) survives any crash, and every
+unacknowledged one vanishes atomically on the next open.  The central
+test is the crash/torn sweep over :data:`repro.live.wal.APPEND_WRITE_SITES`
+— every site through which WAL bytes reach the disk — asserting that a
+reopened log contains exactly the acknowledged prefix and that replay is
+idempotent and byte-identical across two consecutive opens.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro import faults, obs
+from repro.exceptions import ParameterError, WalCorruptError
+from repro.faults import CrashPoint, FaultRule
+from repro.live.wal import (
+    APPEND_WRITE_SITES,
+    REPLAY_SITES,
+    WriteAheadLog,
+    verify_wal,
+)
+
+CREATE_SITES = [s for s in APPEND_WRITE_SITES if s != "wal.append.record"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def mutation(i: int) -> dict:
+    return {"kind": "insert_point", "marker": f"m{i}", "u": 1, "v": 2,
+            "offset": float(i)}
+
+
+def logged(path: str) -> list[tuple[int, dict]]:
+    """The full (seq, mutation) contents via a read-only open."""
+    wal = WriteAheadLog(path, read_only=True)
+    try:
+        return list(wal.records())
+    finally:
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# Format round-trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_create_append_reopen(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 0
+            for i in range(1, 4):
+                assert wal.append(mutation(i)) == i
+            assert wal.last_seq == 3
+            assert wal.appended == 3
+        assert logged(path) == [(i, mutation(i)) for i in range(1, 4)]
+
+    def test_append_continues_after_reopen(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append(mutation(1))
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 1
+            assert wal.append(mutation(2)) == 2
+        assert [seq for seq, _ in logged(path)] == [1, 2]
+
+    def test_records_from_seq_is_exclusive(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            for i in range(1, 5):
+                wal.append(mutation(i))
+            assert [s for s, _ in wal.records(from_seq=2)] == [3, 4]
+            assert list(wal.records(from_seq=4)) == []
+
+    def test_replay_order_count_and_bounds(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            for i in range(1, 6):
+                wal.append(mutation(i))
+            seen = []
+            n = wal.replay(lambda s, m: seen.append(s), from_seq=1, to_seq=4)
+            assert n == 3
+            assert seen == [2, 3, 4]
+            assert wal.replayed == 3
+
+    def test_records_yield_copies(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append(mutation(1))
+            _, doc = next(wal.records())
+            doc["kind"] = "tampered"
+            _, fresh = next(wal.records())
+            assert fresh["kind"] == "insert_point"
+
+    def test_fsync_latency_recorded(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append(mutation(1))
+            assert wal.last_fsync_s >= 0.0
+
+    def test_appended_counter(self, tmp_path):
+        obs.reset()
+        obs.enable()
+        try:
+            path = str(tmp_path / "m.wal")
+            with WriteAheadLog(path) as wal:
+                wal.append(mutation(1))
+                wal.append(mutation(2))
+            counters = obs.snapshot()["counters"]
+            assert counters.get("wal.appended") == 2
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Open-mode guards
+# ----------------------------------------------------------------------
+class TestOpenGuards:
+    def test_read_only_append_refused(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        WriteAheadLog(path).close()
+        wal = WriteAheadLog(path, read_only=True)
+        with pytest.raises(ParameterError):
+            wal.append(mutation(1))
+        wal.close()
+
+    def test_read_only_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            WriteAheadLog(str(tmp_path / "absent.wal"), read_only=True)
+
+    def test_temp_path_refused(self, tmp_path):
+        with pytest.raises(ParameterError):
+            WriteAheadLog(str(tmp_path / "m.wal.tmp"))
+
+    def test_foreign_magic_refused(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with open(path, "wb") as fh:
+            fh.write(b"RPCK" + b"\x00" * 28)
+        with pytest.raises(WalCorruptError):
+            WriteAheadLog(path)
+
+    def test_version_skew_refused(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        WriteAheadLog(path).close()
+        with open(path, "r+b") as fh:
+            buf = bytearray(fh.read(16))
+            struct.pack_into("<H", buf, 4, 99)
+            import zlib
+
+            struct.pack_into("<I", buf, 12, zlib.crc32(bytes(buf[:12])))
+            fh.seek(0)
+            fh.write(buf)
+        with pytest.raises(WalCorruptError):
+            WriteAheadLog(path)
+
+
+# ----------------------------------------------------------------------
+# The durability sweep: crash / torn at every append write site
+# ----------------------------------------------------------------------
+class TestDurabilitySweep:
+    @pytest.mark.parametrize("site", CREATE_SITES)
+    @pytest.mark.parametrize("kind", ["crash", "torn"])
+    def test_crashed_creation_recreates_cleanly(self, tmp_path, site, kind):
+        """Creation crashes leave an unacknowledged residue: a read-write
+        open recreates the log, a read-only open refuses typed."""
+        path = str(tmp_path / "m.wal")
+        rule = FaultRule(site, kind, after=1, tear_fraction=0.5)
+        with faults.plan(rule, seed=0):
+            with pytest.raises(CrashPoint):
+                WriteAheadLog(path)
+        # The residue is never silently decoded by readers.
+        if os.path.getsize(path) > 0:
+            with pytest.raises(WalCorruptError):
+                WriteAheadLog(path, read_only=True)
+        # A read-write open recreates in place: nothing was acknowledged.
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 0
+            assert wal.append(mutation(1)) == 1
+        assert logged(path) == [(1, mutation(1))]
+
+    @pytest.mark.parametrize("hit", [1, 2, 3, 4])
+    @pytest.mark.parametrize("kind", ["crash", "torn"])
+    def test_acked_prefix_survives_append_fault(self, tmp_path, hit, kind):
+        """Crash/tear at the n-th record write: exactly the acknowledged
+        prefix survives, reopened twice byte-identically."""
+        path = str(tmp_path / "m.wal")
+        acked: list[int] = []
+        rule = FaultRule(
+            "wal.append.record", kind, after=hit, tear_fraction=0.5
+        )
+        with faults.plan(rule, seed=0):
+            wal = WriteAheadLog(path)
+            with pytest.raises(CrashPoint):
+                for i in range(1, 7):
+                    acked.append(wal.append(mutation(i)))
+            wal.close()
+        assert acked == list(range(1, hit))
+        # First reopen recovers exactly the acknowledged prefix ...
+        with WriteAheadLog(path) as recovered:
+            assert recovered.last_seq == len(acked)
+            assert list(recovered.records()) == [
+                (i, mutation(i)) for i in acked
+            ]
+        bytes_one = open(path, "rb").read()
+        # ... and a second open replays the same records from the same
+        # bytes — recovery is idempotent.
+        with WriteAheadLog(path) as again:
+            replayed: list[tuple[int, dict]] = []
+            again.replay(lambda s, m: replayed.append((s, m)))
+            assert replayed == [(i, mutation(i)) for i in acked]
+        assert open(path, "rb").read() == bytes_one
+
+    def test_torn_tail_truncated_and_counted(self, tmp_path):
+        obs.reset()
+        obs.enable()
+        try:
+            path = str(tmp_path / "m.wal")
+            rule = FaultRule(
+                "wal.append.record", "torn", after=3, tear_fraction=0.5
+            )
+            with faults.plan(rule, seed=0):
+                wal = WriteAheadLog(path)
+                wal.append(mutation(1))
+                wal.append(mutation(2))
+                with pytest.raises(CrashPoint):
+                    wal.append(mutation(3))
+                wal.close()
+            size_with_residue = os.path.getsize(path)
+            with WriteAheadLog(path) as recovered:
+                assert recovered.last_seq == 2
+            assert os.path.getsize(path) < size_with_residue
+            counters = obs.snapshot()["counters"]
+            assert counters.get("wal.truncated") == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_read_only_open_serves_prefix_without_writing(self, tmp_path):
+        """A worker's read-only open must serve the valid prefix of a torn
+        log and leave the file bytes untouched."""
+        path = str(tmp_path / "m.wal")
+        rule = FaultRule(
+            "wal.append.record", "torn", after=2, tear_fraction=0.5
+        )
+        with faults.plan(rule, seed=0):
+            wal = WriteAheadLog(path)
+            wal.append(mutation(1))
+            with pytest.raises(CrashPoint):
+                wal.append(mutation(2))
+            wal.close()
+        torn_bytes = open(path, "rb").read()
+        ro = WriteAheadLog(path, read_only=True)
+        assert list(ro.records()) == [(1, mutation(1))]
+        ro.close()
+        assert open(path, "rb").read() == torn_bytes
+
+    def test_every_append_site_is_exercised(self, tmp_path):
+        """The sweep's site list covers every write a log performs."""
+        path = str(tmp_path / "m.wal")
+        with faults.plan(FaultRule("no.such.site", "crash", after=10**9)):
+            with WriteAheadLog(path) as wal:
+                wal.append(mutation(1))
+            counts = {site: faults.hits(site) for site in APPEND_WRITE_SITES}
+        for site, n in counts.items():
+            assert n >= 1, f"append site {site} never hit"
+
+    def test_replay_sites_exercised(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        rule = FaultRule(
+            "wal.append.record", "torn", after=2, tear_fraction=0.5
+        )
+        with faults.plan(rule, seed=0):
+            wal = WriteAheadLog(path)
+            wal.append(mutation(1))
+            with pytest.raises(CrashPoint):
+                wal.append(mutation(2))
+            wal.close()
+        with faults.plan(FaultRule("no.such.site", "crash", after=10**9)):
+            with WriteAheadLog(path) as wal:
+                wal.replay(lambda s, m: None)
+            counts = {site: faults.hits(site) for site in REPLAY_SITES}
+        for site, n in counts.items():
+            assert n >= 1, f"replay site {site} never hit"
+
+    def test_kill_mid_replay_then_idempotent_retry(self, tmp_path):
+        """A kill between replayed records loses nothing: the next replay
+        from the applier's epoch delivers the remainder exactly once."""
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            for i in range(1, 5):
+                wal.append(mutation(i))
+        applied: list[int] = []
+        rule = FaultRule("wal.replay.record", "crash", after=3)
+        with faults.plan(rule, seed=0):
+            wal = WriteAheadLog(path, read_only=True)
+            with pytest.raises(CrashPoint):
+                wal.replay(lambda s, m: applied.append(s))
+            wal.close()
+        assert applied == [1, 2]
+        with WriteAheadLog(path, read_only=True) as wal:
+            wal.replay(lambda s, m: applied.append(s), from_seq=applied[-1])
+        assert applied == [1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# Mid-log damage is corruption, not recovery
+# ----------------------------------------------------------------------
+class TestCorruption:
+    def populate(self, tmp_path) -> str:
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            for i in range(1, 4):
+                wal.append(mutation(i))
+        return path
+
+    def flip_payload_byte(self, path: str, marker: bytes) -> None:
+        with open(path, "r+b") as fh:
+            buf = fh.read()
+            at = buf.index(marker)
+            fh.seek(at)
+            fh.write(b"X")
+
+    def test_mid_log_payload_rot_raises(self, tmp_path):
+        path = self.populate(tmp_path)
+        self.flip_payload_byte(path, b'"m2"')
+        with pytest.raises(WalCorruptError, match="mid-log corruption"):
+            WriteAheadLog(path)
+        with pytest.raises(WalCorruptError):
+            WriteAheadLog(path, read_only=True)
+
+    def test_final_record_rot_is_torn_tail(self, tmp_path):
+        """Damage coinciding with EOF is indistinguishable from a torn
+        append and is truncated, not raised."""
+        path = self.populate(tmp_path)
+        self.flip_payload_byte(path, b'"m3"')
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 2
+
+    def test_sequence_discontinuity_raises(self, tmp_path):
+        from repro.live.wal import _canonical_payload, _record_bytes
+
+        path = self.populate(tmp_path)
+        with open(path, "ab") as fh:
+            # A structurally valid record with the wrong sequence number.
+            fh.write(_record_bytes(9, _canonical_payload(mutation(9))))
+        with pytest.raises(WalCorruptError, match="discontinuity"):
+            WriteAheadLog(path)
+
+    def test_meta_rot_raises(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        WriteAheadLog(path).close()
+        with open(path, "r+b") as fh:
+            fh.seek(20)
+            fh.write(b"\xff")
+        with pytest.raises(WalCorruptError, match="meta"):
+            WriteAheadLog(path)
+
+
+# ----------------------------------------------------------------------
+# Offline verification (``repro wal verify``)
+# ----------------------------------------------------------------------
+class TestVerifyWal:
+    def test_clean_log_no_findings(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append(mutation(1))
+        assert verify_wal(path) == []
+
+    def test_missing_file_is_error(self, tmp_path):
+        findings = verify_wal(str(tmp_path / "absent.wal"))
+        assert [f.severity for f in findings] == ["error"]
+
+    def test_torn_tail_is_warning(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        rule = FaultRule(
+            "wal.append.record", "torn", after=2, tear_fraction=0.5
+        )
+        with faults.plan(rule, seed=0):
+            wal = WriteAheadLog(path)
+            wal.append(mutation(1))
+            with pytest.raises(CrashPoint):
+                wal.append(mutation(2))
+            wal.close()
+        findings = verify_wal(path)
+        assert [f.severity for f in findings] == ["warning"]
+        assert "torn tail" in findings[0].message
+
+    def test_mid_log_rot_is_error(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with WriteAheadLog(path) as wal:
+            for i in range(1, 4):
+                wal.append(mutation(i))
+        with open(path, "r+b") as fh:
+            buf = fh.read()
+            fh.seek(buf.index(b'"m2"'))
+            fh.write(b"X")
+        findings = verify_wal(path)
+        assert [f.severity for f in findings] == ["error"]
+
+    def test_uncommitted_creation_is_warning(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        rule = FaultRule("wal.append.commit_header", "crash", after=1)
+        with faults.plan(rule, seed=0):
+            with pytest.raises(CrashPoint):
+                WriteAheadLog(path)
+        findings = verify_wal(path)
+        assert [f.severity for f in findings] == ["warning"]
+        assert "uncommitted" in findings[0].message
+
+    def test_foreign_magic_is_error(self, tmp_path):
+        path = str(tmp_path / "m.wal")
+        with open(path, "wb") as fh:
+            fh.write(b"NOPE" + b"\x00" * 28)
+        findings = verify_wal(path)
+        assert [f.severity for f in findings] == ["error"]

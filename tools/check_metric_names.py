@@ -52,6 +52,7 @@ ALLOWED_NAMESPACES = frozenset({
     "evaluate",
     "faults",
     "kmedoids",
+    "live",
     "netstore",
     "ops",
     "optics",
@@ -63,6 +64,7 @@ ALLOWED_NAMESPACES = frozenset({
     "serve",
     "singlelink",
     "storage",
+    "wal",
 })
 
 #: Second segments allowed under ``serve.`` — the serve tier's names are a
@@ -75,6 +77,7 @@ SERVE_SEGMENTS = frozenset({
     "completed",
     "deadline_exceeded",
     "dequeue",
+    "epoch",
     "errors",
     "exec",
     "inflight",
