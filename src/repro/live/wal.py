@@ -25,10 +25,11 @@ performs exactly one fault-instrumented physical write followed by an
 fsync, and only then returns the sequence number that the serve tier
 acknowledges, so after a crash:
 
-* damage at the physical **tail** (short record header, payload past EOF,
-  header-CRC or payload-CRC mismatch on the *final* record) is the torn
-  residue of an unacknowledged append — ``open`` truncates it away and
-  the log reads exactly the acknowledged prefix;
+* damage coinciding with the physical **tail** (short record header, a
+  header-CRC mismatch on a header that is itself the end of file, payload
+  past EOF, payload-CRC mismatch on the final record) is the torn residue
+  of an unacknowledged append — ``open`` truncates it away and the log
+  reads exactly the acknowledged prefix;
 * damage **before** the tail can only be bit rot or external modification
   — never a torn write — and raises a typed
   :class:`~repro.exceptions.WalCorruptError`, as does a sequence-number
@@ -174,8 +175,21 @@ def _scan_records(buf: bytes, path: str, records_off: int) -> _Scan:
         head = buf[offset:offset + _RECORD.size]
         seq, payload_len, payload_crc, zero, stored = _RECORD.unpack(head)
         if zlib.crc32(head[:-4]) != stored or zero != 0:
-            scan.error = f"record header CRC mismatch at offset {offset}"
-            return scan
+            if offset + _RECORD.size == size:
+                scan.error = (
+                    f"record header CRC mismatch at end of file "
+                    f"(offset {offset})"
+                )
+                return scan
+            # A torn append writes a prefix of correct bytes, so it can
+            # only leave a short header or a valid header with a torn
+            # payload — never a complete-but-wrong header with bytes
+            # after it.
+            raise WalCorruptError(
+                f"{path}: record header CRC mismatch at offset {offset} "
+                f"with {size - offset - _RECORD.size} bytes following — "
+                "mid-log corruption, not a torn tail"
+            )
         padded_len = payload_len + ((-payload_len) % 8)
         end = offset + _RECORD.size + padded_len
         if end > size:
@@ -320,7 +334,7 @@ class WriteAheadLog:
         """Validate the meta section; returns the record-region offset."""
         pad = (-meta_len) % 8
         records_off = _HEADER.size + meta_len + pad + _TRAILER.size
-        if records_off - _TRAILER.size > len(buf):
+        if records_off > len(buf):
             raise WalCorruptError(
                 f"{self.path}: truncated meta section "
                 f"(need {records_off} bytes, file has {len(buf)})"

@@ -69,7 +69,7 @@ from repro.obs.core import sampled as _obs_sampled
 from repro.obs.core import span as _obs_span
 from repro.obs.metrics import REGISTRY as _METRICS
 from repro.resilience.breaker import installed_state_code as _breaker_state
-from repro.resilience.deadline import Deadline, current as _active_deadline
+from repro.resilience.deadline import Deadline
 from repro.serve.protocol import OPS
 
 #: Wire ops that require a live-mutation session (``repro serve --wal``).
@@ -244,7 +244,10 @@ class QueryService:
         mutations are then serialized on the session lock (the threaded
         tier trades mutation-window parallelism for a consistent world;
         the supervised pool keeps full parallelism because each worker
-        process applies between requests).  A reweigh degrades the
+        process applies between requests).  ``subscribe_epoch`` is
+        answered on a dedicated waiter thread, never a pool worker, so
+        parked subscribers cannot starve the mutate that would wake
+        them.  A reweigh degrades the
         landmark acceleration through the session's reweigh hook — the
         fingerprint-checked ``load_index_or_degrade`` path for a
         persisted artifact — never a silent rebuild.
@@ -377,6 +380,19 @@ class QueryService:
         """
         if timeout_s is _UNSET:
             timeout_s = self._request_timeout_s(request)
+        if request.get("op") == "subscribe_epoch" and self._session is not None:
+            # Answered off the worker pool on a dedicated waiter thread
+            # (mirroring SupervisedPool): a no-deadline subscriber would
+            # otherwise park a pool thread in a condition wait, and
+            # enough of them starve out the very mutate that would wake
+            # them — permanent deadlock.
+            with self._close_lock:
+                if self._closed:
+                    raise RuntimeError("QueryService is closed")
+            future: Future = Future()
+            self._subscribe_epoch(request, timeout_s, future)
+            _obs_add("serve.submitted")
+            return future
         deadline = Deadline(timeout_s, clock=self._clock)
         future: Future = Future()
         # One flag check: with observability off no clock is read and the
@@ -563,25 +579,47 @@ class QueryService:
             return session.mutate(request.get("mutation"))
         if op == "snapshot":
             return session.snapshot()
-        if op == "subscribe_epoch":
-            return self._subscribe_epoch(request, session)
         # Queries run under the session lock: a mutation in another
         # worker thread must not change the world mid-traversal.
         with session.lock:
             return run_query(request, aug, accel=self._ensure_accel(aug))
 
-    @staticmethod
-    def _subscribe_epoch(request: dict, session) -> dict:
-        from_epoch = request.get("from_epoch", 0)
-        if isinstance(from_epoch, bool) or not isinstance(from_epoch, int):
-            raise ParameterError(
-                f"from_epoch must be an integer, got {from_epoch!r}"
-            )
-        deadline = _active_deadline()
-        timeout_s = None
-        if deadline is not None and deadline.timeout_s is not None:
-            timeout_s = max(deadline.remaining(), 0.0)
-        return session.wait_for_epoch(from_epoch, timeout_s=timeout_s)
+    def _subscribe_epoch(self, request: dict, timeout_s, future) -> None:
+        """Park one ``subscribe_epoch`` on its own daemon thread.
+
+        The waiter resolves the future itself — success, typed error, or
+        :class:`~repro.exceptions.Cancelled` when :meth:`close` shuts the
+        session down — so the worker pool never blocks on an epoch that
+        only a queued mutate could produce.
+        """
+        session = self._session
+
+        def _wait() -> None:
+            if not future.set_running_or_notify_cancel():
+                return
+            try:
+                from_epoch = request.get("from_epoch", 0)
+                if isinstance(from_epoch, bool) or not isinstance(
+                    from_epoch, int
+                ):
+                    raise ParameterError(
+                        f"from_epoch must be an integer, got {from_epoch!r}"
+                    )
+                result = session.wait_for_epoch(
+                    from_epoch, timeout_s=timeout_s
+                )
+            except Exception as exc:
+                _obs_add("serve.errors")
+                if isinstance(exc, DeadlineExceeded):
+                    _obs_add("serve.deadline_exceeded")
+                future.set_exception(exc)
+            else:
+                _obs_add("serve.completed")
+                future.set_result(result)
+
+        threading.Thread(
+            target=_wait, name="repro-serve-subscribe", daemon=True
+        ).start()
 
     def stats_snapshot(self) -> dict:
         """The live telemetry document served by the ``stats`` wire op.

@@ -148,15 +148,6 @@ def _build_session(spec: dict, aug, accel):
         wal=wal,
     )
     session.attach(aug, accel)
-    session.replay_wal()
-    target = int(spec.get("epoch", 0))
-    if session.epoch < target:
-        raise ReplayError(
-            f"mutation log replayed to epoch {session.epoch}, cannot "
-            f"reach the pool epoch {target}"
-        )
-    wal.close()
-    session.wal = None
 
     def _degrade_on_reweigh(u: int, v: int) -> None:
         # Landmark node tables bind to edge weights: after a reweigh the
@@ -185,7 +176,21 @@ def _build_session(spec: dict, aug, accel):
         if hasattr(index, "close"):
             index.close()
 
+    # Registered *before* replay: _build_view fingerprint-checked the
+    # artifact against the pre-replay network, so a reweigh_edge record
+    # already in the log must degrade the index exactly as a live one
+    # would — otherwise a restarted or replacement worker serves landmark
+    # bounds bound to stale edge weights.
     session.add_reweigh_hook(_degrade_on_reweigh)
+    session.replay_wal()
+    target = int(spec.get("epoch", 0))
+    if session.epoch < target:
+        raise ReplayError(
+            f"mutation log replayed to epoch {session.epoch}, cannot "
+            f"reach the pool epoch {target}"
+        )
+    wal.close()
+    session.wal = None
     return session
 
 
@@ -288,6 +293,16 @@ def worker_entry(spec: dict, stdin=None, stdout=None) -> int:
     _arm_faults(spec)
     aug, accel, index_source = _build_view(spec)
     session = _build_session(spec, aug, accel) if spec.get("wal") else None
+    if (
+        index_source == "mmap"
+        and accel is not None
+        and accel.index is None
+    ):
+        # A reweigh replayed from the mutation log degraded the mapped
+        # index before the ready frame went out; report it honestly so
+        # the supervisor's index_sources audit trail reflects what this
+        # worker actually serves with.
+        index_source = "degraded"
     # Ready handshake: the supervisor waits for this frame, so a worker
     # that dies during workload load is detected before it is dispatched
     # any request.  ``index`` reports where the acceleration state came

@@ -519,6 +519,28 @@ class TestQueryServiceLive:
             svc.close()
             session.close()
 
+    def test_no_deadline_subscribers_do_not_starve_the_pool(self, tmp_path):
+        """Parked subscribers must not occupy pool workers: with every
+        worker thread blocked in a no-deadline wait, the mutate that
+        would advance the epoch could never be dequeued — permanent
+        deadlock.  Subscriptions ride a dedicated waiter thread instead."""
+        svc, session = self.make_service(tmp_path)  # workers=2
+        try:
+            subs = [
+                svc.submit({"op": "subscribe_epoch", "from_epoch": 0})
+                for _ in range(4)
+            ]
+            ack = svc.call({"op": "mutate", "mutation": insert(1, 2, 1.0)},
+                           timeout_s=10.0)
+            assert ack["epoch"] == 1
+            for future in subs:
+                assert future.result(timeout=10.0) == {
+                    "epoch": 1, "changed": True,
+                }
+        finally:
+            svc.close()
+            session.close()
+
     def test_close_cancels_parked_subscribers(self, tmp_path):
         svc, session = self.make_service(tmp_path)
         future = svc.submit({"op": "subscribe_epoch", "from_epoch": 0})

@@ -330,6 +330,29 @@ class TestCorruption:
             fh.seek(at)
             fh.write(b"X")
 
+    def record_offsets(self, path: str) -> list[int]:
+        """Byte offset of every record header, computed structurally."""
+        from repro.live.wal import _canonical_payload, _record_bytes
+
+        with WriteAheadLog(path, read_only=True) as wal:
+            blobs = [
+                _record_bytes(seq, _canonical_payload(doc))
+                for seq, doc in wal.records()
+            ]
+        offset = os.path.getsize(path) - sum(len(b) for b in blobs)
+        offsets = []
+        for blob in blobs:
+            offsets.append(offset)
+            offset += len(blob)
+        return offsets
+
+    def flip_byte(self, path: str, at: int) -> None:
+        with open(path, "r+b") as fh:
+            fh.seek(at)
+            byte = fh.read(1)
+            fh.seek(at)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+
     def test_mid_log_payload_rot_raises(self, tmp_path):
         path = self.populate(tmp_path)
         self.flip_payload_byte(path, b'"m2"')
@@ -345,6 +368,45 @@ class TestCorruption:
         self.flip_payload_byte(path, b'"m3"')
         with WriteAheadLog(path) as wal:
             assert wal.last_seq == 2
+
+    def test_mid_log_header_rot_raises(self, tmp_path):
+        """A damaged header with bytes following can never be a torn
+        append (a tear leaves a prefix of correct bytes): open raises
+        instead of silently truncating acknowledged records away."""
+        path = self.populate(tmp_path)
+        self.flip_byte(path, self.record_offsets(path)[1])
+        with pytest.raises(WalCorruptError, match="mid-log corruption"):
+            WriteAheadLog(path)
+        with pytest.raises(WalCorruptError):
+            WriteAheadLog(path, read_only=True)
+        findings = verify_wal(path)
+        assert [f.severity for f in findings] == ["error"]
+
+    def test_final_header_rot_at_eof_is_torn_tail(self, tmp_path):
+        """A damaged header that is itself the end of file is
+        indistinguishable from rot on a torn residue (unacknowledged
+        either way) and is truncated."""
+        from repro.live.wal import _RECORD
+
+        path = self.populate(tmp_path)
+        at = self.record_offsets(path)[2]
+        with open(path, "r+b") as fh:
+            fh.truncate(at + _RECORD.size)
+        self.flip_byte(path, at)
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 2
+
+    def test_truncated_meta_trailer_raises_typed(self, tmp_path):
+        """EOF inside the 8-byte meta trailer is typed corruption — not a
+        bare struct.error escaping open() and verify_wal()."""
+        path = str(tmp_path / "m.wal")
+        WriteAheadLog(path).close()
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 4)
+        with pytest.raises(WalCorruptError, match="truncated meta"):
+            WriteAheadLog(path)
+        findings = verify_wal(path)
+        assert [f.severity for f in findings] == ["error"]
 
     def test_sequence_discontinuity_raises(self, tmp_path):
         from repro.live.wal import _canonical_payload, _record_bytes
