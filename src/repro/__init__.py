@@ -50,6 +50,8 @@ from repro.exceptions import (
 )
 from repro.network import (
     AugmentedView,
+    CSRNetwork,
+    NetworkBackend,
     NetworkPoint,
     PointSet,
     SpatialNetwork,
@@ -82,6 +84,8 @@ __all__ = [
     "PoisonRequest",
     # Network substrate
     "SpatialNetwork",
+    "CSRNetwork",
+    "NetworkBackend",
     "PointSet",
     "NetworkPoint",
     "AugmentedView",

@@ -139,21 +139,24 @@ def _build_algorithm(args: argparse.Namespace, network, points):
     name = args.algorithm
     budget = _build_budget(args)
     accelerator = _build_accelerator(args, network, points)
+    backend = getattr(args, "backend", None)
     if name == "k-medoids":
         return NetworkKMedoids(network, points, k=args.k, seed=args.seed,
                                n_restarts=args.restarts, budget=budget,
-                               accelerator=accelerator)
+                               accelerator=accelerator, backend=backend)
     if name in ("eps-link", "dbscan", "optics") and args.eps is None:
         raise SystemExit(f"--eps is required for {name}")
     if name == "eps-link":
         return EpsLink(network, points, eps=args.eps, min_sup=args.min_pts,
-                       budget=budget, accelerator=accelerator)
+                       budget=budget, accelerator=accelerator,
+                       backend=backend)
     if name == "dbscan":
         return NetworkDBSCAN(network, points, eps=args.eps, min_pts=args.min_pts,
-                             budget=budget)
+                             budget=budget, backend=backend)
     if name == "optics":
         return NetworkOPTICS(network, points, max_eps=args.eps,
-                             min_pts=args.min_pts, budget=budget)
+                             min_pts=args.min_pts, budget=budget,
+                             backend=backend)
     if name == "single-link":
         stop_k = args.k if args.stop == "k" else None
         stop_distance = args.eps if args.stop == "distance" else None
@@ -161,7 +164,7 @@ def _build_algorithm(args: argparse.Namespace, network, points):
             raise SystemExit("--stop distance requires --eps")
         return SingleLink(network, points, delta=args.delta,
                           stop_k=stop_k, stop_distance=stop_distance,
-                          budget=budget)
+                          budget=budget, backend=backend)
     raise SystemExit(f"unknown algorithm {name!r}")
 
 
@@ -606,6 +609,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--metrics-interval-s must be > 0, got {args.metrics_interval_s}"
         )
+    if args.backend == "csr" and args.wal:
+        raise SystemExit(
+            "--backend csr cannot serve live mutations (--wal): the frozen "
+            "arrays would go stale on the first reweigh; use --backend dict"
+        )
     # Serve-specific enable: --metrics-file alone turns telemetry on, and
     # --trace records *request-scoped* spans (only requests that carry
     # "trace": true), not the whole serving session.
@@ -667,6 +675,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     restart_window_s=args.restart_window_s,
                     wal_path=args.wal,
                     live_eps=args.live_eps,
+                    backend=args.backend,
                 )
             except WalCorruptError as exc:
                 raise SystemExit(
@@ -707,6 +716,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 distance_cache_mb=args.distance_cache_mb,
                 index_path=args.index,
                 session=session,
+                backend=args.backend,
             )
             pool_desc = f"{args.workers} worker(s)"
             if args.index and service.index_source == "degraded":
@@ -875,6 +885,11 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="MB",
                       help="share an MB-bounded distance/result memo across "
                            "restarts and swaps (0 = off)")
+    clus.add_argument("--backend", choices=["dict", "csr"], default="dict",
+                      help="traversal backend: dict (default, the "
+                           "bit-exactness oracle) or csr (freeze the "
+                           "network into flat arrays with array-native "
+                           "Dijkstra kernels; identical results)")
     clus.set_defaults(func=_cmd_cluster)
 
     srv = sub.add_parser(
@@ -943,6 +958,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "clustering served by snapshot (default 1.0; "
                           "only with --wal, and must match across "
                           "restarts of the same log)")
+    srv.add_argument("--backend", choices=["dict", "csr"], default="dict",
+                     help="traversal backend: dict (default) or csr "
+                          "(freeze the workload into flat arrays at "
+                          "startup; identical responses; incompatible "
+                          "with --wal)")
     srv.add_argument("--stats", action="store_true",
                      help="print the repro.obs per-phase time/counter table")
     srv.add_argument("--trace", default=None, metavar="FILE",

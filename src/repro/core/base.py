@@ -23,6 +23,12 @@ class NetworkClusterer:
     the algorithms work over both :class:`~repro.network.SpatialNetwork`
     and the disk-backed :class:`~repro.storage.NetworkStore`.
 
+    ``backend`` selects the traversal backend: ``None``/``"dict"`` use
+    ``network`` as given (the bit-exactness oracle), ``"csr"`` freezes it
+    into a :class:`~repro.network.CSRNetwork` whose array kernels serve
+    every traversal — results are bit-identical either way, and the point
+    set may stay bound to the source network.
+
     Robustness contract
     -------------------
     * ``budget`` — an optional :class:`~repro.faults.OpBudget`; while the
@@ -86,7 +92,12 @@ class NetworkClusterer:
         check_connectivity: bool | None = None,
         checkpoint=None,
         resume: dict | None = None,
+        backend: str | None = None,
     ) -> None:
+        if backend is not None:
+            from repro.network.csr import resolve_backend
+
+            network = resolve_backend(network, backend)
         if points.network is not network and not self._same_backend(network, points):
             raise ParameterError(
                 "the point set was built against a different network object"
@@ -104,9 +115,17 @@ class NetworkClusterer:
 
     @staticmethod
     def _same_backend(network, points: PointSet) -> bool:
-        """Allow a disk-backed store wrapping the point set's network."""
+        """Allow a derived backend wrapping the point set's network.
+
+        Unwraps ``source_network`` links transitively so a frozen CSR
+        snapshot of a store of the point set's network still matches.
+        """
         wrapped = getattr(network, "source_network", None)
-        return wrapped is points.network
+        while wrapped is not None:
+            if wrapped is points.network:
+                return True
+            wrapped = getattr(wrapped, "source_network", None)
+        return False
 
     def run(self):
         """Execute the algorithm, recording wall-clock time in the result.

@@ -74,10 +74,11 @@ class NetworkDBSCAN(NetworkClusterer):
         check_connectivity: bool | None = None,
         checkpoint=None,
         resume: dict | None = None,
+        backend: str | None = None,
     ) -> None:
         super().__init__(
             network, points, budget=budget, check_connectivity=check_connectivity,
-            checkpoint=checkpoint, resume=resume,
+            checkpoint=checkpoint, resume=resume, backend=backend,
         )
         if eps <= 0:
             raise ParameterError(f"eps must be positive, got {eps!r}")

@@ -129,10 +129,11 @@ class NetworkKMedoids(NetworkClusterer):
         checkpoint=None,
         resume: dict | None = None,
         accelerator=None,
+        backend: str | None = None,
     ) -> None:
         super().__init__(
             network, points, budget=budget, check_connectivity=check_connectivity,
-            checkpoint=checkpoint, resume=resume,
+            checkpoint=checkpoint, resume=resume, backend=backend,
         )
         if not 1 <= k <= len(points):
             raise ParameterError(

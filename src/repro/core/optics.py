@@ -128,10 +128,11 @@ class NetworkOPTICS(NetworkClusterer):
         check_connectivity: bool | None = None,
         checkpoint=None,
         resume: dict | None = None,
+        backend: str | None = None,
     ) -> None:
         super().__init__(
             network, points, budget=budget, check_connectivity=check_connectivity,
-            checkpoint=checkpoint, resume=resume,
+            checkpoint=checkpoint, resume=resume, backend=backend,
         )
         if max_eps <= 0:
             raise ParameterError(f"max_eps must be positive, got {max_eps!r}")

@@ -87,10 +87,11 @@ class SingleLink(NetworkClusterer):
         check_connectivity: bool | None = None,
         checkpoint=None,
         resume: dict | None = None,
+        backend: str | None = None,
     ) -> None:
         super().__init__(
             network, points, budget=budget, check_connectivity=check_connectivity,
-            checkpoint=checkpoint, resume=resume,
+            checkpoint=checkpoint, resume=resume, backend=backend,
         )
         if delta < 0:
             raise ParameterError(f"delta must be non-negative, got {delta!r}")

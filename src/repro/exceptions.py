@@ -16,6 +16,7 @@ __all__ = [
     "EdgeNotFoundError",
     "InvalidWeightError",
     "MissingCoordinatesError",
+    "StaleBackendError",
     "PointError",
     "PointNotFoundError",
     "InvalidPositionError",
@@ -87,6 +88,17 @@ class MissingCoordinatesError(NetworkError):
     def __init__(self, node: int) -> None:
         super().__init__(f"node {node} has no coordinates")
         self.node = node
+
+
+class StaleBackendError(NetworkError):
+    """A frozen backend's source network mutated after the freeze.
+
+    Raised by :class:`~repro.network.csr.CSRNetwork` when the
+    :class:`~repro.network.graph.SpatialNetwork` it was frozen from has
+    been structurally modified since: serving distances off the stale
+    arrays would silently disagree with the live network, so every public
+    accessor fails loudly instead.  Re-freeze the network to continue.
+    """
 
 
 class PointError(ReproError):

@@ -28,7 +28,9 @@ from repro.network.distance import (
     pairwise_point_distances,
 )
 from repro.network.astar import node_distance_astar, point_distance_astar
+from repro.network.csr import CSRNetwork, resolve_backend
 from repro.network.graph import SpatialNetwork, normalize_edge
+from repro.network.interface import NetworkBackend
 from repro.network.knngraph import build_knn_graph, mutual_knn_edges
 from repro.network.multinet import (
     CombinedNetwork,
@@ -76,6 +78,9 @@ __all__ = [
     "pairwise_point_distances",
     "SpatialNetwork",
     "normalize_edge",
+    "CSRNetwork",
+    "NetworkBackend",
+    "resolve_backend",
     "node_distance_astar",
     "point_distance_astar",
     "NetworkPoint",

@@ -1,0 +1,704 @@
+"""Frozen CSR (compressed sparse row) network backend.
+
+:class:`CSRNetwork` freezes a :class:`~repro.network.graph.SpatialNetwork`
+(or the disk-backed :class:`~repro.storage.netstore.NetworkStore`) into
+flat numpy arrays — int64 ``indptr``/``indices``, float64 ``weights``, and
+a node-id ↔ row bijection sorted by node id — and serves the
+:class:`~repro.network.interface.NetworkBackend` protocol plus the
+optional array-native Dijkstra kernels that
+:mod:`repro.network.dijkstra` duck-dispatches to.
+
+Bit-identity contract
+---------------------
+The dict backend is the oracle: every kernel here must return the same
+distances *to the bit*, settle nodes in the same order, and break ties
+identically.  Three facts make that achievable:
+
+* Rows are sorted by node id, so "smaller row" ≡ "smaller node id" — the
+  heap tie-break of the dict path (``(distance, node)`` tuples) maps to
+  lexicographic ``(distance, row)`` order.
+* IEEE-754 rounding is monotone, so for positive weights the left-fold
+  prefix sums along any path are nondecreasing; every correct Dijkstra —
+  including scipy's C implementation — computes exactly
+  ``min over paths of fl(...fl(fl(0 + w1) + w2)... + wk)``, the same
+  value the dict path's ``d + weight`` folds produce.
+* Per-row adjacency preserves the source network's insertion order, so
+  the push-order counters that break exact distance ties in
+  :func:`~repro.network.dijkstra.multi_source` advance in the same
+  sequence on either backend.
+
+The untargeted plain kernel therefore runs scipy's C Dijkstra when scipy
+is importable (settle order reconstructed with a stable argsort over the
+distance vector) and falls back to a portable heap loop otherwise;
+targeted searches and the counted/guarded twins always run the exact
+Python mirror of the dict loops so early termination, ``dijkstra.*``
+counters, fault sites, budget charges, and deadline checkpoints stay
+backend-invariant.
+
+Staleness
+---------
+The backend captures the source network's mutation edition at freeze
+time; every public access re-checks it and raises
+:class:`~repro.exceptions.StaleBackendError` once the source has mutated,
+rather than serving distances off arrays that no longer match the graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NodeNotFoundError,
+    ParameterError,
+    StaleBackendError,
+)
+from repro.faults.core import STATE as _FAULTS, fire as _fault
+from repro.network.graph import normalize_edge
+from repro.obs.core import STATE as _OBS, add as _obs_add
+from repro.resilience.deadline import STATE as _RES, check as _res_check
+
+try:  # scipy is an optional accelerator, never a hard dependency
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+except ImportError:  # pragma: no cover - exercised where scipy is absent
+    _csr_matrix = None
+    _scipy_dijkstra = None
+
+__all__ = ["CSRNetwork", "resolve_backend"]
+
+
+def resolve_backend(network, backend: str | None):
+    """Materialise the requested backend over ``network``.
+
+    ``None`` / ``"dict"`` return the network unchanged (the oracle path);
+    ``"csr"`` freezes it into a :class:`CSRNetwork` (a no-op when it is
+    one already).
+    """
+    if backend is None or backend == "dict":
+        return network
+    if backend == "csr":
+        return CSRNetwork.freeze(network)
+    raise ParameterError(
+        f"unknown network backend {backend!r} (expected 'dict' or 'csr')"
+    )
+
+
+class CSRNetwork:
+    """A read-only array snapshot of a spatial network.
+
+    Build one with :meth:`freeze`; the constructor is internal.  All
+    :class:`~repro.network.interface.NetworkBackend` methods preserve the
+    source's iteration orders (``nodes()`` yields the source's node
+    order, ``neighbors()`` the source's adjacency order), so any
+    algorithm that runs on the source runs bit-identically here.
+    """
+
+    def __init__(self, source) -> None:
+        if isinstance(source, CSRNetwork):
+            raise ParameterError("use CSRNetwork.freeze() to reuse a frozen backend")
+        self.name = getattr(source, "name", "network")
+        #: The network this backend was frozen from (used by
+        #: ``NetworkClusterer`` to accept point sets built on the source).
+        self.source_network = source
+        self._src_edition = getattr(source, "_edition", None)
+
+        node_order = list(source.nodes())
+        ids_sorted = sorted(node_order)
+        row_of: dict[int, int] = {nid: r for r, nid in enumerate(ids_sorted)}
+        n = len(ids_sorted)
+
+        # Per-row adjacency in *source insertion order* (the kernels and
+        # neighbors() iterate these tuples), plus the CSR triplet over
+        # id-sorted rows for the scipy kernel.
+        nbr_pairs: list[tuple[tuple[int, float], ...]] = [()] * n
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        cols: list[int] = []
+        wts: list[float] = []
+        for nid in ids_sorted:
+            row = row_of[nid]
+            pairs = tuple(source.neighbors(nid))
+            nbr_pairs[row] = pairs
+            indptr[row + 1] = indptr[row] + len(pairs)
+            cols.extend(row_of[v] for v, _ in pairs)
+            wts.extend(w for _, w in pairs)
+
+        self._node_order: tuple[int, ...] = tuple(node_order)
+        self._ids = np.asarray(ids_sorted, dtype=np.int64)
+        self._row_of = row_of
+        self._nbr_pairs = nbr_pairs
+        self._indptr = indptr
+        self._indices = np.asarray(cols, dtype=np.int64)
+        self._weights = np.asarray(wts, dtype=np.float64)
+        self._num_edges = int(getattr(source, "num_edges", len(cols) // 2))
+        self._edge_list: tuple[tuple[int, int, float], ...] = tuple(source.edges())
+        self._wmap: dict[tuple[int, int], float] = {
+            (u, v): w for u, v, w in self._edge_list
+        }
+        coords: dict[int, tuple[float, float]] = {}
+        if hasattr(source, "has_coords") and hasattr(source, "node_coords"):
+            for nid in node_order:
+                if source.has_coords(nid):
+                    coords[nid] = source.node_coords(nid)
+        self._coords = coords
+        self._matrix = None
+        if _csr_matrix is not None and n > 0:
+            self._matrix = _csr_matrix(
+                (self._weights, self._indices, indptr), shape=(n, n)
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(cls, network) -> "CSRNetwork":
+        """Freeze ``network`` into a CSR snapshot (idempotent)."""
+        if isinstance(network, CSRNetwork):
+            network._check_stale()
+            return network
+        return cls(network)
+
+    @property
+    def kernel_backend(self) -> str:
+        """``"scipy"`` when the C kernel serves untargeted searches, else
+        ``"python"`` (the portable fallback)."""
+        return "python" if self._matrix is None else "scipy"
+
+    def _check_stale(self) -> None:
+        if (
+            self._src_edition is not None
+            and self.source_network._edition != self._src_edition
+        ):
+            raise StaleBackendError(
+                f"network {self.name!r} mutated after it was frozen; "
+                "re-freeze with CSRNetwork.freeze() before querying"
+            )
+
+    # ------------------------------------------------------------------
+    # NetworkBackend protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._ids)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def has_node(self, node: int) -> bool:
+        self._check_stale()
+        return node in self._row_of
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_stale()
+        if u == v:
+            return False
+        return normalize_edge(u, v) in self._wmap
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate node ids in the *source network's* order."""
+        self._check_stale()
+        return iter(self._node_order)
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        self._check_stale()
+        return iter(self._edge_list)
+
+    def neighbors(self, node: int) -> Iterator[tuple[int, float]]:
+        self._check_stale()
+        try:
+            row = self._row_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        return iter(self._nbr_pairs[row])
+
+    def degree(self, node: int) -> int:
+        self._check_stale()
+        try:
+            return len(self._nbr_pairs[self._row_of[node]])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def edge_weight(self, u: int, v: int) -> float:
+        self._check_stale()
+        a, b = normalize_edge(u, v)
+        try:
+            return self._wmap[(a, b)]
+        except KeyError:
+            raise EdgeNotFoundError(a, b) from None
+
+    def node_coords(self, node: int) -> tuple[float, float]:
+        self._check_stale()
+        if node not in self._row_of:
+            raise NodeNotFoundError(node)
+        try:
+            return self._coords[node]
+        except KeyError:
+            from repro.exceptions import MissingCoordinatesError
+
+            raise MissingCoordinatesError(node) from None
+
+    def has_coords(self, node: int) -> bool:
+        return node in self._coords
+
+    def euclidean_node_distance(self, u: int, v: int) -> float:
+        ux, uy = self.node_coords(u)
+        vx, vy = self.node_coords(v)
+        return math.hypot(ux - vx, uy - vy)
+
+    def total_weight(self) -> float:
+        return sum(w for _, _, w in self._edge_list)
+
+    def __contains__(self, node: int) -> bool:
+        return self.has_node(node)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRNetwork(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, kernel={self.kernel_backend!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internal adjacency for the kernels
+    # ------------------------------------------------------------------
+    def _pairs(self, node: int) -> tuple[tuple[int, float], ...]:
+        try:
+            return self._nbr_pairs[self._row_of[node]]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    # ------------------------------------------------------------------
+    # Array kernel: single source
+    # ------------------------------------------------------------------
+    def dijkstra_single_source(
+        self,
+        source: int,
+        targets: Iterable[int] | None = None,
+        cutoff: float = math.inf,
+    ) -> dict[int, float]:
+        """Kernel behind :func:`repro.network.dijkstra.single_source`."""
+        self._check_stale()
+        if _FAULTS.engaged or _RES.engaged:
+            return self._single_source_guarded(source, targets, cutoff)
+        if _OBS.enabled:
+            return self._single_source_counted(source, targets, cutoff)
+        if self._matrix is not None and targets is None:
+            return self._single_source_scipy(source, cutoff)
+        return self._single_source_plain(source, targets, cutoff)
+
+    def _single_source_scipy(self, source: int, cutoff: float) -> dict[int, float]:
+        """Untargeted expansion via scipy's C Dijkstra.
+
+        The result dict is rebuilt in settle order — ascending
+        ``(distance, node id)``, which a stable argsort over the id-sorted
+        rows yields directly — so even dict iteration order matches the
+        heap loop's.
+        """
+        row = self._row_of.get(source)
+        if row is None:
+            raise NodeNotFoundError(source)
+        d = _scipy_dijkstra(self._matrix, directed=True, indices=row)
+        if cutoff is math.inf or cutoff == math.inf:
+            mask = np.isfinite(d)
+        else:
+            mask = d <= cutoff
+            mask[row] = True  # the seed settles even under cutoff < 0
+        sel = np.flatnonzero(mask)
+        order = sel[np.argsort(d[sel], kind="stable")]
+        return dict(zip(self._ids[order].tolist(), d[order].tolist()))
+
+    def _single_source_plain(
+        self, source: int, targets: Iterable[int] | None, cutoff: float
+    ) -> dict[int, float]:
+        # Exact mirror of the dict backend's plain loop (early target
+        # termination included), iterating the frozen adjacency tuples.
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        remaining = set(targets) if targets is not None else None
+        dist: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if node in dist:
+                continue
+            dist[node] = d
+            if remaining is not None:
+                remaining.discard(node)
+                if not remaining:
+                    break
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    heapq.heappush(heap, (nd, nbr))
+        return dist
+
+    def _single_source_counted(
+        self, source: int, targets: Iterable[int] | None, cutoff: float
+    ) -> dict[int, float]:
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        remaining = set(targets) if targets is not None else None
+        dist: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        pops = 0
+        pushes = 1  # the seed entry
+        relaxed = 0
+        while heap:
+            d, node = heapq.heappop(heap)
+            pops += 1
+            if node in dist:
+                continue
+            dist[node] = d
+            if remaining is not None:
+                remaining.discard(node)
+                if not remaining:
+                    break
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                relaxed += 1
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    heapq.heappush(heap, (nd, nbr))
+                    pushes += 1
+        _obs_add("dijkstra.runs")
+        _obs_add("dijkstra.heap_pops", pops)
+        _obs_add("dijkstra.heap_pushes", pushes)
+        _obs_add("dijkstra.edges_relaxed", relaxed)
+        _obs_add("dijkstra.nodes_settled", len(dist))
+        return dist
+
+    def _single_source_guarded(
+        self, source: int, targets: Iterable[int] | None, cutoff: float
+    ) -> dict[int, float]:
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        budget = _FAULTS.budget
+        remaining = set(targets) if targets is not None else None
+        dist: dict[int, float] = {}
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        pops = 0
+        pushes = 1
+        relaxed = 0
+        while heap:
+            d, node = heapq.heappop(heap)
+            pops += 1
+            if node in dist:
+                continue
+            _fault("dijkstra.settle")
+            if _RES.engaged:
+                _res_check("dijkstra.settle", partial=dist)
+            if budget is not None:
+                budget.spend_expansions(1, partial=dist)
+            dist[node] = d
+            if remaining is not None:
+                remaining.discard(node)
+                if not remaining:
+                    break
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                relaxed += 1
+                if budget is not None:
+                    budget.spend_distance_computations(1, partial=dist)
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    heapq.heappush(heap, (nd, nbr))
+                    pushes += 1
+        if _OBS.enabled:
+            _obs_add("dijkstra.runs")
+            _obs_add("dijkstra.heap_pops", pops)
+            _obs_add("dijkstra.heap_pushes", pushes)
+            _obs_add("dijkstra.edges_relaxed", relaxed)
+            _obs_add("dijkstra.nodes_settled", len(dist))
+        return dist
+
+    # ------------------------------------------------------------------
+    # Array kernel: single source with predecessors
+    # ------------------------------------------------------------------
+    def dijkstra_single_source_with_paths(
+        self, source: int, cutoff: float = math.inf
+    ) -> tuple[dict[int, float], dict[int, int]]:
+        """Kernel behind :func:`repro.network.dijkstra.single_source_with_paths`."""
+        self._check_stale()
+        if _FAULTS.engaged or _RES.engaged:
+            return self._with_paths_guarded(source, cutoff)
+        if _OBS.enabled:
+            return self._with_paths_counted(source, cutoff)
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        dist: dict[int, float] = {}
+        pred: dict[int, int] = {}
+        heap: list[tuple[float, int, int]] = [(0.0, source, source)]
+        while heap:
+            d, node, parent = heapq.heappop(heap)
+            if node in dist:
+                continue
+            dist[node] = d
+            if node != source:
+                pred[node] = parent
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    heapq.heappush(heap, (nd, nbr, node))
+        return dist, pred
+
+    def _with_paths_counted(
+        self, source: int, cutoff: float
+    ) -> tuple[dict[int, float], dict[int, int]]:
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        dist: dict[int, float] = {}
+        pred: dict[int, int] = {}
+        heap: list[tuple[float, int, int]] = [(0.0, source, source)]
+        pops = 0
+        pushes = 1  # the seed entry
+        relaxed = 0
+        while heap:
+            d, node, parent = heapq.heappop(heap)
+            pops += 1
+            if node in dist:
+                continue
+            dist[node] = d
+            if node != source:
+                pred[node] = parent
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                relaxed += 1
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    heapq.heappush(heap, (nd, nbr, node))
+                    pushes += 1
+        _obs_add("dijkstra.runs")
+        _obs_add("dijkstra.heap_pops", pops)
+        _obs_add("dijkstra.heap_pushes", pushes)
+        _obs_add("dijkstra.edges_relaxed", relaxed)
+        _obs_add("dijkstra.nodes_settled", len(dist))
+        return dist, pred
+
+    def _with_paths_guarded(
+        self, source: int, cutoff: float
+    ) -> tuple[dict[int, float], dict[int, int]]:
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        budget = _FAULTS.budget
+        dist: dict[int, float] = {}
+        pred: dict[int, int] = {}
+        heap: list[tuple[float, int, int]] = [(0.0, source, source)]
+        pops = 0
+        pushes = 1
+        relaxed = 0
+        while heap:
+            d, node, parent = heapq.heappop(heap)
+            pops += 1
+            if node in dist:
+                continue
+            _fault("dijkstra.settle")
+            if _RES.engaged:
+                _res_check("dijkstra.settle", partial=dist)
+            if budget is not None:
+                budget.spend_expansions(1, partial=dist)
+            dist[node] = d
+            if node != source:
+                pred[node] = parent
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                relaxed += 1
+                if budget is not None:
+                    budget.spend_distance_computations(1, partial=dist)
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    heapq.heappush(heap, (nd, nbr, node))
+                    pushes += 1
+        if _OBS.enabled:
+            _obs_add("dijkstra.runs")
+            _obs_add("dijkstra.heap_pops", pops)
+            _obs_add("dijkstra.heap_pushes", pushes)
+            _obs_add("dijkstra.edges_relaxed", relaxed)
+            _obs_add("dijkstra.nodes_settled", len(dist))
+        return dist, pred
+
+    # ------------------------------------------------------------------
+    # Array kernel: concurrent multi-source expansion
+    # ------------------------------------------------------------------
+    def dijkstra_multi_source(
+        self,
+        entries: list[tuple[float, int, object]],
+        cutoff: float = math.inf,
+    ) -> tuple[dict[int, float], dict[int, object]]:
+        """Kernel behind :func:`repro.network.dijkstra.multi_source`.
+
+        Always the exact Python mirror: the concurrent expansion breaks
+        exact-distance ties with a push-order counter, a discipline no
+        batch C kernel reproduces, so this loop *is* the semantics.  The
+        frozen adjacency tuples keep the counter sequence identical to
+        the dict backend's.
+        """
+        self._check_stale()
+        if _FAULTS.engaged or _RES.engaged:
+            return self._multi_source_guarded(entries, cutoff)
+        if _OBS.enabled:
+            return self._multi_source_counted(entries, cutoff)
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        dist: dict[int, float] = {}
+        label: dict[int, object] = {}
+        counter = 0
+        heap: list[tuple[float, int, int, object]] = []
+        for d0, node, lab in entries:
+            if d0 <= cutoff:
+                heap.append((d0, counter, node, lab))
+                counter += 1
+        heapq.heapify(heap)
+        while heap:
+            d, _, node, lab = heapq.heappop(heap)
+            if node in dist:
+                continue
+            dist[node] = d
+            label[node] = lab
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, nbr, lab))
+        return dist, label
+
+    def _multi_source_counted(
+        self, entries: list[tuple[float, int, object]], cutoff: float
+    ) -> tuple[dict[int, float], dict[int, object]]:
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        dist: dict[int, float] = {}
+        label: dict[int, object] = {}
+        counter = 0
+        heap: list[tuple[float, int, int, object]] = []
+        for d0, node, lab in entries:
+            if d0 <= cutoff:
+                heap.append((d0, counter, node, lab))
+                counter += 1
+        heapq.heapify(heap)
+        pops = 0
+        pushes = len(heap)
+        relaxed = 0
+        while heap:
+            d, _, node, lab = heapq.heappop(heap)
+            pops += 1
+            if node in dist:
+                continue
+            dist[node] = d
+            label[node] = lab
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                relaxed += 1
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, nbr, lab))
+                    pushes += 1
+        _obs_add("dijkstra.multi_source_runs")
+        _obs_add("dijkstra.heap_pops", pops)
+        _obs_add("dijkstra.heap_pushes", pushes)
+        _obs_add("dijkstra.edges_relaxed", relaxed)
+        _obs_add("dijkstra.nodes_settled", len(dist))
+        return dist, label
+
+    def _multi_source_guarded(
+        self, entries: list[tuple[float, int, object]], cutoff: float
+    ) -> tuple[dict[int, float], dict[int, object]]:
+        pairs = self._nbr_pairs
+        row_of = self._row_of
+        budget = _FAULTS.budget
+        dist: dict[int, float] = {}
+        label: dict[int, object] = {}
+        counter = 0
+        heap: list[tuple[float, int, int, object]] = []
+        for d0, node, lab in entries:
+            if d0 <= cutoff:
+                heap.append((d0, counter, node, lab))
+                counter += 1
+        heapq.heapify(heap)
+        pops = 0
+        pushes = len(heap)
+        relaxed = 0
+        while heap:
+            d, _, node, lab = heapq.heappop(heap)
+            pops += 1
+            if node in dist:
+                continue
+            _fault("dijkstra.settle")
+            if _RES.engaged:
+                _res_check("dijkstra.settle", partial=(dist, label))
+            if budget is not None:
+                budget.spend_expansions(1, partial=(dist, label))
+            dist[node] = d
+            label[node] = lab
+            try:
+                row = row_of[node]
+            except KeyError:
+                raise NodeNotFoundError(node) from None
+            for nbr, weight in pairs[row]:
+                relaxed += 1
+                if budget is not None:
+                    budget.spend_distance_computations(1, partial=(dist, label))
+                if nbr in dist:
+                    continue
+                nd = d + weight
+                if nd <= cutoff:
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, nbr, lab))
+                    pushes += 1
+        if _OBS.enabled:
+            _obs_add("dijkstra.multi_source_runs")
+            _obs_add("dijkstra.heap_pops", pops)
+            _obs_add("dijkstra.heap_pushes", pushes)
+            _obs_add("dijkstra.edges_relaxed", relaxed)
+            _obs_add("dijkstra.nodes_settled", len(dist))
+        return dist, label

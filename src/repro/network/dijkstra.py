@@ -17,9 +17,13 @@ from:
   Section 3.2, provided as a baseline.
 
 All functions operate on any object implementing ``neighbors(node)``
-returning ``(neighbor, weight)`` pairs — both the in-memory
-:class:`~repro.network.graph.SpatialNetwork` and the disk-backed store
-qualify.
+returning ``(neighbor, weight)`` pairs — the in-memory
+:class:`~repro.network.graph.SpatialNetwork`, the disk-backed store, and
+the frozen :class:`~repro.network.csr.CSRNetwork` all qualify.  A backend
+may expose array-native kernels (``dijkstra_single_source``,
+``dijkstra_single_source_with_paths``, ``dijkstra_multi_source``); when
+present they are dispatched to directly and must be bit-identical twins of
+the loops below (see :mod:`repro.network.interface`).
 
 Observability
 -------------
@@ -90,6 +94,9 @@ def single_source(
     -------
     dict mapping node -> distance, containing every settled node.
     """
+    kernel = getattr(network, "dijkstra_single_source", None)
+    if kernel is not None:
+        return kernel(source, targets=targets, cutoff=cutoff)
     if _FAULTS.engaged or _RES.engaged:
         return _single_source_guarded(network, source, targets, cutoff)
     if _OBS.enabled:
@@ -214,10 +221,18 @@ def single_source_with_paths(
     """Like :func:`single_source` but also returns a predecessor map.
 
     The predecessor map sends each settled node (except the source) to the
-    previous node on one shortest path from the source.
+    previous node on one shortest path from the source.  Twin discipline
+    matches :func:`single_source` exactly: the guarded path charges the
+    budget per settle *and* per relaxed edge, and the counted path emits
+    the full ``dijkstra.*`` counter set.
     """
-    guard = _FAULTS.engaged or _RES.engaged
-    budget = _FAULTS.budget if guard else None
+    kernel = getattr(network, "dijkstra_single_source_with_paths", None)
+    if kernel is not None:
+        return kernel(source, cutoff=cutoff)
+    if _FAULTS.engaged or _RES.engaged:
+        return _with_paths_guarded(network, source, cutoff)
+    if _OBS.enabled:
+        return _with_paths_counted(network, source, cutoff)
     dist: dict[int, float] = {}
     pred: dict[int, int] = {}
     heap: list[tuple[float, int, int]] = [(0.0, source, source)]
@@ -225,13 +240,6 @@ def single_source_with_paths(
         d, node, parent = heapq.heappop(heap)
         if node in dist:
             continue
-        if guard:
-            if _FAULTS.engaged:
-                _fault("dijkstra.settle")
-            if _RES.engaged:
-                _res_check("dijkstra.settle", partial=dist)
-            if budget is not None:
-                budget.spend_expansions(1, partial=dist)
         dist[node] = d
         if node != source:
             pred[node] = parent
@@ -241,8 +249,86 @@ def single_source_with_paths(
             nd = d + weight
             if nd <= cutoff:
                 heapq.heappush(heap, (nd, nbr, node))
+    return dist, pred
+
+
+def _with_paths_counted(
+    network,
+    source: int,
+    cutoff: float,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Counting twin of :func:`single_source_with_paths` (obs enabled)."""
+    dist: dict[int, float] = {}
+    pred: dict[int, int] = {}
+    heap: list[tuple[float, int, int]] = [(0.0, source, source)]
+    pops = 0
+    pushes = 1  # the seed entry
+    relaxed = 0
+    while heap:
+        d, node, parent = heapq.heappop(heap)
+        pops += 1
+        if node in dist:
+            continue
+        dist[node] = d
+        if node != source:
+            pred[node] = parent
+        for nbr, weight in network.neighbors(node):
+            relaxed += 1
+            if nbr in dist:
+                continue
+            nd = d + weight
+            if nd <= cutoff:
+                heapq.heappush(heap, (nd, nbr, node))
+                pushes += 1
+    _obs_add("dijkstra.runs")
+    _obs_add("dijkstra.heap_pops", pops)
+    _obs_add("dijkstra.heap_pushes", pushes)
+    _obs_add("dijkstra.edges_relaxed", relaxed)
+    _obs_add("dijkstra.nodes_settled", len(dist))
+    return dist, pred
+
+
+def _with_paths_guarded(
+    network,
+    source: int,
+    cutoff: float,
+) -> tuple[dict[int, float], dict[int, int]]:
+    """Fault/budget/deadline twin of :func:`single_source_with_paths`."""
+    budget = _FAULTS.budget
+    dist: dict[int, float] = {}
+    pred: dict[int, int] = {}
+    heap: list[tuple[float, int, int]] = [(0.0, source, source)]
+    pops = 0
+    pushes = 1
+    relaxed = 0
+    while heap:
+        d, node, parent = heapq.heappop(heap)
+        pops += 1
+        if node in dist:
+            continue
+        _fault("dijkstra.settle")
+        if _RES.engaged:
+            _res_check("dijkstra.settle", partial=dist)
+        if budget is not None:
+            budget.spend_expansions(1, partial=dist)
+        dist[node] = d
+        if node != source:
+            pred[node] = parent
+        for nbr, weight in network.neighbors(node):
+            relaxed += 1
+            if budget is not None:
+                budget.spend_distance_computations(1, partial=dist)
+            if nbr in dist:
+                continue
+            nd = d + weight
+            if nd <= cutoff:
+                heapq.heappush(heap, (nd, nbr, node))
+                pushes += 1
     if _OBS.enabled:
         _obs_add("dijkstra.runs")
+        _obs_add("dijkstra.heap_pops", pops)
+        _obs_add("dijkstra.heap_pushes", pushes)
+        _obs_add("dijkstra.edges_relaxed", relaxed)
         _obs_add("dijkstra.nodes_settled", len(dist))
     return dist, pred
 
@@ -289,6 +375,9 @@ def multi_source(
     else:
         entries = list(seeds)
 
+    kernel = getattr(network, "dijkstra_multi_source", None)
+    if kernel is not None:
+        return kernel(entries, cutoff=cutoff)
     if _FAULTS.engaged or _RES.engaged:
         return _multi_source_guarded(network, entries, cutoff)
     if _OBS.enabled:

@@ -11,9 +11,10 @@ arbitrary positive weights (travel time, toll cost, ...).
 The class is deliberately small and explicit: adjacency is a dict of dicts,
 node coordinates a dict, and every accessor validates its inputs.  Clustering
 algorithms do not use this class directly; they talk to the
-:class:`~repro.network.interface.NetworkBackend` protocol which both this
-class and the disk-backed :class:`~repro.storage.netstore.NetworkStore`
-implement, so the same algorithm code runs on either backend.
+:class:`~repro.network.interface.NetworkBackend` protocol which this class,
+the disk-backed :class:`~repro.storage.netstore.NetworkStore`, and the
+frozen array backend :class:`~repro.network.csr.CSRNetwork` all implement,
+so the same algorithm code runs on any backend.
 """
 
 from __future__ import annotations
@@ -67,6 +68,11 @@ class SpatialNetwork:
         self._adj: dict[int, dict[int, float]] = {}
         self._coords: dict[int, tuple[float, float]] = {}
         self._num_edges = 0
+        # Monotone mutation counter.  Frozen backends (repro.network.csr)
+        # capture it at freeze time and compare on every access, so a
+        # mutation after the freeze raises StaleBackendError instead of
+        # serving distances off arrays that no longer match the network.
+        self._edition = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -79,6 +85,7 @@ class SpatialNetwork:
         """
         if node not in self._adj:
             self._adj[node] = {}
+            self._edition += 1
         if x is not None or y is not None:
             if x is None or y is None:
                 raise NetworkError("both x and y coordinates must be given together")
@@ -105,6 +112,7 @@ class SpatialNetwork:
             self._num_edges += 1
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._edition += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove an edge; raises :class:`EdgeNotFoundError` if absent."""
@@ -114,6 +122,7 @@ class SpatialNetwork:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._edition += 1
 
     @classmethod
     def from_edge_list(
@@ -219,11 +228,19 @@ class SpatialNetwork:
     # Derived networks
     # ------------------------------------------------------------------
     def subnetwork(self, nodes: Iterable[int], name: str | None = None) -> "SpatialNetwork":
-        """The induced subgraph on ``nodes`` (keeping coordinates)."""
-        keep = set(nodes)
-        missing = keep - self._adj.keys()
+        """The induced subgraph on ``nodes`` (keeping coordinates).
+
+        Node insertion order follows the order of ``nodes``, so
+        ``copy()`` (which passes :meth:`nodes`) preserves iteration
+        order — seeded algorithms that sweep ``nodes()`` behave
+        identically on a network and its copy.
+        """
+        # A dict, not a set: membership is as fast, but iteration keeps
+        # the caller's order instead of hash order.
+        keep = dict.fromkeys(nodes)
+        missing = [node for node in keep if node not in self._adj]
         if missing:
-            raise NodeNotFoundError(next(iter(missing)))
+            raise NodeNotFoundError(missing[0])
         sub = SpatialNetwork(name=name or f"{self.name}-sub")
         for node in keep:
             if node in self._coords:

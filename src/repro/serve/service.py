@@ -251,6 +251,12 @@ class QueryService:
         landmark acceleration through the session's reweigh hook — the
         fingerprint-checked ``load_index_or_degrade`` path for a
         persisted artifact — never a silent rebuild.
+    backend:
+        ``None``/``"dict"`` serve the network as given;  ``"csr"``
+        freezes it once into a :class:`~repro.network.CSRNetwork` before
+        the workers start, so every worker traverses the shared frozen
+        arrays.  Responses are bit-identical either way.  Incompatible
+        with ``session`` (live mutations would stale the snapshot).
     """
 
     def __init__(
@@ -266,6 +272,7 @@ class QueryService:
         distance_cache_mb: float = 0.0,
         index_path: str | None = None,
         session=None,
+        backend: str | None = None,
     ) -> None:
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
@@ -277,6 +284,28 @@ class QueryService:
             raise ParameterError(
                 f"distance_cache_mb must be >= 0, got {distance_cache_mb}"
             )
+        if backend not in (None, "dict", "csr"):
+            raise ParameterError(
+                f"unknown network backend {backend!r} (expected 'dict' or 'csr')"
+            )
+        if backend == "csr":
+            if session is not None:
+                # Live mutations rewrite the network under the service; a
+                # frozen snapshot would go stale on the first reweigh, so
+                # the combination is refused up front rather than failing
+                # mid-serve with StaleBackendError.
+                raise ParameterError(
+                    "backend='csr' cannot serve live mutations; "
+                    "use the dict backend with a session"
+                )
+            from repro.network.csr import CSRNetwork
+
+            # Freeze once, before the workers start: every worker thread's
+            # AugmentedView then traverses the same shared arrays, and the
+            # landmark build below reuses the frozen kernels.
+            network = CSRNetwork.freeze(network)
+        #: ``"dict"`` or ``"csr"`` — which traversal backend serves.
+        self.backend = "csr" if backend == "csr" else "dict"
         self.network = network
         self.points = points
         self.default_timeout_s = default_timeout_s

@@ -273,6 +273,14 @@ class SupervisedPool:
         spec so workers replay it read-only.  ``live_eps`` /
         ``live_min_sup`` are the maintained ε-Link clustering's
         parameters and must match across restarts of the same log.
+    backend:
+        ``None``/``"dict"`` serve the workload as loaded; ``"csr"`` ships
+        ``backend: csr`` in every worker spec, so each worker (including
+        restarts) freezes the workload into a
+        :class:`~repro.network.CSRNetwork` at startup and serves off the
+        frozen arrays.  Responses are bit-identical either way.
+        Incompatible with ``wal_path`` (live mutations would stale the
+        frozen snapshot).
     clock / sleep / worker_factory:
         Injectables for deterministic tests: the pool's monotonic clock,
         the backoff sleep, and a ``worker_factory(slot_index)`` that
@@ -302,6 +310,7 @@ class SupervisedPool:
         wal_path: str | None = None,
         live_eps: float = 1.0,
         live_min_sup: int = 1,
+        backend: str | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         worker_factory: Callable[[int], object] | None = None,
@@ -318,6 +327,19 @@ class SupervisedPool:
             raise ParameterError(
                 f"poison_threshold must be >= 1, got {poison_threshold}"
             )
+        if backend not in (None, "dict", "csr"):
+            raise ParameterError(
+                f"unknown network backend {backend!r} (expected 'dict' or 'csr')"
+            )
+        if backend == "csr" and wal_path is not None:
+            # Workers freeze the workload at startup; live mutations would
+            # stale the frozen arrays on the first reweigh, so the
+            # combination is refused up front.
+            raise ParameterError(
+                "backend='csr' cannot serve live mutations; "
+                "use the dict backend with a mutation log"
+            )
+        self._backend = "csr" if backend == "csr" else "dict"
         self._workload = workload
         self._landmarks = landmarks
         self._distance_cache_mb = distance_cache_mb
@@ -994,6 +1016,8 @@ class SupervisedPool:
             "landmarks": self._landmarks,
             "distance_cache_mb": self._distance_cache_mb,
         }
+        if self._backend != "dict":
+            spec["backend"] = self._backend
         if self._index_path is not None:
             spec["index_path"] = self._index_path
         if self._wal_path is not None:

@@ -42,6 +42,11 @@ answers ``"applied": -1`` with the error, and the supervisor restarts
 the worker rather than let it drift).
 
 
+With ``"backend": "csr"`` in the spec the worker freezes the loaded
+workload into a :class:`~repro.network.CSRNetwork` before building its
+view, serving every traversal off flat arrays (bit-identical responses;
+the supervisor never combines this with a mutation log).
+
 The spec also carries the fault plan: rule dicts
 (:meth:`~repro.faults.FaultRule.to_dict`), the deterministic seed, and
 ``kill_real`` — which arms :data:`repro.faults.STATE.kill_real` so a
@@ -96,6 +101,14 @@ def _build_view(spec: dict):
     artifact degrades rather than silently re-paying N build costs.
     """
     network, points = load_workload_file(spec["workload"])
+    if spec.get("backend") == "csr":
+        # Freeze once at startup (also on every restart): the worker then
+        # serves off the flat arrays, and the landmark paths below — mmap
+        # load, in-process build — run against the frozen kernels.  The
+        # supervisor refuses csr + wal, so no mutation can stale this.
+        from repro.network.csr import CSRNetwork
+
+        network = CSRNetwork.freeze(network)
     aug = AugmentedView(network, points)
     accel = None
     landmarks = int(spec.get("landmarks", 0))
